@@ -1,0 +1,388 @@
+// Benchmarks: one testing.B benchmark per table and figure of the
+// paper's evaluation, each exercising the operation the artifact
+// measures. Full table/figure regeneration (rows and series) is
+// cmd/potluck-experiments; these benches time the underlying primitives
+// with Go's benchmark machinery.
+package potluck_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	potluck "repro"
+	"repro/internal/apps"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/imaging"
+	"repro/internal/index"
+	"repro/internal/nn"
+	"repro/internal/render"
+	"repro/internal/synth"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig2FrameSimilarity times one frame-similarity evaluation:
+// extracting the ColorHist and HOG features of a video frame and
+// computing the normalized distance to a reference (Figure 2's inner
+// loop).
+func BenchmarkFig2FrameSimilarity(b *testing.B) {
+	video := synth.NewVideo(synth.VideoConfig{W: 160, H: 120, Seed: 1})
+	frames := video.Frames(8)
+	colorhist, _ := feature.ByName("colorhist")
+	hog, _ := feature.ByName("hog")
+	ref := colorhist.Extract(frames[0]).Key.Normalize()
+	refHOG := hog.Extract(frames[0]).Key.Normalize()
+	metric := vec.EuclideanMetric{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := frames[i%len(frames)]
+		metric.Distance(ref, colorhist.Extract(f).Key.Normalize())
+		metric.Distance(refHOG, hog.Extract(f).Key.Normalize())
+	}
+}
+
+// BenchmarkTable1KeyGeneration times each Table 1 extractor on a
+// 600×400 frame.
+func BenchmarkTable1KeyGeneration(b *testing.B) {
+	img := synth.NewVideo(synth.VideoConfig{W: 600, H: 400, Seed: 7, Objects: 80}).Frame(0)
+	for _, name := range []string{"sift", "surf", "harris", "fast", "downsamp"} {
+		ext, err := feature.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ext.Extract(img)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6ThresholdInit times one warm-up threshold initialization
+// over 64 observations (Figure 6's per-repetition work).
+func BenchmarkFig6ThresholdInit(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	same := make([]float64, 64)
+	diff := make([]float64, 64)
+	for i := range same {
+		same[i] = rng.Float64()
+		diff[i] = 1 + rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.WarmupThreshold(same, diff)
+	}
+}
+
+// BenchmarkFig7ThresholdDecay times one Algorithm 1 observation (the
+// operation Figure 7 counts).
+func BenchmarkFig7ThresholdDecay(b *testing.B) {
+	tuner := core.NewTuner(core.TunerConfig{WarmupZ: 1})
+	tuner.ObservePut(0, true, false)
+	tuner.ForceActivate(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuner.ObservePut(0.5, i%2 == 0, true)
+	}
+}
+
+// BenchmarkFig8Replacement replays the Figure 8 request sequence (10 000
+// requests, 100 workloads, 20% capacity) once per iteration, for each
+// replacement policy.
+func BenchmarkFig8Replacement(b *testing.B) {
+	specs := workload.Specs(100, 1e6, 1e10)
+	seq := workload.Sequence(workload.Exponential, 100, 10_000, rand.New(rand.NewSource(8)))
+	for _, pol := range []core.PolicyKind{core.PolicyImportance, core.PolicyLRU, core.PolicyRandom} {
+		b.Run(string(pol), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workload.Replay(specs, seq, pol, 20, workload.Mobile); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Lookup times one nearest-neighbour lookup per index
+// structure at 10 000 stored 100-byte keys (Table 2's middle row).
+func BenchmarkTable2Lookup(b *testing.B) {
+	const entries, dim = 10_000, 12
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]vec.Vector, entries)
+	mk := func() vec.Vector {
+		v := make(vec.Vector, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	cfg := index.DefaultLSHConfig()
+	cfg.BucketWidth = 0.5
+	cfg.Hashes = 8
+	lsh := index.NewLSH(vec.EuclideanMetric{}, dim, cfg)
+	lin := index.NewLinear(vec.EuclideanMetric{})
+	kd := index.NewKDTree(vec.EuclideanMetric{})
+	for i := 0; i < entries; i++ {
+		keys[i] = mk()
+		lsh.Insert(index.ID(i), keys[i])
+		lin.Insert(index.ID(i), keys[i])
+		kd.Insert(index.ID(i), keys[i])
+	}
+	query := keys[42].Clone()
+	query[0] += 0.01
+	b.Run("lsh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lsh.ProbeOnly(query, 1)
+		}
+	})
+	b.Run("kdtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kd.Nearest(query)
+		}
+	})
+	b.Run("enum", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lin.Nearest(query)
+		}
+	})
+}
+
+// BenchmarkIPCRoundTrip times one lookup round trip over the Unix-socket
+// service (§5.4's 0.36 ms measurement).
+func BenchmarkIPCRoundTrip(b *testing.B) {
+	srv := potluck.NewServer(potluck.New(potluck.Config{
+		DisableDropout: true, Tuner: potluck.TunerConfig{WarmupZ: 1},
+	}))
+	sock := filepath.Join(b.TempDir(), "p.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l) }()
+	defer func() {
+		cancel()
+		srv.Close()
+		<-done
+	}()
+	cl, err := potluck.Dial("unix", sock, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("f", potluck.KeyTypeDef{Name: "k"}); err != nil {
+		b.Fatal(err)
+	}
+	key := potluck.Vector{1, 2, 3, 4}
+	if _, err := cl.Put("f", map[string]potluck.Vector{"k": key}, []byte("v"), potluck.PutOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Lookup("f", "k", key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCacheWithEntries builds a cache pre-populated with n keys of the
+// given dimensionality, threshold forced open.
+func benchCacheWithEntries(b *testing.B, n, dim int) (*core.Cache, []vec.Vector) {
+	b.Helper()
+	cache := core.New(core.Config{
+		DisableDropout: true,
+		Tuner:          core.TunerConfig{WarmupZ: 1},
+	})
+	if err := cache.RegisterFunction("f", core.KeyTypeSpec{Name: "k", Index: "kdtree", Dim: dim}); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]vec.Vector, n)
+	for i := range keys {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		keys[i] = v
+		if _, err := cache.Put("f", core.PutRequest{
+			Keys:  map[string]vec.Vector{"k": v},
+			Value: i,
+			Cost:  time.Millisecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cache.ForceThreshold("f", "k", 1e9); err != nil {
+		b.Fatal(err)
+	}
+	return cache, keys
+}
+
+// BenchmarkFig9Tradeoff times one threshold-restricted lookup against
+// 5000 stored downsample-sized keys (Figure 9's per-test-image work).
+func BenchmarkFig9Tradeoff(b *testing.B) {
+	cache, keys := benchCacheWithEntries(b, 5000, feature.DownsampleDims)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Lookup("f", "k", keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// trainedTinyClassifier builds the smallest valid classifier for app
+// benches whose hit paths never invoke it.
+func trainedTinyClassifier(b *testing.B) *nn.Classifier {
+	b.Helper()
+	ds := synth.NewCIFARLike(1)
+	imgs := []*imaging.RGB{ds.Sample(0, 0).Image, ds.Sample(1, 0).Image}
+	clf, err := nn.Train(nn.NewTinyAlexNet(1), imgs, []int{0, 1}, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clf
+}
+
+// BenchmarkFig10aDeepLearning times the recognition app's dedup path
+// (key generation + lookup hit), the quantity Figure 10(a)'s Potluck bar
+// reports.
+func BenchmarkFig10aDeepLearning(b *testing.B) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	cache := core.New(core.Config{
+		Clock:          clk,
+		DisableDropout: true,
+		Tuner:          core.TunerConfig{WarmupZ: 1},
+	})
+	env := apps.NewEnv(cache, clk, workload.Mobile)
+	app, err := apps.NewRecognitionApp(env, trainedTinyClassifier(b), "bench", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := synth.NewCIFARLike(2)
+	img := ds.Sample(0, 0).Image
+	if _, err := app.ProcessFrame(img); err != nil { // seed entry
+		b.Fatal(err)
+	}
+	if err := cache.ForceThreshold(apps.RecognitionFunction, apps.RecognitionKeyType, 1e9); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := app.ProcessFrame(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Hit {
+			b.Fatal("bench must stay on the hit path")
+		}
+	}
+}
+
+// BenchmarkFig10bARRendering times the AR warp fast path (lookup hit +
+// WarpToPose) against a full software render, Figure 10(b)'s contrast.
+func BenchmarkFig10bARRendering(b *testing.B) {
+	scene := &render.Scene{Objects: []render.Object{{
+		Mesh:      render.Sphere(24, 32, [3]float64{0.8, 0.3, 0.3}),
+		Transform: render.Translate4(render.Vec3{Z: -5}),
+	}}}
+	r := render.NewRenderer(96, 72)
+	from := render.Pose{}
+	frame := r.Render(scene, from)
+	to := render.Pose{Yaw: 0.04}
+	b.Run("warp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			render.WarpToPose(frame, from, to, r.FOV)
+		}
+	})
+	b.Run("render", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Render(scene, to)
+		}
+	})
+}
+
+// BenchmarkFig10cMultiApp times one interleaved multi-app step on the
+// dedup path: two different "applications" looking up the same shared
+// function.
+func BenchmarkFig10cMultiApp(b *testing.B) {
+	cache, keys := benchCacheWithEntries(b, 1000, feature.DownsampleDims)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// App 1 (recognition) and app 2 (AR-cv recognition stage) hit
+		// the same entries.
+		if _, err := cache.Lookup("f", "k", keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cache.Lookup("f", "k", keys[(i+1)%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMNISTMultiApp times recognition lookups over MNIST-like keys
+// (§5.6's high-correlation workload).
+func BenchmarkMNISTMultiApp(b *testing.B) {
+	ext, _ := feature.ByName("downsamp")
+	ds := synth.NewMNISTLike(3)
+	cache := core.New(core.Config{
+		DisableDropout: true,
+		Tuner:          core.TunerConfig{WarmupZ: 1},
+	})
+	if err := cache.RegisterFunction("f", core.KeyTypeSpec{Name: "k", Index: "kdtree", Dim: feature.DownsampleDims}); err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]vec.Vector, 200)
+	for i := range keys {
+		keys[i] = ext.Extract(ds.Sample(i%10, i).Image).Key
+		if _, err := cache.Put("f", core.PutRequest{
+			Keys: map[string]vec.Vector{"k": keys[i]}, Value: i % 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cache.ForceThreshold("f", "k", 1e9); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Lookup("f", "k", keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachePut times one multi-index insertion (the §5.4 "insertion
+// overhead is at micro-second level" claim).
+func BenchmarkCachePut(b *testing.B) {
+	cache := core.New(core.Config{
+		DisableDropout: true,
+		Tuner:          core.TunerConfig{WarmupZ: 1},
+	})
+	if err := cache.RegisterFunction("f", core.KeyTypeSpec{Name: "k", Index: "kdtree", Dim: 8}); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := vec.Vector{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(),
+			rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if _, err := cache.Put("f", core.PutRequest{
+			Keys: map[string]vec.Vector{"k": key}, Value: i,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func init() {
+	// Keep the imports honest if benchmarks are filtered.
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,137 @@
+// Command potluck-cli is a hand-driven client for a running potluckd,
+// exposing the register()/lookup()/put() API of §4.3 from the shell.
+//
+// Usage:
+//
+//	potluck-cli [-network unix] [-addr /tmp/potluck.sock] [-app cli] <cmd> ...
+//
+//	potluck-cli register <function> <keytype>[,<keytype>...]
+//	potluck-cli lookup   <function> <keytype> <k1,k2,...>
+//	potluck-cli put      <function> <keytype> <k1,k2,...> <value> [cost]
+//	potluck-cli stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/vec"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "unix", `transport: "unix" or "tcp"`)
+		addr    = flag.String("addr", "/tmp/potluck.sock", "service address")
+		app     = flag.String("app", "cli", "application name")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := service.Dial(*network, *addr, *app)
+	if err != nil {
+		fail(err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "register":
+		if len(args) != 3 {
+			usage()
+		}
+		var defs []service.KeyTypeDef
+		for _, name := range strings.Split(args[2], ",") {
+			defs = append(defs, service.KeyTypeDef{Name: name})
+		}
+		if err := cl.Register(args[1], defs...); err != nil {
+			fail(err)
+		}
+		fmt.Println("registered")
+	case "lookup":
+		if len(args) != 4 {
+			usage()
+		}
+		key, err := parseKey(args[3])
+		if err != nil {
+			fail(err)
+		}
+		res, err := cl.Lookup(args[1], args[2], key)
+		if err != nil {
+			fail(err)
+		}
+		switch {
+		case res.Hit:
+			fmt.Printf("hit value=%q distance=%.6g threshold=%.6g\n",
+				res.Value, res.Distance, res.Threshold)
+		case res.Dropout:
+			fmt.Println("miss (dropout)")
+		default:
+			fmt.Printf("miss distance=%.6g threshold=%.6g\n", res.Distance, res.Threshold)
+		}
+	case "put":
+		if len(args) != 5 && len(args) != 6 {
+			usage()
+		}
+		key, err := parseKey(args[3])
+		if err != nil {
+			fail(err)
+		}
+		var opts service.PutOptions
+		if len(args) == 6 {
+			cost, err := time.ParseDuration(args[5])
+			if err != nil {
+				fail(err)
+			}
+			opts.Cost = cost
+		}
+		id, err := cl.Put(args[1], map[string]vec.Vector{args[2]: key}, []byte(args[4]), opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("stored id=%d\n", id)
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("entries=%d bytes=%d hits=%d misses=%d dropouts=%d puts=%d evictions=%d expirations=%d saved=%s\n",
+			st.Entries, st.Bytes, st.Hits, st.Misses, st.Dropouts, st.Puts,
+			st.Evictions, st.Expirations, time.Duration(st.SavedComputeN))
+	default:
+		usage()
+	}
+}
+
+func parseKey(s string) (vec.Vector, error) {
+	parts := strings.Split(s, ",")
+	key := make(vec.Vector, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("key component %d: %w", i, err)
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: potluck-cli [flags] <command>
+  register <function> <keytype>[,<keytype>...]
+  lookup   <function> <keytype> <k1,k2,...>
+  put      <function> <keytype> <k1,k2,...> <value> [cost]
+  stats`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseKey(t *testing.T) {
+	key, err := parseKey("1,2.5, -3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 3 || key[0] != 1 || key[1] != 2.5 || key[2] != -3 {
+		t.Errorf("parseKey = %v", key)
+	}
+	if _, err := parseKey("1,x,3"); err == nil {
+		t.Error("malformed component accepted")
+	}
+	if _, err := parseKey(""); err == nil {
+		t.Error("empty key accepted")
+	}
+	one, err := parseKey("42")
+	if err != nil || len(one) != 1 || one[0] != 42 {
+		t.Errorf("scalar key = %v, %v", one, err)
+	}
+}

@@ -1,0 +1,49 @@
+// Command potluck-experiments regenerates the tables and figures of the
+// paper's evaluation (§5). With no arguments it runs everything in paper
+// order; pass artifact ids (fig2, table1, fig6, fig7, fig8, table2, ipc,
+// fig9, fig10a, fig10b, fig10c, mnist16x) to run a subset, or -list to
+// enumerate them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n\n", e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,106 @@
+// Command potluckd runs the Potluck deduplication service as a
+// background daemon, the role the Android service plays in the paper
+// (§4). Applications connect over a Unix domain socket (default) or TCP
+// and issue register/lookup/put requests; see cmd/potluck-cli for a
+// hand-driven client and examples/multiapp for programmatic use.
+//
+// Usage:
+//
+//	potluckd [-network unix|tcp] [-addr /run/potluck.sock]
+//	         [-max-entries N] [-max-bytes N] [-ttl 1h]
+//	         [-dropout 0.1] [-policy importance|lru|random|fifo]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		network    = flag.String("network", "unix", `transport: "unix" or "tcp"`)
+		addr       = flag.String("addr", "/tmp/potluck.sock", "socket path (unix) or host:port (tcp)")
+		maxEntries = flag.Int("max-entries", 0, "entry capacity (0 = unlimited)")
+		maxBytes   = flag.Int64("max-bytes", 512<<20, "byte capacity (paper's 512 MB heap bound)")
+		ttl        = flag.Duration("ttl", time.Hour, "entry validity period")
+		dropout    = flag.Float64("dropout", core.DefaultDropoutRate, "random-dropout probability")
+		policy     = flag.String("policy", "importance", "eviction policy: importance, lru, random, fifo")
+		warmup     = flag.Int("warmup", 100, "entries cached before threshold tuning activates (z)")
+		tightenK   = flag.Float64("tighten-k", 4, "threshold tightening divisor (k)")
+		gamma      = flag.Float64("gamma", 0.8, "threshold loosening EWMA weight (γ)")
+		reputation = flag.Bool("reputation", false, "enable the cache-pollution reputation defence")
+		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at boot if present, written at shutdown")
+	)
+	flag.Parse()
+
+	if _, err := core.NewPolicy(core.PolicyKind(*policy)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := core.Config{
+		MaxEntries:  *maxEntries,
+		MaxBytes:    *maxBytes,
+		DefaultTTL:  *ttl,
+		DropoutRate: *dropout,
+		Policy:      core.PolicyKind(*policy),
+		Tuner:       core.TunerConfig{WarmupZ: *warmup, K: *tightenK, Gamma: *gamma},
+	}
+	if *dropout <= 0 {
+		cfg.DisableDropout = true
+	}
+	if *reputation {
+		cfg.Reputation = &core.ReputationConfig{}
+	}
+
+	if *network == "unix" {
+		// A stale socket from an unclean shutdown blocks the listener.
+		os.Remove(*addr)
+	}
+	cache := core.New(cfg)
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			st, err := cache.ReadSnapshot(f)
+			f.Close()
+			if err != nil {
+				log.Printf("potluckd: snapshot load: %v", err)
+			} else {
+				log.Printf("potluckd: restored %d entries across %d functions (%d skipped)",
+					st.Entries, st.Functions, st.Skipped)
+			}
+		}
+	}
+	srv := service.NewServer(cache)
+	srv.Logf = log.Printf
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("potluckd: listening on %s %s (policy=%s ttl=%s dropout=%.2f)",
+		*network, *addr, *policy, *ttl, *dropout)
+	if err := srv.ListenAndServe(ctx, *network, *addr); err != nil {
+		log.Fatalf("potluckd: %v", err)
+	}
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Printf("potluckd: snapshot save: %v", err)
+		} else {
+			st, err := cache.WriteSnapshot(f)
+			f.Close()
+			if err != nil {
+				log.Printf("potluckd: snapshot save: %v", err)
+			} else {
+				log.Printf("potluckd: saved %d entries (%d skipped)", st.Entries, st.Skipped)
+			}
+		}
+	}
+	log.Printf("potluckd: shut down")
+}

@@ -1,0 +1,90 @@
+package potluck_test
+
+import (
+	"fmt"
+	"time"
+
+	potluck "repro"
+)
+
+// ExampleCache demonstrates the core deduplication loop: look up before
+// computing, put after a miss, and let nearby inputs reuse the result.
+func ExampleCache() {
+	cache := potluck.New(potluck.Config{
+		DisableDropout: true,
+		Tuner:          potluck.TunerConfig{WarmupZ: 1},
+	})
+	cache.RegisterFunction("recognize",
+		potluck.KeyTypeSpec{Name: "feat", Index: potluck.IndexKDTree, Dim: 2})
+
+	compute := func(key potluck.Vector) string {
+		// ... the expensive work ...
+		return "stop sign"
+	}
+
+	key := potluck.Vector{0.9, 0.1}
+	res, _ := cache.Lookup("recognize", "feat", key)
+	if !res.Hit {
+		value := compute(key)
+		cache.Put("recognize", potluck.PutRequest{
+			Keys:     map[string]potluck.Vector{"feat": key},
+			Value:    value,
+			MissedAt: res.MissedAt,
+		})
+	}
+
+	// A similar input (e.g. the next camera frame) reuses the result
+	// once the similarity threshold admits it.
+	cache.ForceThreshold("recognize", "feat", 0.1)
+	res, _ = cache.Lookup("recognize", "feat", potluck.Vector{0.93, 0.11})
+	fmt.Println(res.Hit, res.Value)
+	// Output: true stop sign
+}
+
+// ExampleCache_LookupRefined shows post-lookup incremental computation
+// (§7 of the paper): the cached result is adjusted to the exact query
+// before being returned — the AR warp fast path in miniature.
+func ExampleCache_LookupRefined() {
+	cache := potluck.New(potluck.Config{
+		DisableDropout: true,
+		Tuner:          potluck.TunerConfig{WarmupZ: 1},
+	})
+	cache.RegisterFunction("render", potluck.KeyTypeSpec{Name: "angle", Dim: 1})
+	cache.Put("render", potluck.PutRequest{
+		Keys:  map[string]potluck.Vector{"angle": {30}},
+		Value: "frame@30",
+	})
+	cache.ForceThreshold("render", "angle", 5)
+
+	res, _ := cache.LookupRefined("render", "angle", potluck.Vector{32},
+		func(cached any, cachedKey, queryKey potluck.Vector) any {
+			return fmt.Sprintf("%v warped by %+.0f°", cached, queryKey[0]-cachedKey[0])
+		})
+	fmt.Println(res.Value)
+	// Output: frame@30 warped by +2°
+}
+
+// ExampleConfig_importance shows the importance-based eviction retaining
+// the expensive entry when capacity forces a choice.
+func ExampleConfig_importance() {
+	cache := potluck.New(potluck.Config{
+		DisableDropout: true,
+		Tuner:          potluck.TunerConfig{WarmupZ: 1},
+		MaxEntries:     2,
+	})
+	cache.RegisterFunction("f", potluck.KeyTypeSpec{Name: "k", Dim: 1})
+	put := func(key float64, value string, cost time.Duration) {
+		cache.Put("f", potluck.PutRequest{
+			Keys:  map[string]potluck.Vector{"k": {key}},
+			Value: value, Cost: cost, Size: 1,
+		})
+	}
+	put(1, "cheap", time.Millisecond)
+	put(2, "expensive", 10*time.Second)
+	put(3, "medium", time.Second) // evicts the least important: "cheap"
+
+	r1, _ := cache.Lookup("f", "k", potluck.Vector{1})
+	r2, _ := cache.Lookup("f", "k", potluck.Vector{2})
+	fmt.Println(r1.Hit, r2.Hit)
+	// Output: false true
+}

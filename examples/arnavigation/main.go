@@ -1,0 +1,117 @@
+// AR navigation: the location-based AR pipeline of the paper's Figure 3.
+// The device pose (orientation + location) keys a cache of rendered
+// frames; nearby poses reuse a cached frame by warping it to the new
+// viewpoint instead of re-rendering the 3-D scene (§5.5). The example
+// renders a furnished scene along a camera path and reports how often
+// the warp fast path replaced a full render, then writes a full render
+// and its warped reuse side by side as PPM images.
+//
+//	go run ./examples/arnavigation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	potluck "repro"
+	"repro/internal/imaging"
+	"repro/internal/render"
+)
+
+func main() {
+	// Dense meshes: AR scenes carry orders of magnitude more geometry
+	// than the warp's fixed per-pixel cost, which is what makes the
+	// fast path worthwhile.
+	scene := &render.Scene{Objects: []render.Object{
+		{Mesh: render.Furniture([3]float64{0.8, 0.6, 0.4}), Transform: render.Translate4(render.Vec3{X: -1, Y: -0.8, Z: -4})},
+		{Mesh: render.Sphere(128, 160, [3]float64{0.3, 0.6, 0.9}), Transform: render.Translate4(render.Vec3{X: 1, Z: -5})},
+		{Mesh: render.Sphere(128, 160, [3]float64{0.9, 0.4, 0.4}), Transform: render.Translate4(render.Vec3{X: 0.2, Y: -0.8, Z: -6})},
+		{Mesh: render.Sphere(96, 128, [3]float64{0.4, 0.9, 0.4}), Transform: render.Translate4(render.Vec3{X: -0.5, Y: 0.8, Z: -7})},
+	}}
+	renderer := render.NewRenderer(320, 240)
+
+	type cached struct {
+		frame *imaging.RGB
+		pose  render.Pose
+	}
+
+	// Result equality drives the threshold tuner: two renders count as
+	// "the same result" when either frame warps to the other without
+	// visible error, i.e. the poses are close ("no need to render a new
+	// scene if it is visually indistinguishable from a previous one").
+	const warpableRadius = 0.15
+	cache := potluck.New(potluck.Config{
+		Tuner: potluck.TunerConfig{WarmupZ: 12},
+		Equal: func(a, b any) bool {
+			ca, okA := a.(cached)
+			cb, okB := b.(cached)
+			if !okA || !okB {
+				return false
+			}
+			return potluck.Euclidean.Distance(ca.pose.Key(), cb.pose.Key()) < warpableRadius
+		},
+	})
+	if err := cache.RegisterFunction("render3d",
+		potluck.KeyTypeSpec{Name: "pose", Index: potluck.IndexKDTree, Dim: 6}); err != nil {
+		log.Fatal(err)
+	}
+
+	var renderTime, warpTime time.Duration
+	renders, warps := 0, 0
+	var lastFull, lastWarp *imaging.RGB
+	for i := 0; i < 90; i++ {
+		t := float64(i)
+		pose := render.Pose{
+			Yaw:   0.02 * t,
+			Pitch: 0.03 * math.Sin(t*0.15),
+		}
+		key := pose.Key()
+		res, err := cache.Lookup("render3d", "pose", key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Hit {
+			c := res.Value.(cached)
+			start := time.Now()
+			lastWarp = render.WarpToPose(c.frame, c.pose, pose, renderer.FOV)
+			warpTime += time.Since(start)
+			warps++
+			continue
+		}
+		start := time.Now()
+		frame := renderer.Render(scene, pose)
+		renderTime += time.Since(start)
+		renders++
+		lastFull = frame
+		if _, err := cache.Put("render3d", potluck.PutRequest{
+			Keys:     map[string]potluck.Vector{"pose": key},
+			Value:    cached{frame: frame, pose: pose},
+			MissedAt: res.MissedAt,
+			Size:     3 * 8 * frame.W * frame.H,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("90 frames: %d full renders, %d warped reuses\n", renders, warps)
+	if renders > 0 && warps > 0 {
+		fmt.Printf("mean full render: %s, mean warp: %s (%.1fx faster)\n",
+			(renderTime / time.Duration(renders)).Round(time.Microsecond),
+			(warpTime / time.Duration(warps)).Round(time.Microsecond),
+			float64(renderTime/time.Duration(renders))/float64(warpTime/time.Duration(warps)))
+	}
+	st, _ := cache.TunerStats("render3d", "pose")
+	fmt.Printf("tuned pose threshold: %.4f rad\n", st.Threshold)
+
+	for name, img := range map[string]*imaging.RGB{"full.ppm": lastFull, "warped.ppm": lastWarp} {
+		if img == nil {
+			continue
+		}
+		if err := imaging.SavePPM(name, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%dx%d)\n", name, img.W, img.H)
+	}
+}

@@ -1,0 +1,91 @@
+// Call assistant: the paper's non-vision sharing scenario (§2.3) — "a
+// call assistant might use the mic to capture the audio to identify the
+// location and ambient environment to determine whether to mute the
+// call. Similarly, the same procedures can be used for home occupancy
+// detection." Two such applications share one ambientClassification
+// function through Potluck, keyed by MFCC vectors (§4.2's custom-key
+// example), so the expensive audio analysis runs once per environment.
+//
+//	go run ./examples/callassistant
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	potluck "repro"
+	"repro/internal/audio"
+)
+
+var environments = []string{
+	"office", "street", "restaurant", "home", "transit", "outdoors",
+}
+
+// analyzeAmbient stands in for the expensive audio pipeline (VAD +
+// classification); the generator's ground truth plays the oracle after a
+// simulated 80 ms of processing.
+func analyzeAmbient(label int) string {
+	time.Sleep(80 * time.Millisecond)
+	return environments[label%len(environments)]
+}
+
+func main() {
+	cache := potluck.New(potluck.Config{
+		Tuner: potluck.TunerConfig{WarmupZ: 6},
+	})
+	if err := cache.RegisterFunction("ambientClassification",
+		potluck.KeyTypeSpec{Name: "mfcc", Index: potluck.IndexKDTree, Dim: 26}); err != nil {
+		log.Fatal(err)
+	}
+
+	gen := audio.NewAmbientScene(2018)
+	process := func(app string, class, variant int) (string, bool) {
+		clip, truth := gen.Sample(class, variant)
+		key := audio.MFCC(clip, audio.MFCCConfig{})
+		res, err := cache.Lookup("ambientClassification", "mfcc", key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Hit {
+			return res.Value.(string), true
+		}
+		env := analyzeAmbient(truth)
+		if _, err := cache.Put("ambientClassification", potluck.PutRequest{
+			Keys:     map[string]potluck.Vector{"mfcc": key},
+			Value:    env,
+			MissedAt: res.MissedAt,
+			App:      app,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return env, false
+	}
+
+	// A day at the office: the call assistant and the occupancy detector
+	// sample the same acoustic environment at interleaved moments.
+	callHits, occHits := 0, 0
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		class := (i / 5) % gen.Classes // environments change slowly
+		env, hit := process("call-assistant", class, 100+i)
+		if hit {
+			callHits++
+		}
+		if i%10 == 0 {
+			fmt.Printf("call-assistant: ambient=%q (dedup=%v) → mute=%v\n",
+				env, hit, env != "home")
+		}
+		if _, hit := process("occupancy-detector", class, 200+i); hit {
+			occHits++
+		}
+	}
+
+	st := cache.Stats()
+	fmt.Printf("\ncall-assistant hits: %d/%d, occupancy-detector hits: %d/%d\n",
+		callHits, rounds, occHits, rounds)
+	fmt.Printf("audio analysis deduplicated: %s across both apps (%.0f%% hit rate)\n",
+		st.SavedCompute.Round(time.Millisecond), 100*st.HitRate())
+	ts, _ := cache.TunerStats("ambientClassification", "mfcc")
+	fmt.Printf("tuned MFCC threshold: %.3f\n", ts.Threshold)
+}

@@ -1,0 +1,106 @@
+// Cross-device deduplication: the paper's §7 direction ("We can also
+// apply the deduplication concept across devices"). A household hub
+// runs a Potluck service; each device keeps a local cache and falls
+// through to the hub on a miss, adopting the hub's results so later
+// lookups stay local. Device B ends up reusing computations device A
+// paid for — without ever talking to device A.
+//
+//	go run ./examples/crossdevice
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	potluck "repro"
+	"repro/internal/audio"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	// --- The hub service (e.g. a home router or smart speaker) ---
+	dir, err := os.MkdirTemp("", "potluck-hub")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "hub.sock")
+	hub := potluck.NewServer(potluck.New(potluck.Config{
+		Tuner: potluck.TunerConfig{WarmupZ: 10},
+	}))
+	if err := hub.Cache().RegisterFunction("ambientClassification",
+		potluck.KeyTypeSpec{Name: "mfcc", Dim: 26}); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- hub.Serve(ctx, l) }()
+	defer func() {
+		hub.Close()
+		<-done
+	}()
+
+	// --- A device: local cache + remote tier to the hub ---
+	newDevice := func(name string) *service.Tiered {
+		local := core.New(core.Config{Tuner: core.TunerConfig{WarmupZ: 10}})
+		if err := local.RegisterFunction("ambientClassification",
+			core.KeyTypeSpec{Name: "mfcc", Dim: 26}); err != nil {
+			log.Fatal(err)
+		}
+		remote, err := potluck.Dial("unix", sock, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &service.Tiered{Local: local, Remote: remote}
+	}
+	phoneA := newDevice("phone-a")
+	phoneB := newDevice("phone-b")
+
+	gen := audio.NewAmbientScene(7)
+	classify := func(dev *service.Tiered, devName string, class, variant int) {
+		clip, truth := gen.Sample(class, variant)
+		key := audio.MFCC(clip, audio.MFCCConfig{})
+		res, err := dev.Lookup("ambientClassification", "mfcc", key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Hit && res.RemoteHit:
+			fmt.Printf("%s: class %d → %q (reused from the hub — computed by another device)\n",
+				devName, class, res.Value)
+		case res.Hit:
+			fmt.Printf("%s: class %d → %q (local cache)\n", devName, class, res.Value)
+		default:
+			time.Sleep(40 * time.Millisecond) // the expensive analysis
+			env := fmt.Sprintf("env-%d", truth)
+			if err := dev.Put("ambientClassification", "mfcc", key, []byte(env), 40*time.Millisecond); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s: class %d → %q (computed, shared to hub)\n", devName, class, env)
+		}
+	}
+
+	// Warm the hub's threshold with phone A's day.
+	for i := 0; i < 12; i++ {
+		classify(phoneA, "phone-a", i%3, 100+i)
+	}
+	fmt.Println("--- phone B enters the same environments ---")
+	for i := 0; i < 6; i++ {
+		classify(phoneB, "phone-b", i%3, 500+i)
+	}
+	fmt.Println("--- phone B revisits (now served locally) ---")
+	for i := 0; i < 3; i++ {
+		classify(phoneB, "phone-b", i%3, 600+i)
+	}
+}

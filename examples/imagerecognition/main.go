@@ -1,0 +1,101 @@
+// Image recognition over a correlated camera feed: the Google Lens
+// pipeline of the paper's Figure 3, with Potluck deduplicating the
+// deep-learning inference. A CNN classifies synthetic labelled images;
+// similar frames (same object, different background/noise) reuse the
+// cached label instead of re-running inference.
+//
+//	go run ./examples/imagerecognition
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	potluck "repro"
+	"repro/internal/imaging"
+	"repro/internal/nn"
+	"repro/internal/synth"
+)
+
+func main() {
+	// Substrate: a labelled synthetic dataset and a small CNN trained on
+	// it (a real deployment would bring camera frames and its own model).
+	ds := synth.NewCIFARLike(42)
+	var trainImgs []*imaging.RGB
+	var trainLabels []int
+	for c := 0; c < ds.Classes; c++ {
+		for v := 0; v < 8; v++ {
+			s := ds.Sample(c, v)
+			trainImgs = append(trainImgs, s.Image)
+			trainLabels = append(trainLabels, s.Label)
+		}
+	}
+	clf, err := nn.Train(nn.NewTinyAlexNet(42), trainImgs, trainLabels, ds.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	downsamp, err := potluck.FeatureExtractor("downsamp")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cache := potluck.New(potluck.Config{
+		Tuner: potluck.TunerConfig{WarmupZ: 20},
+	})
+	if err := cache.RegisterFunction("objectRecognition",
+		potluck.KeyTypeSpec{Name: "downsamp", Index: potluck.IndexKDTree, Dim: 768}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The camera feed: bursts of similar frames (the user lingers on an
+	// object, §2.2's temporal correlation), switching objects every few
+	// frames.
+	const frames = 120
+	var inferenceTime, totalTime time.Duration
+	hits, correct := 0, 0
+	for i := 0; i < frames; i++ {
+		class := (i / 6) % ds.Classes // linger 6 frames per object
+		sample := ds.Sample(class, 1000+i)
+
+		frameStart := time.Now()
+		key := downsamp.Extract(sample.Image).Key
+		res, err := cache.Lookup("objectRecognition", "downsamp", key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var label int
+		if res.Hit {
+			hits++
+			label = res.Value.(int)
+		} else {
+			inferStart := time.Now()
+			label, _ = clf.Classify(sample.Image)
+			inferenceTime += time.Since(inferStart)
+			if _, err := cache.Put("objectRecognition", potluck.PutRequest{
+				Keys:     map[string]potluck.Vector{"downsamp": key},
+				Value:    label,
+				MissedAt: res.MissedAt,
+				App:      "example-lens",
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		totalTime += time.Since(frameStart)
+		if label == sample.Label {
+			correct++
+		}
+	}
+
+	st := cache.Stats()
+	fmt.Printf("processed %d frames\n", frames)
+	fmt.Printf("cache hits: %d (%.0f%% of lookups, %d dropouts)\n",
+		hits, 100*st.HitRate(), st.Dropouts)
+	fmt.Printf("accuracy with dedup: %.0f%%\n", 100*float64(correct)/frames)
+	fmt.Printf("inference time spent: %s (saved: %s)\n",
+		inferenceTime.Round(time.Millisecond), st.SavedCompute.Round(time.Millisecond))
+	fmt.Printf("mean per-frame time: %s\n", (totalTime / frames).Round(time.Microsecond))
+	ts, _ := cache.TunerStats("objectRecognition", "downsamp")
+	fmt.Printf("tuned similarity threshold: %.3f (loosened %d×, tightened %d×)\n",
+		ts.Threshold, ts.Loosenings, ts.Tightenings)
+}

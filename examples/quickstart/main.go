@@ -1,0 +1,90 @@
+// Quickstart: the core Potluck loop — register a function, look up
+// before computing, put after a miss — plus a view of the adaptive
+// similarity threshold at work.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	potluck "repro"
+)
+
+// expensiveClassify stands in for a computation worth deduplicating: it
+// labels a 2-D point by the quadrant-ish region it falls in, after a
+// simulated 50 ms of work.
+func expensiveClassify(x, y float64) string {
+	time.Sleep(50 * time.Millisecond)
+	angle := math.Atan2(y, x)
+	switch {
+	case angle >= 0 && angle < math.Pi/2:
+		return "northeast"
+	case angle >= math.Pi/2:
+		return "northwest"
+	case angle < -math.Pi/2:
+		return "southwest"
+	default:
+		return "southeast"
+	}
+}
+
+func main() {
+	cache := potluck.New(potluck.Config{
+		// Small warm-up so this demo adapts within a few puts; the
+		// paper's default is 100.
+		Tuner: potluck.TunerConfig{WarmupZ: 8},
+	})
+	err := cache.RegisterFunction("classifyPoint",
+		potluck.KeyTypeSpec{Name: "xy", Index: potluck.IndexKDTree, Dim: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A drifting input stream: consecutive points are close together,
+	// like consecutive camera frames (§2.2 of the paper).
+	var hits, misses int
+	var computeTime time.Duration
+	for i := 0; i < 60; i++ {
+		t := float64(i) * 0.12
+		x, y := math.Cos(t)*5, math.Sin(t)*5
+		key := potluck.Vector{x, y}
+
+		res, err := cache.Lookup("classifyPoint", "xy", key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var label string
+		if res.Hit {
+			hits++
+			label = res.Value.(string)
+		} else {
+			misses++
+			start := time.Now()
+			label = expensiveClassify(x, y)
+			computeTime += time.Since(start)
+			_, err = cache.Put("classifyPoint", potluck.PutRequest{
+				Keys:     map[string]potluck.Vector{"xy": key},
+				Value:    label,
+				MissedAt: res.MissedAt,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if i%10 == 0 {
+			st, _ := cache.TunerStats("classifyPoint", "xy")
+			fmt.Printf("point %2d → %-9s (hit=%-5v threshold=%.3f)\n",
+				i, label, res.Hit, st.Threshold)
+		}
+	}
+
+	st := cache.Stats()
+	fmt.Printf("\n%d lookups: %d hits, %d misses (%.0f%% hit rate)\n",
+		hits+misses, hits, misses, 100*st.HitRate())
+	fmt.Printf("compute time spent: %s; compute time saved by dedup: %s\n",
+		computeTime.Round(time.Millisecond), st.SavedCompute.Round(time.Millisecond))
+}

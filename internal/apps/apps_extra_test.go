@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+func TestARCVNoCacheBaseline(t *testing.T) {
+	c, ds := classifier(t)
+	env := newEnv(workload.Mobile)
+	arcv, err := NewARCVApp(env, c, nil, render.NewRenderer(32, 24), "ar-cv", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arcv.ProcessFrame(ds.Sample(0, 0).Image, render.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecognitionHit || res.RenderHit {
+		t.Error("no-cache app reported hits")
+	}
+	if res.Image == nil {
+		t.Error("no frame rendered")
+	}
+	want := workload.Mobile.CostOn(DownsampCost + RecognitionCost + RenderCostPerObject)
+	if res.Elapsed.Duration() != want {
+		t.Errorf("native cost = %v, want %v", res.Elapsed.Duration(), want)
+	}
+}
+
+func TestARCVRenderHitOnRepeat(t *testing.T) {
+	c, ds := classifier(t)
+	env := newEnv(workload.Mobile)
+	arcv, err := NewARCVApp(env, c, nil, render.NewRenderer(32, 24), "ar-cv", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Cache.ForceThreshold(RecognitionFunction, RecognitionKeyType, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Cache.ForceThreshold(RenderFunction, PoseLabelKeyType, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	img := ds.Sample(3, 700).Image
+	first, err := arcv.ProcessFrame(img, render.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := arcv.ProcessFrame(img, render.Pose{Yaw: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.RecognitionHit {
+		t.Error("repeat frame missed recognition cache")
+	}
+	if !second.RenderHit {
+		t.Error("nearby pose missed render cache")
+	}
+	if second.Elapsed >= first.Elapsed {
+		t.Errorf("hit frame (%v) not faster than cold frame (%v)",
+			second.Elapsed.Duration(), first.Elapsed.Duration())
+	}
+}
+
+func TestFlashBackEmptySceneAndDefaultQuantum(t *testing.T) {
+	env := newEnv(workload.Mobile)
+	fb := NewFlashBack(env, &render.Scene{}, render.NewRenderer(16, 12))
+	fb.Quantum = 0 // falls back to the default inside quantize
+	f, err := fb.RenderPose(render.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hit {
+		t.Error("first render hit")
+	}
+	// Empty scenes still charge one object's cost (the floor).
+	if f.Elapsed.Duration() != workload.Mobile.CostOn(RenderCostPerObject) {
+		t.Errorf("empty-scene cost = %v", f.Elapsed.Duration())
+	}
+}
+
+func TestARLocationEmptySceneCostFloor(t *testing.T) {
+	env := newEnv(workload.Mobile)
+	app, err := NewARLocationApp(env, &render.Scene{}, render.NewRenderer(16, 12), "a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := app.ProcessPose(render.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Elapsed.Duration() != workload.Mobile.CostOn(RenderCostPerObject) {
+		t.Errorf("empty-scene cost = %v", f.Elapsed.Duration())
+	}
+}
+
+func TestElapsedTimeDuration(t *testing.T) {
+	if ElapsedTime(5*time.Second).Duration() != 5*time.Second {
+		t.Error("Duration conversion broken")
+	}
+}
+
+func TestTimerMeasuresVirtualTime(t *testing.T) {
+	env := newEnv(workload.Mobile)
+	tm := env.StartTimer()
+	env.Charge(3 * time.Second)
+	if got := tm.Elapsed(); got != 3*time.Second {
+		t.Errorf("Elapsed = %v", got)
+	}
+}

@@ -1,0 +1,283 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/render"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// sharedClassifier is trained once for the whole package's tests;
+// training runs ~100 CNN inferences.
+var (
+	clfOnce sync.Once
+	clf     *nn.Classifier
+	ds      *synth.CIFARLike
+)
+
+func classifier(t *testing.T) (*nn.Classifier, *synth.CIFARLike) {
+	t.Helper()
+	clfOnce.Do(func() {
+		ds = synth.NewCIFARLike(11)
+		var err error
+		clf, err = TrainDefaultClassifier(ds, 6, 5)
+		if err != nil {
+			t.Fatalf("training classifier: %v", err)
+		}
+	})
+	return clf, ds
+}
+
+func newEnv(device workload.Device) *Env {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	cache := core.New(core.Config{
+		Clock:          clk,
+		DisableDropout: true,
+		Tuner:          core.TunerConfig{WarmupZ: 1},
+		Equal:          RenderEqual(func(a, b any) bool { return a == b }),
+	})
+	return NewEnv(cache, clk, device)
+}
+
+func TestChargeScalesByDevice(t *testing.T) {
+	env := newEnv(workload.PC)
+	before := env.Clock.Now()
+	env.Charge(time.Second)
+	if got := env.Clock.Now().Sub(before); got != 100*time.Millisecond {
+		t.Errorf("PC charge = %v, want 100ms", got)
+	}
+}
+
+func TestRecognitionAppCachesAcrossSimilarFrames(t *testing.T) {
+	c, ds := classifier(t)
+	env := newEnv(workload.Mobile)
+	app, err := NewRecognitionApp(env, c, "lens", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the threshold so variants of the same class hit.
+	if err := env.Cache.ForceThreshold(RecognitionFunction, RecognitionKeyType, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	first, err := app.ProcessFrame(ds.Sample(0, 200).Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Hit {
+		t.Fatal("first frame hit an empty cache")
+	}
+	second, err := app.ProcessFrame(ds.Sample(0, 201).Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Hit {
+		t.Fatal("similar frame missed; threshold too tight for the dataset")
+	}
+	if second.Label != first.Label {
+		t.Errorf("labels differ across hit: %d vs %d", first.Label, second.Label)
+	}
+	if second.Elapsed >= first.Elapsed {
+		t.Errorf("hit (%v) not faster than miss (%v)",
+			second.Elapsed.Duration(), first.Elapsed.Duration())
+	}
+	// The speedup should be roughly RecognitionCost / overhead — an
+	// order of magnitude at least.
+	if ratio := float64(first.Elapsed) / float64(second.Elapsed); ratio < 5 {
+		t.Errorf("speedup = %.1fx, want ≥ 5x", ratio)
+	}
+}
+
+func TestRecognitionAppNoCacheBaseline(t *testing.T) {
+	c, ds := classifier(t)
+	env := newEnv(workload.Mobile)
+	app, err := NewRecognitionApp(env, c, "lens", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := app.ProcessFrame(ds.Sample(1, 0).Image)
+	r2, _ := app.ProcessFrame(ds.Sample(1, 1).Image)
+	if r1.Hit || r2.Hit {
+		t.Error("no-cache app reported hits")
+	}
+	if r1.Elapsed != r2.Elapsed {
+		t.Errorf("native frames differ in cost: %v vs %v", r1.Elapsed, r2.Elapsed)
+	}
+	want := workload.Mobile.CostOn(DownsampCost + RecognitionCost + FetchInfoCost)
+	if r1.Elapsed.Duration() != want {
+		t.Errorf("native cost = %v, want %v", r1.Elapsed.Duration(), want)
+	}
+}
+
+func TestOptimalFrameTime(t *testing.T) {
+	opt := OptimalFrameTime(workload.Mobile)
+	native := DownsampCost + RecognitionCost + FetchInfoCost
+	if opt.Duration() >= native/10 {
+		t.Errorf("optimal %v not ≪ native %v", opt.Duration(), native)
+	}
+	if pc := OptimalFrameTime(workload.PC); pc >= opt {
+		t.Errorf("PC optimal %v not faster than mobile %v", pc, opt)
+	}
+}
+
+func oneCubeScene() *render.Scene {
+	return &render.Scene{Objects: []render.Object{{
+		Mesh:      render.Cube([3]float64{1, 0.3, 0.3}),
+		Transform: render.Translate4(render.Vec3{Z: -5}),
+	}}}
+}
+
+func TestARLocationAppWarpFastPath(t *testing.T) {
+	env := newEnv(workload.Mobile)
+	app, err := NewARLocationApp(env, oneCubeScene(), render.NewRenderer(64, 48), "ar-loc", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Cache.ForceThreshold(RenderFunction, PoseKeyType, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	p0 := render.Pose{}
+	f0, err := app.ProcessPose(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Hit || f0.Image == nil {
+		t.Fatalf("first pose: %+v", f0)
+	}
+	p1 := render.Pose{Yaw: 0.05}
+	f1, err := app.ProcessPose(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Hit {
+		t.Fatal("nearby pose missed")
+	}
+	if f1.Elapsed >= f0.Elapsed {
+		t.Errorf("warp (%v) not faster than render (%v)", f1.Elapsed.Duration(), f0.Elapsed.Duration())
+	}
+	// ~7x reduction per the paper.
+	if ratio := float64(f0.Elapsed) / float64(f1.Elapsed); ratio < 3 {
+		t.Errorf("AR speedup = %.1fx, want ≥ 3x", ratio)
+	}
+}
+
+func TestARLocationRenderCostScalesWithObjects(t *testing.T) {
+	scene3 := &render.Scene{Objects: []render.Object{
+		{Mesh: render.Cube([3]float64{1, 0, 0}), Transform: render.Translate4(render.Vec3{X: -1, Z: -5})},
+		{Mesh: render.Cube([3]float64{0, 1, 0}), Transform: render.Translate4(render.Vec3{Z: -5})},
+		{Mesh: render.Cube([3]float64{0, 0, 1}), Transform: render.Translate4(render.Vec3{X: 1, Z: -5})},
+	}}
+	env1 := newEnv(workload.Mobile)
+	app1, _ := NewARLocationApp(env1, oneCubeScene(), render.NewRenderer(32, 24), "a", false)
+	env3 := newEnv(workload.Mobile)
+	app3, _ := NewARLocationApp(env3, scene3, render.NewRenderer(32, 24), "a", false)
+	f1, _ := app1.ProcessPose(render.Pose{})
+	f3, _ := app3.ProcessPose(render.Pose{})
+	if f3.Elapsed != 3*f1.Elapsed {
+		t.Errorf("3-object cost %v != 3 × 1-object cost %v", f3.Elapsed, f1.Elapsed)
+	}
+}
+
+func TestARCVSharesRecognitionWithRecognitionApp(t *testing.T) {
+	c, ds := classifier(t)
+	env := newEnv(workload.Mobile)
+	lens, err := NewRecognitionApp(env, c, "lens", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcv, err := NewARCVApp(env, c, nil, render.NewRenderer(32, 24), "ar-cv", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Cache.ForceThreshold(RecognitionFunction, RecognitionKeyType, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	// The lens app populates the recognition cache...
+	if _, err := lens.ProcessFrame(ds.Sample(2, 300).Image); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the AR app's recognition stage hits it (cross-app dedup).
+	res, err := arcv.ProcessFrame(ds.Sample(2, 301).Image, render.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RecognitionHit {
+		t.Error("AR-CV recognition stage missed the lens app's cached result")
+	}
+	if res.Image == nil {
+		t.Error("no overlay rendered")
+	}
+}
+
+func TestARCVRenderKeyedByLabel(t *testing.T) {
+	// Different labels at the same pose must not share overlays: their
+	// keys are ≥ 100 apart.
+	k1 := poseLabelKey(render.Pose{}, 1)
+	k2 := poseLabelKey(render.Pose{}, 2)
+	var dist float64
+	for i := range k1 {
+		d := k1[i] - k2[i]
+		dist += d * d
+	}
+	if dist < 100*100 {
+		t.Errorf("pose-label keys too close: %v", dist)
+	}
+}
+
+func TestFlashBackInAppOnly(t *testing.T) {
+	env := newEnv(workload.Mobile)
+	fb := NewFlashBack(env, oneCubeScene(), render.NewRenderer(32, 24))
+	f0, err := fb.RenderPose(render.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Hit {
+		t.Fatal("first render hit")
+	}
+	// Same quantization cell: hit.
+	f1, err := fb.RenderPose(render.Pose{Yaw: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Hit {
+		t.Error("same-cell pose missed")
+	}
+	// Distant pose: miss (FlashBack has no approximate matching beyond
+	// its quantization grid).
+	f2, err := fb.RenderPose(render.Pose{Yaw: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Hit {
+		t.Error("distant pose hit")
+	}
+	if fb.Len() != 2 {
+		t.Errorf("memo cells = %d, want 2", fb.Len())
+	}
+}
+
+func TestRenderEqual(t *testing.T) {
+	r := render.NewRenderer(32, 24)
+	scene := oneCubeScene()
+	a := cachedRender{frame: r.Render(scene, render.Pose{}), pose: render.Pose{}}
+	b := cachedRender{frame: r.Render(scene, render.Pose{}), pose: render.Pose{}}
+	far := cachedRender{frame: r.Render(scene, render.Pose{Yaw: 1}), pose: render.Pose{Yaw: 1}}
+	eq := RenderEqual(func(x, y any) bool { return x == y })
+	if !eq(a, b) {
+		t.Error("identical renders not equal")
+	}
+	if eq(a, far) {
+		t.Error("distinct renders equal")
+	}
+	if !eq(1, 1) || eq(1, 2) {
+		t.Error("fallback equality broken")
+	}
+	if eq(a, 5) {
+		t.Error("mixed types equal")
+	}
+}

@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/imaging"
+	"repro/internal/render"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// RenderFunction is the shared 3-D rendering function name. Both AR
+// applications invoke it (IKEA Place and indoor navigation "both require
+// 3D graphic rendering ... the rendering logic would be essentially the
+// same", §2.3).
+const RenderFunction = "render3d"
+
+// Pose-derived key types for the render function.
+const (
+	// PoseKeyType keys rendered frames by device orientation + location
+	// (the location-based AR app, §5.5).
+	PoseKeyType = "pose"
+	// PoseLabelKeyType extends the pose with the recognized object
+	// label (the vision-based AR app overlays on detected objects).
+	PoseLabelKeyType = "poselabel"
+)
+
+// ARFrame reports one processed AR frame.
+type ARFrame struct {
+	Image *imaging.RGB
+	// Hit is true when the frame was produced by warping a cached
+	// render instead of re-rendering.
+	Hit     bool
+	Elapsed ElapsedTime
+}
+
+// ARLocationApp is the location-based AR benchmark: it "uses the current
+// 3D orientation of the device and its location to render virtual
+// objects" (§5.1). With Potluck, a cached frame at a similar pose is
+// warped to the current pose instead of re-rendered (§5.5).
+type ARLocationApp struct {
+	Env      *Env
+	Scene    *render.Scene
+	Renderer *render.Renderer
+	UseCache bool
+	App      string
+}
+
+// NewARLocationApp wires the app and registers the render function's
+// pose key type.
+func NewARLocationApp(env *Env, scene *render.Scene, r *render.Renderer, appName string, useCache bool) (*ARLocationApp, error) {
+	if useCache {
+		err := env.Cache.RegisterFunction(RenderFunction, core.KeyTypeSpec{
+			Name:  PoseKeyType,
+			Index: "kdtree",
+			Dim:   6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("apps: register render: %w", err)
+		}
+	}
+	return &ARLocationApp{Env: env, Scene: scene, Renderer: r, UseCache: useCache, App: appName}, nil
+}
+
+// renderCost is the reference cost of a full render of the scene.
+func (a *ARLocationApp) renderCost() time.Duration {
+	objs := len(a.Scene.Objects)
+	if objs == 0 {
+		objs = 1
+	}
+	return time.Duration(objs) * RenderCostPerObject
+}
+
+// ProcessPose produces the frame for a device pose.
+func (a *ARLocationApp) ProcessPose(pose render.Pose) (ARFrame, error) {
+	t := a.Env.StartTimer()
+	// Pose key generation is trivial (sensor values), but motion
+	// estimation for the camera-tracked variant uses FAST (§5.2); charge
+	// the cheap sensor path here.
+	key := pose.Key()
+
+	if a.UseCache {
+		a.Env.Charge(IPCCost)
+		res, err := a.Env.Cache.Lookup(RenderFunction, PoseKeyType, key)
+		if err != nil {
+			return ARFrame{}, err
+		}
+		if res.Hit {
+			cached := res.Value.(cachedRender)
+			a.Env.Charge(WarpCost)
+			warped := render.WarpToPose(cached.frame, cached.pose, pose, a.Renderer.FOV)
+			return ARFrame{Image: warped, Hit: true, Elapsed: ElapsedTime(t.Elapsed())}, nil
+		}
+		frame := a.renderFull(pose)
+		a.Env.Charge(IPCCost)
+		_, err = a.Env.Cache.Put(RenderFunction, core.PutRequest{
+			Keys:     map[string]vec.Vector{PoseKeyType: key},
+			Value:    cachedRender{frame: frame, pose: pose},
+			MissedAt: res.MissedAt,
+			Size:     3 * 8 * frame.W * frame.H,
+			App:      a.App,
+		})
+		if err != nil {
+			return ARFrame{}, err
+		}
+		return ARFrame{Image: frame, Elapsed: ElapsedTime(t.Elapsed())}, nil
+	}
+	frame := a.renderFull(pose)
+	return ARFrame{Image: frame, Elapsed: ElapsedTime(t.Elapsed())}, nil
+}
+
+func (a *ARLocationApp) renderFull(pose render.Pose) *imaging.RGB {
+	a.Env.Charge(a.renderCost())
+	return a.Renderer.Render(a.Scene, pose)
+}
+
+// cachedRender stores a rendered frame with the pose it was rendered at,
+// so hits can estimate the warp transform.
+type cachedRender struct {
+	frame *imaging.RGB
+	pose  render.Pose
+}
+
+// WarpableRadius is the pose distance within which a cached render,
+// after warping, is visually indistinguishable from a fresh render
+// ("there is no need to render a new scene if it is visually
+// indistinguishable ... from a previous one", §2.2). It defines result
+// equality for the threshold tuner: the tuner then converges the
+// similarity threshold toward the radius the warp can actually cover.
+const WarpableRadius = 0.15
+
+// renderValuesEqual compares cached render results for the threshold
+// tuner: two renders are "the same result" when their poses are within
+// the warpable radius, i.e. either frame warps to the other without
+// visible error.
+func renderValuesEqual(a, b any) bool {
+	ca, okA := a.(cachedRender)
+	cb, okB := b.(cachedRender)
+	if !okA || !okB {
+		return false
+	}
+	d := vec.EuclideanMetric{}.Distance(ca.pose.Key(), cb.pose.Key())
+	return d < WarpableRadius
+}
+
+// RenderEqual is the Config.Equal function to install on caches serving
+// AR render entries; it falls back to reflect-style equality for other
+// value types via the default path in core.
+func RenderEqual(fallback func(a, b any) bool) func(a, b any) bool {
+	return func(a, b any) bool {
+		if _, ok := a.(cachedRender); ok {
+			return renderValuesEqual(a, b)
+		}
+		return fallback(a, b)
+	}
+}
+
+// OptimalARFrameTime is the per-pose completion time under optimal
+// deduplication: the IPC hop plus the warp.
+func OptimalARFrameTime(device workload.Device) ElapsedTime {
+	return ElapsedTime(device.CostOn(IPCCost) + device.CostOn(WarpCost))
+}

@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/imaging"
+	"repro/internal/nn"
+	"repro/internal/render"
+	"repro/internal/vec"
+)
+
+// ARCVApp is the vision-based AR benchmark: it "first runs image
+// recognition on the current frame in the camera view, and then renders
+// virtual objects overlaid on the detected physical objects" (§5.1). Its
+// recognition stage invokes the same RecognitionFunction as the
+// recognition app — the cross-application deduplication path — and its
+// rendering stage caches overlay renders keyed by pose and label.
+type ARCVApp struct {
+	Env        *Env
+	Classifier *nn.Classifier
+	Scene      *render.Scene
+	Renderer   *render.Renderer
+	UseCache   bool
+	App        string
+
+	extractor feature.Extractor
+}
+
+// NewARCVApp wires the app and registers both functions it uses.
+func NewARCVApp(env *Env, clf *nn.Classifier, scene *render.Scene, r *render.Renderer, appName string, useCache bool) (*ARCVApp, error) {
+	ext, err := feature.ByName(RecognitionKeyType)
+	if err != nil {
+		return nil, err
+	}
+	if useCache {
+		if err := env.Cache.RegisterFunction(RecognitionFunction, core.KeyTypeSpec{
+			Name:  RecognitionKeyType,
+			Index: "kdtree",
+			Dim:   feature.DownsampleDims,
+		}); err != nil {
+			return nil, fmt.Errorf("apps: register recognition: %w", err)
+		}
+		if err := env.Cache.RegisterFunction(RenderFunction, core.KeyTypeSpec{
+			Name:  PoseLabelKeyType,
+			Index: "kdtree",
+			Dim:   7,
+		}); err != nil {
+			return nil, fmt.Errorf("apps: register render: %w", err)
+		}
+	}
+	return &ARCVApp{
+		Env: env, Classifier: clf, Scene: scene, Renderer: r,
+		UseCache: useCache, App: appName, extractor: ext,
+	}, nil
+}
+
+// ARCVResult reports one processed frame of the vision-based AR app.
+type ARCVResult struct {
+	Label          int
+	Image          *imaging.RGB
+	RecognitionHit bool
+	RenderHit      bool
+	Elapsed        ElapsedTime
+}
+
+// poseLabelKey extends a pose key with the recognized label, scaled so a
+// label change dominates any pose similarity (different objects must not
+// share overlays).
+func poseLabelKey(pose render.Pose, label int) vec.Vector {
+	return append(pose.Key(), float64(label)*100)
+}
+
+// ProcessFrame runs recognition then overlay rendering for one camera
+// frame at the given device pose.
+func (a *ARCVApp) ProcessFrame(img *imaging.RGB, pose render.Pose) (ARCVResult, error) {
+	t := a.Env.StartTimer()
+	out := ARCVResult{}
+
+	// Stage 1: object recognition (shared with RecognitionApp).
+	a.Env.Charge(DownsampCost)
+	key := a.extractor.Extract(img).Key
+	if a.UseCache {
+		a.Env.Charge(IPCCost)
+		res, err := a.Env.Cache.Lookup(RecognitionFunction, RecognitionKeyType, key)
+		if err != nil {
+			return out, err
+		}
+		if res.Hit {
+			out.Label = res.Value.(int)
+			out.RecognitionHit = true
+		} else {
+			a.Env.Charge(RecognitionCost)
+			out.Label, _ = a.Classifier.Classify(img)
+			a.Env.Charge(IPCCost)
+			if _, err := a.Env.Cache.Put(RecognitionFunction, core.PutRequest{
+				Keys:     map[string]vec.Vector{RecognitionKeyType: key},
+				Value:    out.Label,
+				MissedAt: res.MissedAt,
+				App:      a.App,
+			}); err != nil {
+				return out, err
+			}
+		}
+	} else {
+		a.Env.Charge(RecognitionCost)
+		out.Label, _ = a.Classifier.Classify(img)
+	}
+
+	// Stage 2: overlay rendering keyed by (pose, label).
+	rkey := poseLabelKey(pose, out.Label)
+	renderCost := RenderCostPerObject // one overlay object per detection
+	if a.UseCache {
+		a.Env.Charge(IPCCost)
+		res, err := a.Env.Cache.Lookup(RenderFunction, PoseLabelKeyType, rkey)
+		if err != nil {
+			return out, err
+		}
+		if res.Hit {
+			cached := res.Value.(cachedRender)
+			a.Env.Charge(WarpCost)
+			out.Image = render.WarpToPose(cached.frame, cached.pose, pose, a.Renderer.FOV)
+			out.RenderHit = true
+			out.Elapsed = ElapsedTime(t.Elapsed())
+			return out, nil
+		}
+		a.Env.Charge(renderCost)
+		frame := a.Renderer.Render(a.overlayScene(out.Label), pose)
+		a.Env.Charge(IPCCost)
+		if _, err := a.Env.Cache.Put(RenderFunction, core.PutRequest{
+			Keys:     map[string]vec.Vector{PoseLabelKeyType: rkey},
+			Value:    cachedRender{frame: frame, pose: pose},
+			MissedAt: res.MissedAt,
+			Size:     3 * 8 * frame.W * frame.H,
+			App:      a.App,
+		}); err != nil {
+			return out, err
+		}
+		out.Image = frame
+		out.Elapsed = ElapsedTime(t.Elapsed())
+		return out, nil
+	}
+	a.Env.Charge(renderCost)
+	out.Image = a.Renderer.Render(a.overlayScene(out.Label), pose)
+	out.Elapsed = ElapsedTime(t.Elapsed())
+	return out, nil
+}
+
+// overlayScene picks the overlay for a recognized label: a single object
+// whose color identifies the class.
+func (a *ARCVApp) overlayScene(label int) *render.Scene {
+	if a.Scene != nil {
+		return a.Scene
+	}
+	hue := float64(label) / 10
+	color := [3]float64{0.4 + 0.6*hue, 0.5, 1 - 0.6*hue}
+	return &render.Scene{Objects: []render.Object{{
+		Mesh:      render.Pyramid(color),
+		Transform: render.Translate4(render.Vec3{X: 0, Y: -0.5, Z: -4}),
+	}}}
+}

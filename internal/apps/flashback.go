@@ -1,0 +1,69 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/imaging"
+	"repro/internal/render"
+)
+
+// FlashBack emulates the comparator system of §5.6 (paper citation
+// [14]): a pre-rendering memoization scheme for VR. Its benefit "only
+// extends to in-app result reuse for only the rendering portion" — it
+// never shares across applications and does nothing for the recognition
+// stage. The emulation quantizes the pose and memoizes rendered frames
+// per application, matching "precomputing all possible input
+// combinations and simply looking up the corresponding results".
+type FlashBack struct {
+	Env      *Env
+	Scene    *render.Scene
+	Renderer *render.Renderer
+	// Quantum is the pose-quantization step (radians / units); poses in
+	// the same cell reuse the same pre-rendered frame. Default 0.1.
+	Quantum float64
+
+	memo map[string]*imaging.RGB
+}
+
+// NewFlashBack returns an emulated FlashBack renderer.
+func NewFlashBack(env *Env, scene *render.Scene, r *render.Renderer) *FlashBack {
+	return &FlashBack{Env: env, Scene: scene, Renderer: r, Quantum: 0.1, memo: make(map[string]*imaging.RGB)}
+}
+
+// quantize maps a pose to its grid cell.
+func (f *FlashBack) quantize(p render.Pose) string {
+	q := f.Quantum
+	if q <= 0 {
+		q = 0.1
+	}
+	cell := func(v float64) int { return int(math.Round(v / q)) }
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d",
+		cell(p.Yaw), cell(p.Pitch), cell(p.Roll),
+		cell(p.Pos.X), cell(p.Pos.Y), cell(p.Pos.Z))
+}
+
+// RenderPose returns the frame for a pose, reusing the pre-rendered
+// frame of the pose's quantization cell when present.
+func (f *FlashBack) RenderPose(pose render.Pose) (ARFrame, error) {
+	t := f.Env.StartTimer()
+	key := f.quantize(pose)
+	if frame, ok := f.memo[key]; ok {
+		// An in-app memory lookup: no IPC hop, just the (cheap) fetch
+		// and the display-adjust warp FlashBack performs.
+		f.Env.Charge(WarpCost)
+		return ARFrame{Image: frame, Hit: true, Elapsed: ElapsedTime(t.Elapsed())}, nil
+	}
+	objs := len(f.Scene.Objects)
+	if objs == 0 {
+		objs = 1
+	}
+	f.Env.Charge(time.Duration(objs) * RenderCostPerObject)
+	frame := f.Renderer.Render(f.Scene, pose)
+	f.memo[key] = frame
+	return ARFrame{Image: frame, Elapsed: ElapsedTime(t.Elapsed())}, nil
+}
+
+// Len reports the number of memoized cells.
+func (f *FlashBack) Len() int { return len(f.memo) }

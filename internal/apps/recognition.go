@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/imaging"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// RecognitionFunction is the shared object-recognition function name.
+// Both the recognition app and the vision-based AR app invoke it, which
+// is what makes their results deduplicable across applications ("AR
+// applications can share essential recognition functions with image
+// recognition apps", §2.3).
+const RecognitionFunction = "objectRecognition"
+
+// RecognitionKeyType is the key type used for recognition lookups: the
+// down-sampled raw image, the paper's choice "for the deep learning
+// based image recognition app" (§5.2).
+const RecognitionKeyType = "downsamp"
+
+// FrameResult reports one processed frame.
+type FrameResult struct {
+	Label int
+	// Hit is true when the result came from the cache.
+	Hit bool
+	// Elapsed is the virtual completion time of the frame.
+	Elapsed ElapsedTime
+}
+
+// RecognitionApp is the deep-learning image recognition benchmark: it
+// "includes pre-trained models and performs deep-learning based
+// inference using the AlexNet neural network" (§5.1), with Potluck
+// deduplication in front when UseCache is set.
+type RecognitionApp struct {
+	Env *Env
+	// Classifier is the expensive recognizer invoked on cache misses.
+	Classifier *nn.Classifier
+	// UseCache disables deduplication when false (the "without Potluck"
+	// baselines).
+	UseCache bool
+	// App is the application name attached to cache entries.
+	App string
+
+	extractor feature.Extractor
+}
+
+// NewRecognitionApp wires a recognition app to the environment and
+// registers its function and key type.
+func NewRecognitionApp(env *Env, clf *nn.Classifier, appName string, useCache bool) (*RecognitionApp, error) {
+	ext, err := feature.ByName(RecognitionKeyType)
+	if err != nil {
+		return nil, err
+	}
+	if useCache {
+		err := env.Cache.RegisterFunction(RecognitionFunction, core.KeyTypeSpec{
+			Name:  RecognitionKeyType,
+			Index: "kdtree",
+			Dim:   feature.DownsampleDims,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("apps: register recognition: %w", err)
+		}
+	}
+	return &RecognitionApp{
+		Env: env, Classifier: clf, UseCache: useCache, App: appName,
+		extractor: ext,
+	}, nil
+}
+
+// ProcessFrame runs the Figure 3 Google Lens pipeline on one frame:
+// key generation, cache lookup, recognition on miss, and the
+// fetch-information stage.
+func (a *RecognitionApp) ProcessFrame(img *imaging.RGB) (FrameResult, error) {
+	t := a.Env.StartTimer()
+	// Key generation always runs: fuzzy matching needs the actual input.
+	a.Env.Charge(DownsampCost)
+	key := a.extractor.Extract(img).Key
+
+	if a.UseCache {
+		a.Env.Charge(IPCCost)
+		res, err := a.Env.Cache.Lookup(RecognitionFunction, RecognitionKeyType, key)
+		if err != nil {
+			return FrameResult{}, err
+		}
+		if res.Hit {
+			a.Env.Charge(FetchInfoCost)
+			return FrameResult{Label: res.Value.(int), Hit: true, Elapsed: ElapsedTime(t.Elapsed())}, nil
+		}
+		label := a.recognize(img)
+		a.Env.Charge(IPCCost)
+		_, err = a.Env.Cache.Put(RecognitionFunction, core.PutRequest{
+			Keys:     map[string]vec.Vector{RecognitionKeyType: key},
+			Value:    label,
+			MissedAt: res.MissedAt,
+			App:      a.App,
+		})
+		if err != nil {
+			return FrameResult{}, err
+		}
+		a.Env.Charge(FetchInfoCost)
+		return FrameResult{Label: label, Elapsed: ElapsedTime(t.Elapsed())}, nil
+	}
+
+	label := a.recognize(img)
+	a.Env.Charge(FetchInfoCost)
+	return FrameResult{Label: label, Elapsed: ElapsedTime(t.Elapsed())}, nil
+}
+
+// recognize charges the inference cost and actually classifies.
+func (a *RecognitionApp) recognize(img *imaging.RGB) int {
+	a.Env.Charge(RecognitionCost)
+	label, _ := a.Classifier.Classify(img)
+	return label
+}
+
+// TrainDefaultClassifier builds the benchmark classifier over a
+// CIFAR-like generator: nPerClass training variants per class.
+func TrainDefaultClassifier(ds *synth.CIFARLike, nPerClass int, seed int64) (*nn.Classifier, error) {
+	var imgs []*imaging.RGB
+	var labels []int
+	for c := 0; c < ds.Classes; c++ {
+		for v := 0; v < nPerClass; v++ {
+			s := ds.Sample(c, v)
+			imgs = append(imgs, s.Image)
+			labels = append(labels, s.Label)
+		}
+	}
+	return nn.Train(nn.NewTinyAlexNet(seed), imgs, labels, ds.Classes)
+}
+
+// OptimalFrameTime is the per-frame completion time under the paper's
+// "optimal deduplication" (§5.5): every lookup hits with the right
+// result, so only key generation, the IPC hop, and the fetch stage
+// remain.
+func OptimalFrameTime(device workload.Device) ElapsedTime {
+	return ElapsedTime(device.CostOn(DownsampCost) + device.CostOn(IPCCost) + device.CostOn(FetchInfoCost))
+}

@@ -1,0 +1,28 @@
+package audio
+
+import "testing"
+
+// BenchmarkFFT measures a 512-point transform, the MFCC inner loop.
+func BenchmarkFFT(b *testing.B) {
+	x := make([]complex128, 512)
+	for i := range x {
+		x[i] = complex(float64(i%17)/17, 0)
+	}
+	buf := make([]complex128, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
+// BenchmarkMFCC measures key generation for a one-second clip — the
+// audio analogue of Table 1.
+func BenchmarkMFCC(b *testing.B) {
+	gen := NewAmbientScene(1)
+	clip, _ := gen.Sample(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MFCC(clip, MFCCConfig{})
+	}
+}

@@ -1,0 +1,183 @@
+package audio
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func TestToneProperties(t *testing.T) {
+	s := Tone(16000, 0.5, 440, 0.8)
+	if s.Rate != 16000 || len(s.Samples) != 8000 {
+		t.Fatalf("tone: rate=%d len=%d", s.Rate, len(s.Samples))
+	}
+	if math.Abs(s.Duration()-0.5) > 1e-9 {
+		t.Errorf("duration = %v", s.Duration())
+	}
+	var peak float64
+	for _, v := range s.Samples {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak > 0.8+1e-9 || peak < 0.7 {
+		t.Errorf("peak amplitude = %v, want ≈ 0.8", peak)
+	}
+}
+
+func TestMixZeroPads(t *testing.T) {
+	a := Tone(100, 1, 10, 0.5)
+	b := Tone(100, 0.5, 10, 0.5)
+	m := Mix(a, b)
+	if len(m.Samples) != 100 {
+		t.Fatalf("mix len = %d", len(m.Samples))
+	}
+	if Mix().Rate != 1 {
+		t.Error("empty mix")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The FFT of an impulse is flat.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSinePeak(t *testing.T) {
+	// A sine at bin frequency concentrates its energy in that bin.
+	const n = 256
+	const bin = 17
+	frame := make([]float64, n)
+	for i := range frame {
+		frame[i] = math.Sin(2 * math.Pi * bin * float64(i) / n)
+	}
+	spec := PowerSpectrum(frame)
+	best := 0
+	for k, v := range spec {
+		if v > spec[best] {
+			best = k
+		}
+	}
+	if best != bin {
+		t.Errorf("peak at bin %d, want %d", best, bin)
+	}
+}
+
+func TestFFTNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length-6 FFT did not panic")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+// Property: Parseval's theorem — time-domain energy equals
+// frequency-domain energy / N.
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		x := make([]complex128, n)
+		var timeE float64
+		for i := range x {
+			v := rng.NormFloat64()
+			x[i] = complex(v, 0)
+			timeE += v * v
+		}
+		FFT(x)
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(timeE-freqE/n) < 1e-9*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMFCCFixedLengthAndDeterministic(t *testing.T) {
+	s := Tone(16000, 1, 440, 0.5)
+	k1 := MFCC(s, MFCCConfig{})
+	k2 := MFCC(s, MFCCConfig{})
+	if len(k1) != 26 {
+		t.Fatalf("key dims = %d, want 26 (13 means + 13 stds)", len(k1))
+	}
+	if (vec.EuclideanMetric{}).Distance(k1, k2) != 0 {
+		t.Error("MFCC not deterministic")
+	}
+	// Clip length does not change key length.
+	long := Tone(16000, 2, 440, 0.5)
+	if len(MFCC(long, MFCCConfig{})) != len(k1) {
+		t.Error("key length varies with clip length")
+	}
+	// Too-short clips yield the zero key, not a panic.
+	short := &Signal{Rate: 16000, Samples: make([]float64, 10)}
+	if k := MFCC(short, MFCCConfig{}); len(k) != 26 {
+		t.Errorf("short clip key dims = %d", len(k))
+	}
+}
+
+func TestMFCCDistinguishesSpectra(t *testing.T) {
+	m := vec.EuclideanMetric{}
+	low := MFCC(Tone(16000, 1, 200, 0.5), MFCCConfig{})
+	low2 := MFCC(Tone(16000, 1, 210, 0.5), MFCCConfig{})
+	high := MFCC(Tone(16000, 1, 4000, 0.5), MFCCConfig{})
+	if m.Distance(low, low2) >= m.Distance(low, high) {
+		t.Errorf("MFCC cannot separate 200Hz/4kHz: near %.3f far %.3f",
+			m.Distance(low, low2), m.Distance(low, high))
+	}
+}
+
+// TestAmbientSceneClassStructure is the dedup premise for audio: MFCC
+// keys cluster by ambient class.
+func TestAmbientSceneClassStructure(t *testing.T) {
+	gen := NewAmbientScene(3)
+	m := vec.EuclideanMetric{}
+	var intra, inter []float64
+	for class := 0; class < gen.Classes; class++ {
+		ref, label := gen.Sample(class, 0)
+		if label != class {
+			t.Fatalf("label = %d, want %d", label, class)
+		}
+		refKey := MFCC(ref, MFCCConfig{})
+		for v := 1; v <= 2; v++ {
+			s, _ := gen.Sample(class, v)
+			intra = append(intra, m.Distance(refKey, MFCC(s, MFCCConfig{})))
+		}
+		other, _ := gen.Sample(class+1, 0)
+		inter = append(inter, m.Distance(refKey, MFCC(other, MFCCConfig{})))
+	}
+	meanOf := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if meanOf(intra) >= meanOf(inter) {
+		t.Errorf("intra %.3f >= inter %.3f", meanOf(intra), meanOf(inter))
+	}
+}
+
+func TestAmbientSceneDeterministic(t *testing.T) {
+	gen := NewAmbientScene(9)
+	a, _ := gen.Sample(2, 5)
+	b, _ := gen.Sample(2, 5)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("samples differ for identical (class, variant)")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package audio
+
+import "math"
+
+// FFT computes the in-place radix-2 Cooley-Tukey fast Fourier transform
+// of x. The length must be a power of two; FFT panics otherwise (callers
+// control framing).
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("audio: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// PowerSpectrum returns the one-sided power spectrum of a real frame
+// (length a power of two): n/2+1 bins of |X(k)|².
+func PowerSpectrum(frame []float64) []float64 {
+	n := len(frame)
+	buf := make([]complex128, n)
+	for i, v := range frame {
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	out := make([]float64, n/2+1)
+	for k := range out {
+		re, im := real(buf[k]), imag(buf[k])
+		out[k] = re*re + im*im
+	}
+	return out
+}
+
+// hannWindow returns the length-n Hann window.
+func hannWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}

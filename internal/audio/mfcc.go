@@ -1,0 +1,166 @@
+package audio
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// MFCCConfig parameterizes the Mel-frequency cepstral coefficient
+// extractor (paper citation [38]; §4.2 names MFCC as the custom key
+// developers would register for audio input).
+type MFCCConfig struct {
+	// FrameSize is the analysis window in samples (power of two,
+	// default 512).
+	FrameSize int
+	// Hop is the frame step (default FrameSize/2).
+	Hop int
+	// MelFilters is the filterbank size (default 26).
+	MelFilters int
+	// Coefficients is the number of cepstral coefficients kept
+	// (default 13).
+	Coefficients int
+}
+
+func (c MFCCConfig) withDefaults() MFCCConfig {
+	if c.FrameSize <= 0 {
+		c.FrameSize = 512
+	}
+	if c.Hop <= 0 {
+		c.Hop = c.FrameSize / 2
+	}
+	if c.MelFilters <= 0 {
+		c.MelFilters = 26
+	}
+	if c.Coefficients <= 0 {
+		c.Coefficients = 13
+	}
+	return c
+}
+
+// MFCC computes a fixed-length cache key from a signal: the per-
+// coefficient mean and standard deviation of the MFCCs over all frames
+// (2 × Coefficients dimensions). Aggregating over frames makes clips of
+// any length comparable under one metric, exactly as the image features
+// aggregate keypoints.
+func MFCC(s *Signal, cfg MFCCConfig) vec.Vector {
+	cfg = cfg.withDefaults()
+	coefsPerFrame := mfccFrames(s, cfg)
+	dims := cfg.Coefficients
+	out := make(vec.Vector, 2*dims)
+	if len(coefsPerFrame) == 0 {
+		return out
+	}
+	for _, fr := range coefsPerFrame {
+		for i := 0; i < dims; i++ {
+			out[i] += fr[i]
+		}
+	}
+	n := float64(len(coefsPerFrame))
+	for i := 0; i < dims; i++ {
+		out[i] /= n
+	}
+	for _, fr := range coefsPerFrame {
+		for i := 0; i < dims; i++ {
+			d := fr[i] - out[i]
+			out[dims+i] += d * d
+		}
+	}
+	for i := 0; i < dims; i++ {
+		out[dims+i] = math.Sqrt(out[dims+i] / n)
+	}
+	return out
+}
+
+// mfccFrames computes the MFCC vector of every frame.
+func mfccFrames(s *Signal, cfg MFCCConfig) [][]float64 {
+	if len(s.Samples) < cfg.FrameSize || s.Rate <= 0 {
+		return nil
+	}
+	window := hannWindow(cfg.FrameSize)
+	filters := melFilterbank(cfg.MelFilters, cfg.FrameSize, s.Rate)
+	var out [][]float64
+	frame := make([]float64, cfg.FrameSize)
+	for start := 0; start+cfg.FrameSize <= len(s.Samples); start += cfg.Hop {
+		for i := range frame {
+			frame[i] = s.Samples[start+i] * window[i]
+		}
+		spec := PowerSpectrum(frame)
+		// Mel filterbank energies, log-compressed.
+		logE := make([]float64, cfg.MelFilters)
+		for f, filt := range filters {
+			var e float64
+			for _, tap := range filt {
+				e += spec[tap.bin] * tap.weight
+			}
+			logE[f] = math.Log(e + 1e-10)
+		}
+		out = append(out, dctII(logE, cfg.Coefficients))
+	}
+	return out
+}
+
+// melScale converts Hz to mel.
+func melScale(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// melInverse converts mel to Hz.
+func melInverse(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+type filterTap struct {
+	bin    int
+	weight float64
+}
+
+// melFilterbank builds nFilters triangular filters over the one-sided
+// spectrum of frameSize-point frames at the given sample rate.
+func melFilterbank(nFilters, frameSize, rate int) [][]filterTap {
+	nBins := frameSize/2 + 1
+	maxMel := melScale(float64(rate) / 2)
+	centers := make([]float64, nFilters+2) // in bins, including edges
+	for i := range centers {
+		mel := maxMel * float64(i) / float64(nFilters+1)
+		hz := melInverse(mel)
+		centers[i] = hz / float64(rate) * float64(frameSize)
+	}
+	filters := make([][]filterTap, nFilters)
+	for f := 0; f < nFilters; f++ {
+		lo, mid, hi := centers[f], centers[f+1], centers[f+2]
+		for b := int(lo); b <= int(hi) && b < nBins; b++ {
+			fb := float64(b)
+			var w float64
+			switch {
+			case fb < lo || fb > hi:
+				continue
+			case fb <= mid:
+				if mid > lo {
+					w = (fb - lo) / (mid - lo)
+				}
+			default:
+				if hi > mid {
+					w = (hi - fb) / (hi - mid)
+				}
+			}
+			if w > 0 {
+				filters[f] = append(filters[f], filterTap{bin: b, weight: w})
+			}
+		}
+	}
+	return filters
+}
+
+// dctII computes the first k coefficients of the DCT-II of x.
+func dctII(x []float64, k int) []float64 {
+	n := len(x)
+	if k > n {
+		k = n
+	}
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		var sum float64
+		for i, v := range x {
+			sum += v * math.Cos(math.Pi*float64(c)*(float64(i)+0.5)/float64(n))
+		}
+		out[c] = sum
+	}
+	return out
+}

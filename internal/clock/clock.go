@@ -1,0 +1,121 @@
+// Package clock abstracts time for the Potluck cache and its experiment
+// harness. The paper's evaluation replays request sequences whose
+// simulated computations cost up to ten seconds each (§5.3); running them
+// against a virtual clock reproduces the arithmetic of the paper's
+// metrics in milliseconds of wall time, deterministically.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timers. The cache uses it for entry
+// expiry and cost accounting; experiments inject a Virtual clock.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep advances this clock by d. On the real clock it blocks; on a
+	// virtual clock it advances instantly.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a deterministic, manually-advanced clock. The zero value is
+// not ready for use; construct with NewVirtual. Virtual is safe for
+// concurrent use.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+}
+
+// NewVirtual returns a virtual clock starting at the given time. A common
+// convention in tests is clock.NewVirtual(time.Unix(0, 0)).
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock by advancing the clock; it never blocks.
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
+
+// After implements Clock. The returned channel fires when the virtual
+// clock is advanced past the deadline.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := v.now.Add(d)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	heap.Push(&v.timers, &timer{at: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing any timers whose deadlines
+// are reached. Negative durations are ignored.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = v.now.Add(d)
+	for len(v.timers) > 0 && !v.timers[0].at.After(v.now) {
+		t := heap.Pop(&v.timers).(*timer)
+		t.ch <- v.now
+	}
+}
+
+// Set moves the clock to the given instant, which must not be earlier
+// than the current time; earlier instants are ignored.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	d := t.Sub(v.now)
+	v.mu.Unlock()
+	v.Advance(d)
+}
+
+type timer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,138 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	c := Real{}
+	t1 := c.Now()
+	c.Sleep(time.Millisecond)
+	t2 := c.Now()
+	if !t2.After(t1) {
+		t.Errorf("real clock did not advance: %v !> %v", t2, t1)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now = %v, want %v", got, start)
+	}
+	v.Advance(5 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Errorf("after Advance: %v", got)
+	}
+	v.Advance(-time.Second) // ignored
+	if got := v.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Errorf("negative Advance changed time: %v", got)
+	}
+}
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Hour) // must not block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("virtual Sleep blocked")
+	}
+	if got := v.Now(); !got.Equal(time.Unix(3600, 0)) {
+		t.Errorf("Sleep advanced to %v", got)
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch1 := v.After(time.Second)
+	ch2 := v.After(2 * time.Second)
+
+	v.Advance(500 * time.Millisecond)
+	select {
+	case <-ch1:
+		t.Fatal("timer fired early")
+	default:
+	}
+
+	v.Advance(600 * time.Millisecond) // now at 1.1s
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("ch1 did not fire at deadline")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("ch2 fired early")
+	default:
+	}
+
+	v.Advance(time.Second) // 2.1s
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("ch2 did not fire")
+	}
+}
+
+func TestVirtualAfterZeroFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.Set(time.Unix(100, 0))
+	if got := v.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Errorf("Set: now = %v", got)
+	}
+	v.Set(time.Unix(50, 0)) // earlier: ignored
+	if got := v.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Errorf("Set backwards changed time: %v", got)
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(8 * 1000 * time.Millisecond)
+	if got := v.Now(); !got.Equal(want) {
+		t.Errorf("concurrent Advance: now = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualManyTimers(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var chans []<-chan time.Time
+	for i := 10; i >= 1; i-- {
+		chans = append(chans, v.After(time.Duration(i)*time.Second))
+	}
+	v.Advance(11 * time.Second)
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		default:
+			t.Errorf("timer %d did not fire", i)
+		}
+	}
+}

@@ -1,0 +1,734 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// Common errors returned by the cache.
+var (
+	// ErrUnknownFunction is returned when an operation names a function
+	// that has not been registered.
+	ErrUnknownFunction = errors.New("core: unknown function")
+	// ErrUnknownKeyType is returned when an operation names a key type
+	// that has not been registered for the function.
+	ErrUnknownKeyType = errors.New("core: unknown key type")
+	// ErrNoKey is returned by Put when no key could be produced for any
+	// of the function's key types.
+	ErrNoKey = errors.New("core: no key available for any registered key type")
+	// ErrAppBarred is returned by Put when the reputation system has
+	// barred the calling application for polluting the cache.
+	ErrAppBarred = errors.New("core: application barred by reputation system")
+)
+
+// DefaultTTL is the paper's default entry validity period ("the timeout
+// is currently set to be an hour", §3.6).
+const DefaultTTL = time.Hour
+
+// DefaultDropoutRate is the paper's random-dropout probability ("currently
+// set to 0.1", §3.4).
+const DefaultDropoutRate = 0.1
+
+// Extractor converts a raw input (image, pose, audio segment, ...) into a
+// feature-vector key. Applications may register custom extractors per key
+// type (§4.2 "Support for custom key definition and matching").
+type Extractor func(raw any) (vec.Vector, error)
+
+// KeyTypeSpec describes one key type for a function: how keys are
+// produced, compared, and indexed (§3.7).
+type KeyTypeSpec struct {
+	// Name identifies the key type, e.g. "colorhist" or "pose".
+	Name string
+	// Metric is the distance used by this key type's index. Defaults to
+	// Euclidean.
+	Metric vec.Metric
+	// Index selects the index structure. Defaults to KD-tree.
+	Index index.Kind
+	// Dim is the expected key dimensionality (used to size LSH
+	// projections; 0 lets the index learn it from the first insert).
+	Dim int
+	// Extract, when non-nil, derives this key type's key from the raw
+	// input carried by a Put, enabling cross-key-type propagation
+	// (§3.7 "Cache insertion"). Key types without an extractor only
+	// receive entries whose Put supplies the key explicitly.
+	Extract Extractor
+}
+
+func (s KeyTypeSpec) withDefaults() KeyTypeSpec {
+	if s.Metric == nil {
+		s.Metric = vec.EuclideanMetric{}
+	}
+	if s.Index == "" {
+		s.Index = index.KindKDTree
+	}
+	return s
+}
+
+// Config configures a Cache. The zero value gives the paper's defaults:
+// unlimited capacity, 1-hour TTL, 0.1 dropout, importance eviction,
+// Algorithm 1 with k=4, γ=0.8, z=100.
+type Config struct {
+	// Clock supplies time; defaults to the real clock. Experiments
+	// inject a virtual clock.
+	Clock clock.Clock
+	// MaxEntries bounds the number of cached values (0 = unlimited).
+	MaxEntries int
+	// MaxBytes bounds the total entry size in bytes (0 = unlimited).
+	MaxBytes int64
+	// DefaultTTL is the validity period applied when a Put does not
+	// specify one. Defaults to one hour.
+	DefaultTTL time.Duration
+	// DropoutRate is the probability that a lookup skips the cache
+	// (§3.4). Defaults to 0.1; set DisableDropout for exactly zero.
+	DropoutRate float64
+	// DisableDropout turns off the random-dropout mechanism entirely.
+	DisableDropout bool
+	// Policy selects the replacement strategy; defaults to importance.
+	Policy PolicyKind
+	// Tuner configures Algorithm 1 (zero fields take paper defaults).
+	Tuner TunerConfig
+	// Seed makes dropout and random eviction deterministic.
+	Seed int64
+	// Equal compares cached values for the threshold tuner. Defaults to
+	// reflect.DeepEqual.
+	Equal func(a, b any) bool
+	// LookupK is the k of the threshold-restricted k-nearest-neighbour
+	// query (§3.4). The default 1 returns the nearest within-threshold
+	// entry — the paper's choice ("this value provides the fastest
+	// lookup time without sacrificing quality"). With k > 1, the
+	// within-threshold neighbours vote by value equality and the
+	// majority's closest representative is returned.
+	LookupK int
+	// Reputation enables the Credence-style reputation defence against
+	// cache pollution (§3.5); nil disables it.
+	Reputation *ReputationConfig
+}
+
+// Cache is the Potluck deduplication cache. Entries are organized first
+// by function, then by key type, then by key (§4.2, Figure 5). Cache is
+// safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	cfg    Config
+	clk    clock.Clock
+	policy Policy
+	rng    *rand.Rand
+	equal  func(a, b any) bool
+
+	nextID  ID
+	entries map[ID]*Entry
+	funcs   map[string]*functionCache
+	expiry  expiryHeap
+	bytes   int64
+	stats   Stats
+	rep     *Reputation
+}
+
+type functionCache struct {
+	name     string
+	keyTypes map[string]*keyIndex
+	order    []string // registration order, for deterministic iteration
+}
+
+type keyIndex struct {
+	spec    KeyTypeSpec
+	idx     index.Index
+	tuner   *Tuner
+	members map[ID]vec.Vector
+}
+
+// New constructs a cache from cfg. Invalid policy kinds panic; use
+// NewPolicy to validate user input first.
+func New(cfg Config) *Cache {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = DefaultTTL
+	}
+	if cfg.DropoutRate <= 0 && !cfg.DisableDropout {
+		cfg.DropoutRate = DefaultDropoutRate
+	}
+	if cfg.DisableDropout {
+		cfg.DropoutRate = 0
+	}
+	if cfg.Equal == nil {
+		cfg.Equal = func(a, b any) bool { return reflect.DeepEqual(a, b) }
+	}
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		policy:  pol,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		equal:   cfg.Equal,
+		entries: make(map[ID]*Entry),
+		funcs:   make(map[string]*functionCache),
+	}
+	if cfg.Reputation != nil {
+		c.rep = NewReputation(*cfg.Reputation)
+	}
+	return c
+}
+
+// RegisterFunction registers a function and its key types, creating one
+// index per key type (§3.7). Registering an existing function adds any
+// new key types and resets the thresholds of all its tuners, matching
+// register()'s contract ("It also resets the input similarity
+// threshold", §4.3). At least one key type is required.
+func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
+	if fn == "" {
+		return errors.New("core: empty function name")
+	}
+	if len(keyTypes) == 0 {
+		return errors.New("core: at least one key type is required")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc := c.funcs[fn]
+	if fc == nil {
+		fc = &functionCache{name: fn, keyTypes: make(map[string]*keyIndex)}
+		c.funcs[fn] = fc
+	}
+	for _, spec := range keyTypes {
+		spec = spec.withDefaults()
+		if spec.Name == "" {
+			return errors.New("core: key type with empty name")
+		}
+		if _, exists := fc.keyTypes[spec.Name]; exists {
+			continue
+		}
+		idx, err := index.New(spec.Index, spec.Metric, spec.Dim)
+		if err != nil {
+			return fmt.Errorf("core: key type %q: %w", spec.Name, err)
+		}
+		fc.keyTypes[spec.Name] = &keyIndex{
+			spec:    spec,
+			idx:     idx,
+			tuner:   NewTuner(c.cfg.Tuner),
+			members: make(map[ID]vec.Vector),
+		}
+		fc.order = append(fc.order, spec.Name)
+	}
+	for _, ki := range fc.keyTypes {
+		ki.tuner.Reset()
+	}
+	return nil
+}
+
+// Functions returns the registered function names.
+func (c *Cache) Functions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.funcs))
+	for fn := range c.funcs {
+		out = append(out, fn)
+	}
+	return out
+}
+
+// LookupResult reports the outcome of a cache lookup.
+type LookupResult struct {
+	// Hit is true when a cached value within the similarity threshold
+	// was found.
+	Hit bool
+	// Dropout is true when the random-dropout mechanism skipped the
+	// cache (the lookup is reported as a miss without querying, §3.4).
+	Dropout bool
+	// Value is the cached result (nil on miss).
+	Value any
+	// Distance is the distance to the nearest neighbour examined, or -1
+	// if the index was empty or the query dropped out.
+	Distance float64
+	// Threshold is the similarity threshold in force at lookup time.
+	Threshold float64
+	// Entry is a snapshot of the hit entry (zero on miss).
+	Entry Entry
+	// MissedAt records the clock time of a miss so the subsequent Put
+	// can compute the computation overhead (§3.3: "the elapsed time
+	// between the lookup() miss and the put() operation").
+	MissedAt time.Time
+}
+
+// Lookup queries the cache for fn's result keyed by key under keyType
+// (§3.4). On a hit the entry's access frequency — and therefore its
+// importance — is updated. Lookup errors only for unregistered
+// functions or key types.
+func (c *Cache) Lookup(fn, keyType string, key vec.Vector) (LookupResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clk.Now()
+	c.purgeExpiredLocked(now)
+	ki, err := c.keyIndexLocked(fn, keyType)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	res := LookupResult{Distance: -1, Threshold: ki.tuner.Threshold(), MissedAt: now}
+	if c.cfg.DropoutRate > 0 && c.rng.Float64() < c.cfg.DropoutRate {
+		c.stats.Dropouts++
+		c.stats.Misses++
+		res.Dropout = true
+		return res, nil
+	}
+	// Threshold-restricted k-nearest-neighbour query; k defaults to 1,
+	// the paper's choice (§3.4).
+	e, _, dist, ok := c.selectHitLocked(ki, key, res.Threshold)
+	res.Distance = dist
+	if !ok {
+		c.stats.Misses++
+		return res, nil
+	}
+	e.accessCount++
+	e.lastAccess = now
+	c.stats.Hits++
+	c.stats.SavedCompute += e.cost
+	res.Hit = true
+	res.Value = e.value
+	res.Entry = e.snapshot()
+	return res, nil
+}
+
+// PutRequest describes an entry to insert.
+type PutRequest struct {
+	// Keys supplies precomputed keys per key type. Key types not present
+	// here are derived from Raw via their extractors; types with neither
+	// are skipped.
+	Keys map[string]vec.Vector
+	// Raw is the raw input, used to derive keys for key types with
+	// extractors (§3.7 cross-type propagation).
+	Raw any
+	// Value is the computation result to cache.
+	Value any
+	// Cost is the computation overhead. If zero and MissedAt is set, it
+	// is computed as now − MissedAt.
+	Cost time.Duration
+	// MissedAt is the LookupResult.MissedAt of the preceding miss.
+	MissedAt time.Time
+	// Size is the entry footprint in bytes; 0 means "estimate".
+	Size int
+	// TTL overrides the cache's default validity period.
+	TTL time.Duration
+	// App names the inserting application (reputation, diagnostics).
+	App string
+}
+
+// Put inserts a computation result, propagating the key to every
+// registered key type of the function and feeding each key type's
+// threshold tuner (§3.6 "Inserting and indexing cache entries"). It
+// returns the new entry's id.
+func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clk.Now()
+	c.purgeExpiredLocked(now)
+	fc := c.funcs[fn]
+	if fc == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	if c.rep != nil && c.rep.Barred(req.App) {
+		c.stats.RejectedPuts++
+		return 0, fmt.Errorf("%w: %q", ErrAppBarred, req.App)
+	}
+
+	// Resolve one key per key type.
+	keys := make(map[string]vec.Vector, len(fc.keyTypes))
+	for _, name := range fc.order {
+		ki := fc.keyTypes[name]
+		if k, ok := req.Keys[name]; ok {
+			keys[name] = k
+			continue
+		}
+		if ki.spec.Extract != nil && req.Raw != nil {
+			k, err := ki.spec.Extract(req.Raw)
+			if err != nil {
+				return 0, fmt.Errorf("core: extracting %q key: %w", name, err)
+			}
+			keys[name] = k
+		}
+	}
+	if len(keys) == 0 {
+		return 0, ErrNoKey
+	}
+
+	cost := req.Cost
+	if cost <= 0 && !req.MissedAt.IsZero() {
+		cost = now.Sub(req.MissedAt)
+	}
+	if cost < 0 {
+		cost = 0
+	}
+	size := req.Size
+	if size <= 0 {
+		size = estimateSize(req.Value)
+		for _, k := range keys {
+			size += k.SizeBytes()
+		}
+	}
+	ttl := req.TTL
+	if ttl <= 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+
+	// Feed Algorithm 1 per key index with the pre-insertion nearest
+	// neighbour, then insert.
+	c.nextID++
+	id := c.nextID
+	for name, key := range keys {
+		ki := fc.keyTypes[name]
+		if n, ok := ki.idx.Nearest(key); ok {
+			neighbor := c.entries[ID(n.ID)]
+			same := neighbor != nil && c.equal(neighbor.value, req.Value)
+			within := n.Dist <= ki.tuner.Threshold()
+			ki.tuner.ObservePut(n.Dist, same, true)
+			if c.rep != nil && neighbor != nil {
+				c.rep.Observe(neighbor.app, within, same)
+				if c.rep.Barred(neighbor.app) {
+					c.removeAppEntriesLocked(neighbor.app)
+				}
+			}
+		} else {
+			ki.tuner.ObservePut(0, false, false)
+		}
+	}
+
+	e := &Entry{
+		id:         id,
+		value:      req.Value,
+		cost:       cost,
+		size:       size,
+		app:        req.App,
+		insertedAt: now,
+		lastAccess: now,
+		expiresAt:  now.Add(ttl),
+		// §3.3: "the access frequency is initialized to 1".
+		accessCount: 1,
+	}
+	c.entries[id] = e
+	c.bytes += int64(size)
+	heap.Push(&c.expiry, expiryItem{at: e.expiresAt, id: id})
+	for name, key := range keys {
+		ki := fc.keyTypes[name]
+		ki.idx.Insert(index.ID(id), key)
+		ki.members[id] = key
+		e.refs++
+	}
+	c.stats.Puts++
+	c.evictLocked(now, id)
+	return id, nil
+}
+
+// selectHitLocked runs the threshold-restricted kNN query and picks the
+// hit entry. It returns the nearest-neighbour distance (-1 if the index
+// is empty) and ok=false on a miss. With LookupK > 1, within-threshold
+// neighbours vote by value equality and the largest group's closest
+// member wins (ties break toward the closer group).
+func (c *Cache) selectHitLocked(ki *keyIndex, key vec.Vector, threshold float64) (*Entry, vec.Vector, float64, bool) {
+	k := c.cfg.LookupK
+	if k <= 1 {
+		n, ok := ki.idx.Nearest(key)
+		if !ok {
+			return nil, nil, -1, false
+		}
+		if n.Dist > threshold {
+			return nil, nil, n.Dist, false
+		}
+		e := c.entries[ID(n.ID)]
+		if e == nil {
+			// The index briefly referenced a freed entry; treat as a miss.
+			return nil, nil, n.Dist, false
+		}
+		return e, n.Key, n.Dist, true
+	}
+	ns := ki.idx.KNearest(key, k)
+	if len(ns) == 0 {
+		return nil, nil, -1, false
+	}
+	nearest := ns[0].Dist
+	// Group within-threshold candidates by value equality.
+	type group struct {
+		rep    *Entry
+		repKey vec.Vector
+		dist   float64
+		votes  int
+	}
+	var groups []group
+	for _, n := range ns {
+		if n.Dist > threshold {
+			continue
+		}
+		e := c.entries[ID(n.ID)]
+		if e == nil {
+			continue
+		}
+		placed := false
+		for gi := range groups {
+			if c.equal(groups[gi].rep.value, e.value) {
+				groups[gi].votes++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, group{rep: e, repKey: n.Key, dist: n.Dist, votes: 1})
+		}
+	}
+	if len(groups) == 0 {
+		return nil, nil, nearest, false
+	}
+	best := 0
+	for gi := 1; gi < len(groups); gi++ {
+		if groups[gi].votes > groups[best].votes ||
+			(groups[gi].votes == groups[best].votes && groups[gi].dist < groups[best].dist) {
+			best = gi
+		}
+	}
+	return groups[best].rep, groups[best].repKey, nearest, true
+}
+
+// keyIndexLocked resolves (fn, keyType) to its index.
+func (c *Cache) keyIndexLocked(fn, keyType string) (*keyIndex, error) {
+	fc := c.funcs[fn]
+	if fc == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	ki := fc.keyTypes[keyType]
+	if ki == nil {
+		return nil, fmt.Errorf("%w: %q for function %q", ErrUnknownKeyType, keyType, fn)
+	}
+	return ki, nil
+}
+
+// evictLocked enforces the capacity bounds, excluding the just-inserted
+// entry (the paper replaces the victim WITH the new entry, §3.6).
+func (c *Cache) evictLocked(now time.Time, exclude ID) {
+	over := func() bool {
+		if c.cfg.MaxEntries > 0 && len(c.entries) > c.cfg.MaxEntries {
+			return true
+		}
+		return c.cfg.MaxBytes > 0 && c.bytes > c.cfg.MaxBytes
+	}
+	for over() {
+		cands := make([]*Entry, 0, len(c.entries))
+		for id, e := range c.entries {
+			if id == exclude {
+				continue
+			}
+			cands = append(cands, e)
+		}
+		if len(cands) == 0 {
+			return
+		}
+		victim := c.policy.Victim(cands, now, c.rng)
+		c.removeEntryLocked(victim)
+		c.stats.Evictions++
+	}
+}
+
+// removeEntryLocked removes an entry from every index and frees its
+// value.
+func (c *Cache) removeEntryLocked(id ID) {
+	e := c.entries[id]
+	if e == nil {
+		return
+	}
+	for _, fc := range c.funcs {
+		for _, ki := range fc.keyTypes {
+			if _, ok := ki.members[id]; ok {
+				ki.idx.Remove(index.ID(id))
+				delete(ki.members, id)
+				e.refs--
+			}
+		}
+	}
+	c.bytes -= int64(e.size)
+	delete(c.entries, id)
+}
+
+// removeAppEntriesLocked purges every entry inserted by app (used when
+// the reputation system bars an application).
+func (c *Cache) removeAppEntriesLocked(app string) {
+	for id, e := range c.entries {
+		if e.app == app {
+			c.removeEntryLocked(id)
+			c.stats.Evictions++
+		}
+	}
+}
+
+// purgeExpiredLocked clears all entries whose validity period has passed
+// (§3.6: the management thread "clears all (at the same time) expired
+// entries"). It is invoked lazily on every operation and explicitly by
+// the janitor.
+func (c *Cache) purgeExpiredLocked(now time.Time) {
+	for len(c.expiry) > 0 && !c.expiry[0].at.After(now) {
+		item := heap.Pop(&c.expiry).(expiryItem)
+		e := c.entries[item.id]
+		if e == nil || e.expiresAt.After(now) {
+			continue // already removed, or TTL extended
+		}
+		c.removeEntryLocked(item.id)
+		c.stats.Expirations++
+	}
+}
+
+// PurgeExpired removes expired entries immediately and reports how many
+// were cleared.
+func (c *Cache) PurgeExpired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.stats.Expirations
+	c.purgeExpiredLocked(c.clk.Now())
+	return int(c.stats.Expirations - before)
+}
+
+// NextExpiry returns the earliest pending expiration time, used by the
+// janitor to schedule its wake-up ("sets the next wake-up time according
+// to the expiration time of the new head item", §4.2).
+func (c *Cache) NextExpiry() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.expiry) > 0 {
+		head := c.expiry[0]
+		if e := c.entries[head.id]; e != nil && e.expiresAt.Equal(head.at) {
+			return head.at, true
+		}
+		heap.Pop(&c.expiry) // stale
+	}
+	return time.Time{}, false
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the total size of live entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// TunerStats returns the threshold tuner's state for (fn, keyType).
+func (c *Cache) TunerStats(fn, keyType string) (TunerStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ki, err := c.keyIndexLocked(fn, keyType)
+	if err != nil {
+		return TunerStats{}, err
+	}
+	return ki.tuner.Stats(), nil
+}
+
+// ForceThreshold activates (fn, keyType)'s tuner at a fixed threshold,
+// used by experiments that sweep thresholds (Figure 9).
+func (c *Cache) ForceThreshold(fn, keyType string, threshold float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ki, err := c.keyIndexLocked(fn, keyType)
+	if err != nil {
+		return err
+	}
+	ki.tuner.ForceActivate(threshold)
+	return nil
+}
+
+// Reputation returns the reputation table, or nil when disabled.
+func (c *Cache) Reputation() *Reputation { return c.rep }
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	return s
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	Dropouts     int64
+	Puts         int64
+	RejectedPuts int64
+	Evictions    int64
+	Expirations  int64
+	// Invalidations counts entries dropped by explicit invalidation
+	// calls.
+	Invalidations int64
+	Entries       int
+	Bytes         int64
+	// SavedCompute totals the recorded computation overhead of every
+	// hit: the time the applications did not have to spend.
+	SavedCompute time.Duration
+}
+
+// HitRate returns hits / (hits + misses), or 0 when no lookups occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// estimateSize approximates the footprint of a cached value.
+func estimateSize(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return len(x)
+	case string:
+		return len(x)
+	case vec.Vector:
+		return x.SizeBytes()
+	case []float64:
+		return 8 * len(x)
+	case bool:
+		return 1
+	case int, int64, uint64, float64:
+		return 8
+	case int32, uint32, float32:
+		return 4
+	default:
+		// A conservative default for structured values.
+		return 64
+	}
+}
+
+// expiryItem pairs an entry with its deadline in the expiry queue.
+type expiryItem struct {
+	at time.Time
+	id ID
+}
+
+type expiryHeap []expiryItem
+
+func (h expiryHeap) Len() int            { return len(h) }
+func (h expiryHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryItem)) }
+func (h *expiryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,80 @@
+// Package core implements the Potluck cache service: approximate
+// deduplication of computation results keyed by feature vectors
+// (paper §3). It provides the entry store with the importance metric
+// (§3.3), the threshold-restricted nearest-neighbour lookup with random
+// dropout (§3.4), the NN-based threshold-tuning algorithm (§3.5,
+// Algorithm 1), importance-based eviction and expiry (§3.6), and
+// multi-key-type indices (§3.7).
+package core
+
+import (
+	"time"
+)
+
+// Entry is one cached computation result. Fields are maintained by the
+// cache under its lock; the snapshot accessors are safe to use on copies
+// returned by the cache.
+type Entry struct {
+	id ID
+	// value is the cached computation result. The cache stores it once;
+	// indices hold references by id (§4.2: "the final 'values' stored
+	// are simply references ... to the actual value").
+	value any
+	// cost is the computation overhead: the elapsed time between the
+	// lookup() miss and the put() of this entry (§3.3).
+	cost time.Duration
+	// size is the entry's footprint in bytes, the denominator of the
+	// importance metric.
+	size int
+	// accessCount is incremented by every lookup hit; it starts at 1 on
+	// put (§3.3: "access frequency is initialized to 1").
+	accessCount int64
+	insertedAt  time.Time
+	expiresAt   time.Time
+	lastAccess  time.Time
+	// app is the application that inserted the entry, used by the
+	// reputation system (§3.5 security discussion).
+	app string
+	// refs counts how many key indices currently reference this entry.
+	// When it reaches zero the value is freed (§3.7: "cleared via
+	// garbage collection when no indices have references to it").
+	refs int
+}
+
+// ID identifies an entry. It matches index.ID numerically.
+type ID uint64
+
+// Importance is the paper's cache-entry usefulness metric:
+//
+//	importance = computation overhead × access frequency / entry size
+//
+// (§3.3). It determines eviction order only; lookups never consult it.
+func (e *Entry) Importance() float64 {
+	size := e.size
+	if size <= 0 {
+		size = 1
+	}
+	return e.cost.Seconds() * float64(e.accessCount) / float64(size)
+}
+
+// Value returns the cached result.
+func (e *Entry) Value() any { return e.value }
+
+// Cost returns the computation overhead recorded for this entry.
+func (e *Entry) Cost() time.Duration { return e.cost }
+
+// Size returns the entry's size in bytes.
+func (e *Entry) Size() int { return e.size }
+
+// AccessCount returns the number of times the entry has been returned by
+// lookups, plus one for the initial put.
+func (e *Entry) AccessCount() int64 { return e.accessCount }
+
+// App returns the name of the application that inserted the entry.
+func (e *Entry) App() string { return e.app }
+
+// ExpiresAt returns the entry's validity deadline.
+func (e *Entry) ExpiresAt() time.Time { return e.expiresAt }
+
+// snapshot returns a copy for safe external consumption.
+func (e *Entry) snapshot() Entry { return *e }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// InvalidateRadius removes every entry whose key under the given key
+// type lies within distance r of key, returning how many entries were
+// dropped. It is the explicit-invalidation companion to the dropout
+// mechanism: when an application knows the world changed (a scene cut, a
+// rearranged room), it can clear the affected key region at once instead
+// of waiting for dropout-driven tightening to age the stale results out.
+// The removal is propagated to all of the function's indices, like
+// eviction.
+func (c *Cache) InvalidateRadius(fn, keyType string, key vec.Vector, r float64) (int, error) {
+	if r < 0 {
+		return 0, fmt.Errorf("core: negative invalidation radius %v", r)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ki, err := c.keyIndexLocked(fn, keyType)
+	if err != nil {
+		return 0, err
+	}
+	hits := index.Radius(ki.idx, key, r)
+	for _, n := range hits {
+		c.removeEntryLocked(ID(n.ID))
+	}
+	c.stats.Invalidations += int64(len(hits))
+	return len(hits), nil
+}
+
+// InvalidateFunction drops every entry of a function across all its key
+// types and resets the function's similarity thresholds — the natural
+// response to "everything this function computed is now stale" (e.g. a
+// model update changed the function's semantics).
+func (c *Cache) InvalidateFunction(fn string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc := c.funcs[fn]
+	if fc == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	ids := make(map[ID]struct{})
+	for _, ki := range fc.keyTypes {
+		for id := range ki.members {
+			ids[id] = struct{}{}
+		}
+		ki.tuner.Reset()
+	}
+	for id := range ids {
+		c.removeEntryLocked(id)
+	}
+	c.stats.Invalidations += int64(len(ids))
+	return len(ids), nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Janitor clears expired entries in the background, mirroring the
+// paper's management thread, which "maintains a queue that orders all
+// cache entries by their expiration times ... will be waken up when the
+// current head item in the queue reaches its expiration time" (§4.2).
+//
+// The cache also purges lazily on every operation, so the janitor is an
+// optimization for idle periods, not a correctness requirement.
+type Janitor struct {
+	cache *Cache
+	// Poll bounds how long the janitor sleeps when no expiry is pending.
+	Poll time.Duration
+}
+
+// NewJanitor returns a janitor for the cache with a default idle poll of
+// one second.
+func NewJanitor(c *Cache) *Janitor {
+	return &Janitor{cache: c, Poll: time.Second}
+}
+
+// Run blocks until ctx is cancelled, waking at each pending expiration
+// time to purge expired entries.
+func (j *Janitor) Run(ctx context.Context) {
+	for {
+		var wait time.Duration
+		if at, ok := j.cache.NextExpiry(); ok {
+			wait = at.Sub(j.cache.clk.Now())
+			if wait < 0 {
+				wait = 0
+			}
+		} else {
+			wait = j.Poll
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-j.cache.clk.After(wait):
+			j.cache.PurgeExpired()
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/vec"
+)
+
+func newKCache(t *testing.T, k int) *Cache {
+	t.Helper()
+	return New(Config{
+		Clock:          clock.NewVirtual(time.Unix(0, 0)),
+		DisableDropout: true,
+		Tuner:          TunerConfig{WarmupZ: 1},
+		LookupK:        k,
+	})
+}
+
+func TestLookupKMajorityOverridesNearest(t *testing.T) {
+	c := newKCache(t, 3)
+	registerScalar(t, c, "f")
+	// The closest entry is an outlier label; the two next-closest agree.
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.0}}, Value: "outlier"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.3}}, Value: "common"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.4}}, Value: "common"})
+	c.ForceThreshold("f", "scalar", 1.0)
+	res, err := c.Lookup("f", "scalar", vec.Vector{1.05})
+	if err != nil || !res.Hit {
+		t.Fatalf("lookup: %+v, %v", res, err)
+	}
+	if res.Value != "common" {
+		t.Errorf("k=3 majority = %v, want common", res.Value)
+	}
+	// Distance still reports the true nearest neighbour.
+	if res.Distance > 0.06 {
+		t.Errorf("Distance = %v, want ~0.05 (the nearest)", res.Distance)
+	}
+}
+
+func TestLookupKOneMatchesNearest(t *testing.T) {
+	c := newKCache(t, 1)
+	registerScalar(t, c, "f")
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.0}}, Value: "a"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.3}}, Value: "b"})
+	c.ForceThreshold("f", "scalar", 1.0)
+	res, _ := c.Lookup("f", "scalar", vec.Vector{1.05})
+	if !res.Hit || res.Value != "a" {
+		t.Errorf("k=1 = %+v, want nearest value a", res)
+	}
+}
+
+func TestLookupKRespectsThreshold(t *testing.T) {
+	c := newKCache(t, 3)
+	registerScalar(t, c, "f")
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.0}}, Value: "a"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {5.0}}, Value: "b"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {5.1}}, Value: "b"})
+	c.ForceThreshold("f", "scalar", 0.5)
+	// Only "a" is within threshold; the b-majority beyond it must not win.
+	res, _ := c.Lookup("f", "scalar", vec.Vector{1.1})
+	if !res.Hit || res.Value != "a" {
+		t.Errorf("threshold-filtered vote = %+v, want a", res)
+	}
+	// Nothing within threshold → miss even though neighbours exist.
+	res, _ = c.Lookup("f", "scalar", vec.Vector{3.0})
+	if res.Hit {
+		t.Errorf("hit beyond threshold: %+v", res)
+	}
+}
+
+func TestLookupKTieBreaksToCloserGroup(t *testing.T) {
+	c := newKCache(t, 4)
+	registerScalar(t, c, "f")
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.0}}, Value: "near"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.2}}, Value: "near"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.6}}, Value: "far"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1.8}}, Value: "far"})
+	c.ForceThreshold("f", "scalar", 2.0)
+	res, _ := c.Lookup("f", "scalar", vec.Vector{0.9})
+	if !res.Hit || res.Value != "near" {
+		t.Errorf("tie vote = %+v, want the closer group", res)
+	}
+}
+
+func TestLookupKEmptyIndex(t *testing.T) {
+	c := newKCache(t, 3)
+	registerScalar(t, c, "f")
+	res, err := c.Lookup("f", "scalar", vec.Vector{1})
+	if err != nil || res.Hit || res.Distance != -1 {
+		t.Errorf("empty-index kNN lookup = %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/vec"
+)
+
+// refEntry mirrors a cache entry in the reference model.
+type refEntry struct {
+	key       float64
+	value     int
+	expiresAt time.Time
+}
+
+// refModel is an obviously-correct reference: linear scan, explicit
+// threshold, lazy expiry. The cache under test must agree with it on
+// every lookup outcome for arbitrary operation sequences.
+type refModel struct {
+	entries   []refEntry
+	threshold float64
+}
+
+func (m *refModel) purge(now time.Time) {
+	alive := m.entries[:0]
+	for _, e := range m.entries {
+		if e.expiresAt.After(now) {
+			alive = append(alive, e)
+		}
+	}
+	m.entries = alive
+}
+
+func (m *refModel) lookup(key float64, now time.Time) (int, bool) {
+	m.purge(now)
+	best := -1
+	bestDist := math.Inf(1)
+	for i, e := range m.entries {
+		d := math.Abs(e.key - key)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 || bestDist > m.threshold {
+		return 0, false
+	}
+	return m.entries[best].value, true
+}
+
+func (m *refModel) put(key float64, value int, ttl time.Duration, now time.Time) {
+	m.purge(now)
+	m.entries = append(m.entries, refEntry{key: key, value: value, expiresAt: now.Add(ttl)})
+}
+
+// TestCacheAgreesWithModel drives random interleavings of put, lookup,
+// and clock advancement against both implementations. Capacity is
+// unbounded and dropout disabled so outcomes are deterministic; the
+// threshold is fixed (tuning correctness is covered by the tuner tests).
+func TestCacheAgreesWithModel(t *testing.T) {
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		cache := New(Config{
+			Clock:          clk,
+			DisableDropout: true,
+			Tuner:          TunerConfig{WarmupZ: 1},
+		})
+		if err := cache.RegisterFunction("f", KeyTypeSpec{Name: "k", Dim: 1}); err != nil {
+			t.Fatal(err)
+		}
+		threshold := rng.Float64() * 2
+		if err := cache.ForceThreshold("f", "k", threshold); err != nil {
+			t.Fatal(err)
+		}
+		model := &refModel{threshold: threshold}
+
+		nextVal := 0
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0: // put
+				key := rng.Float64() * 20
+				ttl := time.Duration(1+rng.Intn(600)) * time.Second
+				model.put(key, nextVal, ttl, clk.Now())
+				if _, err := cache.Put("f", PutRequest{
+					Keys:  map[string]vec.Vector{"k": {key}},
+					Value: nextVal,
+					TTL:   ttl,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				// Puts feed the tuner; re-pin the threshold so the model
+				// stays comparable.
+				if err := cache.ForceThreshold("f", "k", threshold); err != nil {
+					t.Fatal(err)
+				}
+				nextVal++
+			case 1, 2: // lookup
+				key := rng.Float64() * 20
+				wantVal, wantHit := model.lookup(key, clk.Now())
+				res, err := cache.Lookup("f", "k", vec.Vector{key})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Hit != wantHit {
+					t.Fatalf("trial %d op %d: hit=%v model=%v (key %.3f, threshold %.3f)",
+						trial, op, res.Hit, wantHit, key, threshold)
+				}
+				if wantHit && res.Value.(int) != wantVal {
+					// Ties by distance can legitimately differ only if two
+					// entries sit at exactly equal distance — vanishingly
+					// unlikely with float keys, so treat as failure.
+					t.Fatalf("trial %d op %d: value=%v model=%v", trial, op, res.Value, wantVal)
+				}
+			case 3: // advance time
+				clk.Advance(time.Duration(rng.Intn(120)) * time.Second)
+			}
+		}
+		// Final live-entry count agrees (expiry is lazy, so purge first).
+		model.purge(clk.Now())
+		cache.PurgeExpired()
+		if cache.Len() != len(model.entries) {
+			t.Fatalf("trial %d: Len=%d model=%d", trial, cache.Len(), len(model.entries))
+		}
+	}
+}

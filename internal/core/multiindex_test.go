@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// TestEvictionClearsAllIndices verifies the reference-counting contract:
+// evicting an entry removes its keys from every index it was propagated
+// to, and the value is freed exactly once.
+func TestEvictionClearsAllIndices(t *testing.T) {
+	c, _ := newTestCache(t, func(cfg *Config) { cfg.MaxEntries = 1 })
+	err := c.RegisterFunction("f",
+		KeyTypeSpec{Name: "a"},
+		KeyTypeSpec{Name: "b"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("f", PutRequest{
+		Keys:  map[string]vec.Vector{"a": {1}, "b": {10}},
+		Value: "first", Cost: time.Millisecond, Size: 1,
+	})
+	c.Put("f", PutRequest{
+		Keys:  map[string]vec.Vector{"a": {2}, "b": {20}},
+		Value: "second", Cost: time.Hour, Size: 1,
+	})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// The evicted entry must be gone from BOTH key types.
+	if res, _ := c.Lookup("f", "a", vec.Vector{1}); res.Hit {
+		t.Error("evicted entry still reachable via key type a")
+	}
+	if res, _ := c.Lookup("f", "b", vec.Vector{10}); res.Hit {
+		t.Error("evicted entry still reachable via key type b")
+	}
+	// The survivor is reachable through both.
+	if res, _ := c.Lookup("f", "a", vec.Vector{2}); !res.Hit {
+		t.Error("survivor missing via key type a")
+	}
+	if res, _ := c.Lookup("f", "b", vec.Vector{20}); !res.Hit {
+		t.Error("survivor missing via key type b")
+	}
+}
+
+// TestExpiryClearsAllIndices mirrors the eviction test for TTL expiry.
+func TestExpiryClearsAllIndices(t *testing.T) {
+	c, clk := newTestCache(t)
+	err := c.RegisterFunction("f",
+		KeyTypeSpec{Name: "a"},
+		KeyTypeSpec{Name: "b"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("f", PutRequest{
+		Keys:  map[string]vec.Vector{"a": {1}, "b": {10}},
+		Value: "v", TTL: time.Minute,
+	})
+	clk.Advance(2 * time.Minute)
+	if res, _ := c.Lookup("f", "a", vec.Vector{1}); res.Hit {
+		t.Error("expired entry reachable via a")
+	}
+	if res, _ := c.Lookup("f", "b", vec.Vector{10}); res.Hit {
+		t.Error("expired entry reachable via b")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("Len=%d Bytes=%d after expiry", c.Len(), c.Bytes())
+	}
+}
+
+// TestPartialKeyPut verifies that an entry inserted under only one of a
+// function's key types is invisible to the others but fully managed
+// (evictable, expirable).
+func TestPartialKeyPut(t *testing.T) {
+	c, _ := newTestCache(t)
+	err := c.RegisterFunction("f",
+		KeyTypeSpec{Name: "a"},
+		KeyTypeSpec{Name: "b"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"a": {1}}, Value: "only-a"})
+	if res, _ := c.Lookup("f", "a", vec.Vector{1}); !res.Hit {
+		t.Error("miss under the provided key type")
+	}
+	if res, _ := c.Lookup("f", "b", vec.Vector{1}); res.Hit {
+		t.Error("hit under a key type the put never supplied")
+	}
+}
+
+// TestTunersIndependentPerKeyType verifies per-index threshold isolation
+// (§3.7: "invoke the threshold tuning procedure per key index").
+func TestTunersIndependentPerKeyType(t *testing.T) {
+	c, _ := newTestCache(t)
+	err := c.RegisterFunction("f",
+		KeyTypeSpec{Name: "a"},
+		KeyTypeSpec{Name: "b"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ForceThreshold("f", "a", 7); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := c.TunerStats("f", "a")
+	sb, _ := c.TunerStats("f", "b")
+	if sa.Threshold != 7 || sb.Threshold != 0 {
+		t.Errorf("thresholds a=%v b=%v, want 7 and 0", sa.Threshold, sb.Threshold)
+	}
+}

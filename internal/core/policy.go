@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PolicyKind names a cache-entry replacement strategy. The paper's
+// evaluation (§5.3, Figure 8) compares the importance-based strategy
+// against LRU and random discard.
+type PolicyKind string
+
+// The replacement strategies of §5.3.
+const (
+	PolicyImportance PolicyKind = "importance" // Potluck's default
+	PolicyLRU        PolicyKind = "lru"        // least recently used
+	PolicyRandom     PolicyKind = "random"     // random discard
+	PolicyFIFO       PolicyKind = "fifo"       // insertion order (extra baseline)
+)
+
+// A Policy selects the victim entry when the cache is full.
+type Policy interface {
+	// Victim returns the id of the entry to evict. entries is non-empty;
+	// implementations must return the id of one of its elements.
+	Victim(entries []*Entry, now time.Time, rng *rand.Rand) ID
+	// Name returns the policy's kind.
+	Name() PolicyKind
+}
+
+// NewPolicy constructs the named policy.
+func NewPolicy(kind PolicyKind) (Policy, error) {
+	switch kind {
+	case PolicyImportance, "":
+		return importancePolicy{}, nil
+	case PolicyLRU:
+		return lruPolicy{}, nil
+	case PolicyRandom:
+		return randomPolicy{}, nil
+	case PolicyFIFO:
+		return fifoPolicy{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown eviction policy %q", kind)
+}
+
+// importancePolicy evicts the entry with the lowest importance value
+// (§3.6: "the least important entry will be evicted").
+type importancePolicy struct{}
+
+func (importancePolicy) Victim(entries []*Entry, _ time.Time, _ *rand.Rand) ID {
+	best := entries[0]
+	bestImp := best.Importance()
+	for _, e := range entries[1:] {
+		if imp := e.Importance(); imp < bestImp || (imp == bestImp && e.id < best.id) {
+			best, bestImp = e, imp
+		}
+	}
+	return best.id
+}
+
+func (importancePolicy) Name() PolicyKind { return PolicyImportance }
+
+// lruPolicy evicts the least recently used entry.
+type lruPolicy struct{}
+
+func (lruPolicy) Victim(entries []*Entry, _ time.Time, _ *rand.Rand) ID {
+	best := entries[0]
+	for _, e := range entries[1:] {
+		if e.lastAccess.Before(best.lastAccess) ||
+			(e.lastAccess.Equal(best.lastAccess) && e.id < best.id) {
+			best = e
+		}
+	}
+	return best.id
+}
+
+func (lruPolicy) Name() PolicyKind { return PolicyLRU }
+
+// randomPolicy evicts a uniformly random entry.
+type randomPolicy struct{}
+
+func (randomPolicy) Victim(entries []*Entry, _ time.Time, rng *rand.Rand) ID {
+	return entries[rng.Intn(len(entries))].id
+}
+
+func (randomPolicy) Name() PolicyKind { return PolicyRandom }
+
+// fifoPolicy evicts the oldest entry by insertion time.
+type fifoPolicy struct{}
+
+func (fifoPolicy) Victim(entries []*Entry, _ time.Time, _ *rand.Rand) ID {
+	best := entries[0]
+	for _, e := range entries[1:] {
+		if e.insertedAt.Before(best.insertedAt) ||
+			(e.insertedAt.Equal(best.insertedAt) && e.id < best.id) {
+			best = e
+		}
+	}
+	return best.id
+}
+
+func (fifoPolicy) Name() PolicyKind { return PolicyFIFO }

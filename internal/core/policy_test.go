@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkEntry(id ID, cost time.Duration, accesses int64, size int, last, inserted time.Time) *Entry {
+	return &Entry{
+		id: id, cost: cost, accessCount: accesses, size: size,
+		lastAccess: last, insertedAt: inserted,
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	for _, k := range []PolicyKind{PolicyImportance, PolicyLRU, PolicyRandom, PolicyFIFO} {
+		p, err := NewPolicy(k)
+		if err != nil {
+			t.Fatalf("NewPolicy(%s): %v", k, err)
+		}
+		if p.Name() != k {
+			t.Errorf("Name = %s, want %s", p.Name(), k)
+		}
+	}
+	if p, err := NewPolicy(""); err != nil || p.Name() != PolicyImportance {
+		t.Errorf("default policy: %v, %v", p, err)
+	}
+	if _, err := NewPolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestImportanceVictim(t *testing.T) {
+	now := time.Unix(100, 0)
+	p, _ := NewPolicy(PolicyImportance)
+	entries := []*Entry{
+		mkEntry(1, time.Second, 10, 10, now, now),      // imp = 1.0
+		mkEntry(2, time.Second, 1, 100, now, now),      // imp = 0.01 ← victim
+		mkEntry(3, 10*time.Second, 100, 10, now, now),  // imp = 100
+		mkEntry(4, time.Millisecond, 50, 10, now, now), // imp = 0.005... wait
+	}
+	// entry 4: 0.001 * 50 / 10 = 0.005 ← actually the victim.
+	if got := p.Victim(entries, now, nil); got != 4 {
+		t.Errorf("victim = %d, want 4", got)
+	}
+}
+
+func TestImportanceTieBreaksByID(t *testing.T) {
+	now := time.Unix(0, 0)
+	p, _ := NewPolicy(PolicyImportance)
+	entries := []*Entry{
+		mkEntry(7, time.Second, 1, 10, now, now),
+		mkEntry(3, time.Second, 1, 10, now, now),
+	}
+	if got := p.Victim(entries, now, nil); got != 3 {
+		t.Errorf("tie break: victim = %d, want 3", got)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	base := time.Unix(100, 0)
+	p, _ := NewPolicy(PolicyLRU)
+	entries := []*Entry{
+		mkEntry(1, time.Second, 1, 1, base.Add(3*time.Second), base),
+		mkEntry(2, time.Second, 1, 1, base.Add(1*time.Second), base), // ← victim
+		mkEntry(3, time.Second, 1, 1, base.Add(2*time.Second), base),
+	}
+	if got := p.Victim(entries, base, nil); got != 2 {
+		t.Errorf("LRU victim = %d, want 2", got)
+	}
+}
+
+func TestFIFOVictim(t *testing.T) {
+	base := time.Unix(100, 0)
+	p, _ := NewPolicy(PolicyFIFO)
+	entries := []*Entry{
+		mkEntry(1, time.Second, 1, 1, base, base.Add(2*time.Second)),
+		mkEntry(2, time.Second, 1, 1, base, base.Add(1*time.Second)), // ← victim
+	}
+	if got := p.Victim(entries, base, nil); got != 2 {
+		t.Errorf("FIFO victim = %d, want 2", got)
+	}
+}
+
+func TestRandomVictimIsMember(t *testing.T) {
+	now := time.Unix(0, 0)
+	p, _ := NewPolicy(PolicyRandom)
+	rng := rand.New(rand.NewSource(1))
+	entries := []*Entry{
+		mkEntry(10, time.Second, 1, 1, now, now),
+		mkEntry(20, time.Second, 1, 1, now, now),
+		mkEntry(30, time.Second, 1, 1, now, now),
+	}
+	seen := make(map[ID]bool)
+	for i := 0; i < 100; i++ {
+		v := p.Victim(entries, now, rng)
+		if v != 10 && v != 20 && v != 30 {
+			t.Fatalf("victim %d not a member", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Error("random policy never varied its choice")
+	}
+}
+
+// Property: the importance victim always has globally minimal importance.
+func TestImportanceVictimMinimalProperty(t *testing.T) {
+	p, _ := NewPolicy(PolicyImportance)
+	now := time.Unix(0, 0)
+	f := func(costs []uint16, accesses []uint8) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		entries := make([]*Entry, len(costs))
+		for i := range costs {
+			acc := int64(1)
+			if i < len(accesses) {
+				acc = int64(accesses[i]) + 1
+			}
+			entries[i] = mkEntry(ID(i+1), time.Duration(costs[i])*time.Millisecond, acc, 10, now, now)
+		}
+		victim := p.Victim(entries, now, nil)
+		var vImp float64
+		for _, e := range entries {
+			if e.id == victim {
+				vImp = e.Importance()
+			}
+		}
+		for _, e := range entries {
+			if e.Importance() < vImp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryImportanceZeroSize(t *testing.T) {
+	e := mkEntry(1, time.Second, 2, 0, time.Time{}, time.Time{})
+	if got := e.Importance(); got != 2 {
+		t.Errorf("Importance with size 0 = %v, want cost*freq/1 = 2", got)
+	}
+}

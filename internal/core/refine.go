@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/vec"
+)
+
+// Refiner adjusts a cached result to the exact current input, the
+// paper's post-lookup incremental computation ("the applications could
+// exploit optimization opportunities by adding post-lookup logic to
+// perform incremental computation", §7). The canonical instance is the
+// AR fast path: the cached frame rendered at a nearby pose is warped to
+// the current pose instead of used verbatim.
+//
+// cachedValue is the stored result, cachedKey the key it was stored
+// under, and queryKey the current lookup key; the return value replaces
+// the cached result in the LookupResult.
+type Refiner func(cachedValue any, cachedKey, queryKey vec.Vector) any
+
+// LookupRefined behaves like Lookup but passes a hit through the refiner
+// with both keys, so the application receives a result adjusted to its
+// exact input. The cache entry itself is not modified; refinement output
+// is per-lookup.
+func (c *Cache) LookupRefined(fn, keyType string, key vec.Vector, refine Refiner) (LookupResult, error) {
+	c.mu.Lock()
+	now := c.clk.Now()
+	c.purgeExpiredLocked(now)
+	ki, err := c.keyIndexLocked(fn, keyType)
+	if err != nil {
+		c.mu.Unlock()
+		return LookupResult{}, err
+	}
+	res := LookupResult{Distance: -1, Threshold: ki.tuner.Threshold(), MissedAt: now}
+	if c.cfg.DropoutRate > 0 && c.rng.Float64() < c.cfg.DropoutRate {
+		c.stats.Dropouts++
+		c.stats.Misses++
+		res.Dropout = true
+		c.mu.Unlock()
+		return res, nil
+	}
+	e, hitKey, dist, ok := c.selectHitLocked(ki, key, res.Threshold)
+	res.Distance = dist
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return res, nil
+	}
+	e.accessCount++
+	e.lastAccess = now
+	c.stats.Hits++
+	c.stats.SavedCompute += e.cost
+	res.Hit = true
+	res.Value = e.value
+	res.Entry = e.snapshot()
+	cachedKey := hitKey.Clone()
+	c.mu.Unlock()
+
+	// Refinement runs outside the lock: it may be arbitrarily expensive
+	// application logic (warping an image, adjusting coordinates, ...).
+	if refine != nil {
+		res.Value = refine(res.Value, cachedKey, key)
+	}
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestLookupRefinedAdjustsHit(t *testing.T) {
+	c, _ := newTestCache(t)
+	registerScalar(t, c, "f")
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {10}}, Value: 100.0})
+	c.ForceThreshold("f", "scalar", 5)
+
+	// Refiner: linearly extrapolate the cached value to the query key
+	// (a 1-D stand-in for warping a frame to a new pose).
+	refine := func(v any, cachedKey, queryKey vec.Vector) any {
+		return v.(float64) + 10*(queryKey[0]-cachedKey[0])
+	}
+	res, err := c.LookupRefined("f", "scalar", vec.Vector{12}, refine)
+	if err != nil || !res.Hit {
+		t.Fatalf("refined lookup: %+v, %v", res, err)
+	}
+	if res.Value != 120.0 {
+		t.Errorf("refined value = %v, want 120", res.Value)
+	}
+	// The stored entry is untouched.
+	plain, _ := c.Lookup("f", "scalar", vec.Vector{10})
+	if plain.Value != 100.0 {
+		t.Errorf("cached value mutated: %v", plain.Value)
+	}
+}
+
+func TestLookupRefinedNilRefinerAndMiss(t *testing.T) {
+	c, _ := newTestCache(t)
+	registerScalar(t, c, "f")
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1}}, Value: "v"})
+	res, err := c.LookupRefined("f", "scalar", vec.Vector{1}, nil)
+	if err != nil || !res.Hit || res.Value != "v" {
+		t.Fatalf("nil refiner: %+v, %v", res, err)
+	}
+	// Miss: refiner must not run.
+	called := false
+	res, err = c.LookupRefined("f", "scalar", vec.Vector{99}, func(v any, _, _ vec.Vector) any {
+		called = true
+		return v
+	})
+	if err != nil || res.Hit || called {
+		t.Fatalf("miss path: %+v called=%v", res, called)
+	}
+	// Unknown function errors.
+	if _, err := c.LookupRefined("nope", "scalar", vec.Vector{1}, nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestLookupRefinedCountsStats(t *testing.T) {
+	c, _ := newTestCache(t)
+	registerScalar(t, c, "f")
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1}}, Value: 1})
+	c.LookupRefined("f", "scalar", vec.Vector{1}, nil)
+	c.LookupRefined("f", "scalar", vec.Vector{50}, nil)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// ReputationConfig parameterizes the Credence-style reputation system the
+// paper proposes as a defence against cache pollution (§3.5: "The
+// threshold-tuning phase can then establish a reputation record for each
+// application, and malicious apps can be identified and barred").
+// The zero value takes the defaults below.
+type ReputationConfig struct {
+	// Initial is the score assigned to a newly seen application.
+	// Default 1.0.
+	Initial float64
+	// Penalty is subtracted when one of the app's entries is caught as a
+	// false positive (a neighbour within the threshold whose value
+	// disagrees with freshly computed ground truth). Default 0.2.
+	Penalty float64
+	// Reward is added (capped at Initial) when one of the app's entries
+	// is confirmed by ground truth. Default 0.01.
+	Reward float64
+	// BarThreshold bars an application once its score falls to or below
+	// it. Default 0.2.
+	BarThreshold float64
+}
+
+func (c ReputationConfig) withDefaults() ReputationConfig {
+	if c.Initial == 0 {
+		c.Initial = 1.0
+	}
+	if c.Penalty == 0 {
+		c.Penalty = 0.2
+	}
+	if c.Reward == 0 {
+		c.Reward = 0.01
+	}
+	if c.BarThreshold == 0 {
+		c.BarThreshold = 0.2
+	}
+	return c
+}
+
+// Reputation tracks a quality score per application. Observations come
+// from the threshold-tuning phase: every dropout-forced recomputation
+// compares a cached neighbour's value with fresh ground truth, which is
+// exactly the signal needed to detect polluters. Reputation is safe for
+// concurrent use.
+type Reputation struct {
+	mu     sync.Mutex
+	cfg    ReputationConfig
+	scores map[string]float64
+	barred map[string]bool
+}
+
+// NewReputation returns an empty reputation table.
+func NewReputation(cfg ReputationConfig) *Reputation {
+	return &Reputation{
+		cfg:    cfg.withDefaults(),
+		scores: make(map[string]float64),
+		barred: make(map[string]bool),
+	}
+}
+
+// Observe records a tuning-phase observation about app's cached entry:
+// withinThreshold reports whether the entry matched the new key within
+// the similarity threshold, and sameValue whether its value agreed with
+// the freshly computed result. A within-threshold disagreement is the
+// pollution signal; an agreement is a confirmation. Apps with empty
+// names are ignored.
+func (r *Reputation) Observe(app string, withinThreshold, sameValue bool) {
+	if app == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.scores[app]
+	if !ok {
+		s = r.cfg.Initial
+	}
+	switch {
+	case withinThreshold && !sameValue:
+		s -= r.cfg.Penalty
+	case sameValue:
+		s += r.cfg.Reward
+		if s > r.cfg.Initial {
+			s = r.cfg.Initial
+		}
+	}
+	r.scores[app] = s
+	if s <= r.cfg.BarThreshold {
+		r.barred[app] = true
+	}
+}
+
+// Score returns app's current score (Initial for unseen apps).
+func (r *Reputation) Score(app string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.scores[app]; ok {
+		return s
+	}
+	return r.cfg.Initial
+}
+
+// Barred reports whether app has been barred from inserting entries.
+func (r *Reputation) Barred(app string) bool {
+	if app == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.barred[app]
+}
+
+// Unbar reinstates an application (administrative override) and resets
+// its score to Initial.
+func (r *Reputation) Unbar(app string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.barred, app)
+	r.scores[app] = r.cfg.Initial
+}
+
+// AppScore pairs an application with its score for reporting.
+type AppScore struct {
+	App    string
+	Score  float64
+	Barred bool
+}
+
+// Snapshot returns all known applications sorted by ascending score.
+func (r *Reputation) Snapshot() []AppScore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AppScore, 0, len(r.scores))
+	for app, s := range r.scores {
+		out = append(out, AppScore{App: app, Score: s, Barred: r.barred[app]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].App < out[j].App
+	})
+	return out
+}

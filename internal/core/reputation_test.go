@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/vec"
+)
+
+func TestReputationScoring(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	if got := r.Score("fresh"); got != 1.0 {
+		t.Errorf("initial score = %v, want 1", got)
+	}
+	r.Observe("app", true, false) // pollution signal
+	if got := r.Score("app"); got != 0.8 {
+		t.Errorf("score after penalty = %v, want 0.8", got)
+	}
+	r.Observe("app", false, true) // confirmation
+	if got := r.Score("app"); got != 0.81 {
+		t.Errorf("score after reward = %v, want 0.81", got)
+	}
+	r.Observe("", true, false) // ignored
+	if got := r.Score(""); got != 1.0 {
+		t.Errorf("empty app scored: %v", got)
+	}
+}
+
+func TestReputationRewardCapped(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	for i := 0; i < 50; i++ {
+		r.Observe("app", false, true)
+	}
+	if got := r.Score("app"); got > 1.0 {
+		t.Errorf("score exceeded initial: %v", got)
+	}
+}
+
+func TestReputationBarring(t *testing.T) {
+	r := NewReputation(ReputationConfig{Penalty: 0.5, BarThreshold: 0.2})
+	r.Observe("evil", true, false)
+	if r.Barred("evil") {
+		t.Fatal("barred too early")
+	}
+	r.Observe("evil", true, false) // score 0 ≤ 0.2
+	if !r.Barred("evil") {
+		t.Fatal("not barred at threshold")
+	}
+	r.Unbar("evil")
+	if r.Barred("evil") || r.Score("evil") != 1.0 {
+		t.Error("Unbar did not reinstate")
+	}
+	if r.Barred("") {
+		t.Error("empty app reported barred")
+	}
+}
+
+func TestReputationSnapshotOrdering(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	r.Observe("good", false, true)
+	r.Observe("bad", true, false)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].App != "bad" {
+		t.Errorf("snapshot = %+v, want bad first", snap)
+	}
+}
+
+// TestCachePollutionDefense is the end-to-end failure-injection test: a
+// malicious app floods the cache with wrong results; the dropout-driven
+// tuning phase detects the mismatches, tanks its reputation, bars it,
+// and purges its entries — the defence sketched in §3.5.
+func TestCachePollutionDefense(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	c := New(Config{
+		Clock:          clk,
+		DisableDropout: true, // we drive recomputation explicitly
+		Tuner:          TunerConfig{WarmupZ: 1},
+		// Each detected mismatch also tightens the threshold, so only the
+		// first couple of honest recomputations land inside it; the
+		// penalty must bar the polluter within those observations.
+		Reputation: &ReputationConfig{Penalty: 0.5, BarThreshold: 0.2},
+	})
+	if err := c.RegisterFunction("f", KeyTypeSpec{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	// Malicious app caches wrong results at many keys.
+	for i := 0; i < 5; i++ {
+		_, err := c.Put("f", PutRequest{
+			Keys:  map[string]vec.Vector{"k": {float64(i)}},
+			Value: "WRONG", App: "malware",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.ForceThreshold("f", "k", 0.5)
+	// Honest recomputations near the polluted keys reveal mismatches.
+	var barredAt int
+	for i := 0; i < 5; i++ {
+		_, err := c.Put("f", PutRequest{
+			Keys:  map[string]vec.Vector{"k": {float64(i) + 0.1}},
+			Value: "right", App: "honest",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Reputation().Barred("malware") {
+			barredAt = i + 1
+			break
+		}
+	}
+	if barredAt == 0 {
+		t.Fatalf("malicious app never barred; scores: %+v", c.Reputation().Snapshot())
+	}
+	// Its entries are purged...
+	for i := 0; i < 5; i++ {
+		if res, _ := c.Lookup("f", "k", vec.Vector{float64(i)}); res.Hit && res.Value == "WRONG" {
+			t.Errorf("polluted entry at key %d survived", i)
+		}
+	}
+	// ...and further puts are rejected.
+	if _, err := c.Put("f", PutRequest{
+		Keys: map[string]vec.Vector{"k": {99}}, Value: "WRONG", App: "malware",
+	}); err == nil {
+		t.Error("barred app's put accepted")
+	}
+	if st := c.Stats(); st.RejectedPuts != 1 {
+		t.Errorf("RejectedPuts = %d, want 1", st.RejectedPuts)
+	}
+}
+
+func TestJanitorPurges(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	c := New(Config{Clock: clk, DisableDropout: true, Tuner: TunerConfig{WarmupZ: 1}})
+	c.RegisterFunction("f", KeyTypeSpec{Name: "k"})
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"k": {1}}, Value: 1, TTL: time.Minute})
+	// Drive the janitor's logic synchronously (Run loops on the clock;
+	// here we emulate one wake-up).
+	at, ok := c.NextExpiry()
+	if !ok {
+		t.Fatal("no pending expiry")
+	}
+	clk.Set(at)
+	if n := c.PurgeExpired(); n != 1 {
+		t.Errorf("purged %d, want 1", n)
+	}
+	if _, ok := c.NextExpiry(); ok {
+		t.Error("expiry queue not drained")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/vec"
+)
+
+// Property: for any random population, a snapshot round trip preserves
+// every lookup outcome (same hits, same values) at the same threshold.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, thRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		threshold := float64(thRaw%20) / 4
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		mk := func() *Cache {
+			c := New(Config{Clock: clk, DisableDropout: true, Tuner: TunerConfig{WarmupZ: 1}})
+			if err := c.RegisterFunction("f", KeyTypeSpec{Name: "k", Dim: 2}); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		src := mk()
+		for i := 0; i < n; i++ {
+			_, err := src.Put("f", PutRequest{
+				Keys:  map[string]vec.Vector{"k": {rng.Float64() * 10, rng.Float64() * 10}},
+				Value: int64(i),
+				Cost:  time.Duration(rng.Intn(1000)) * time.Millisecond,
+				TTL:   time.Hour,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := src.ForceThreshold("f", "k", threshold); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := src.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dst := mk()
+		if _, err := dst.ReadSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Len() != src.Len() {
+			return false
+		}
+		for q := 0; q < 20; q++ {
+			query := vec.Vector{rng.Float64() * 10, rng.Float64() * 10}
+			a, err := src.Lookup("f", "k", query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := dst.Lookup("f", "k", query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Hit != b.Hit {
+				return false
+			}
+			if a.Hit && a.Value != b.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src, clk := newTestCache(t)
+	registerScalar(t, src, "f")
+	src.Put("f", PutRequest{
+		Keys: map[string]vec.Vector{"scalar": {1}}, Value: "alpha",
+		Cost: 2 * time.Second, App: "app-a", TTL: time.Hour,
+	})
+	src.Put("f", PutRequest{
+		Keys: map[string]vec.Vector{"scalar": {2}}, Value: int64(42),
+		Cost: time.Second, TTL: time.Hour,
+	})
+	// Accumulate accesses so importance state is non-trivial.
+	src.Lookup("f", "scalar", vec.Vector{1})
+	src.Lookup("f", "scalar", vec.Vector{1})
+	src.ForceThreshold("f", "scalar", 0.5)
+
+	var buf bytes.Buffer
+	ws, err := src.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Entries != 2 || ws.Functions != 1 || ws.Skipped != 0 {
+		t.Fatalf("write stats = %+v", ws)
+	}
+
+	dst := New(Config{Clock: clk, DisableDropout: true, Tuner: TunerConfig{WarmupZ: 1}})
+	rs, err := dst.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Entries != 2 || rs.Functions != 1 {
+		t.Fatalf("read stats = %+v", rs)
+	}
+	// Entries restored with values, costs and access counts.
+	res, err := dst.Lookup("f", "scalar", vec.Vector{1})
+	if err != nil || !res.Hit || res.Value != "alpha" {
+		t.Fatalf("restored lookup: %+v, %v", res, err)
+	}
+	if res.Entry.Cost() != 2*time.Second {
+		t.Errorf("restored cost = %v", res.Entry.Cost())
+	}
+	if res.Entry.AccessCount() < 3 { // 1 put + 2 hits (+1 for this hit)
+		t.Errorf("restored access count = %d", res.Entry.AccessCount())
+	}
+	if res.Entry.App() != "app-a" {
+		t.Errorf("restored app = %q", res.Entry.App())
+	}
+	// Threshold restored.
+	st, _ := dst.TunerStats("f", "scalar")
+	if !st.Active || st.Threshold != 0.5 {
+		t.Errorf("restored tuner = %+v", st)
+	}
+	// Approximate hits work against restored indices.
+	res, _ = dst.Lookup("f", "scalar", vec.Vector{2.2})
+	if !res.Hit || res.Value != int64(42) {
+		t.Errorf("approximate restored lookup = %+v", res)
+	}
+}
+
+func TestSnapshotSkipsNonSerializableValues(t *testing.T) {
+	src, _ := newTestCache(t)
+	registerScalar(t, src, "f")
+	type opaque struct{ ch chan int }
+	src.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1}}, Value: opaque{}})
+	src.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {2}}, Value: "ok"})
+	var buf bytes.Buffer
+	ws, err := src.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Entries != 1 || ws.Skipped != 1 {
+		t.Errorf("stats = %+v", ws)
+	}
+}
+
+func TestSnapshotTTLRebased(t *testing.T) {
+	src, clk := newTestCache(t)
+	registerScalar(t, src, "f")
+	src.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1}}, Value: 1, TTL: 10 * time.Minute})
+	clk.Advance(6 * time.Minute)
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Config{Clock: clk, DisableDropout: true, Tuner: TunerConfig{WarmupZ: 1}})
+	if _, err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 4 minutes remained at capture; the restored entry must expire
+	// then, not a full TTL later.
+	clk.Advance(3 * time.Minute)
+	if res, _ := dst.Lookup("f", "scalar", vec.Vector{1}); !res.Hit {
+		t.Error("entry expired early after restore")
+	}
+	clk.Advance(2 * time.Minute)
+	if res, _ := dst.Lookup("f", "scalar", vec.Vector{1}); res.Hit {
+		t.Error("entry outlived its rebased TTL")
+	}
+}
+
+func TestSnapshotExpiredEntriesDropped(t *testing.T) {
+	src, clk := newTestCache(t)
+	registerScalar(t, src, "f")
+	src.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1}}, Value: 1, TTL: time.Minute})
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot ages past the entry's TTL before restore: rebasing
+	// happens against the capture time, so the entry is still valid at
+	// restore (remaining TTL is measured at capture). To test dropping,
+	// capture an already-expired entry is impossible (purge runs first),
+	// so instead corrupt-free path: advance and re-capture.
+	clk.Advance(2 * time.Minute)
+	var buf2 bytes.Buffer
+	ws, err := src.WriteSnapshot(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Entries != 0 {
+		t.Errorf("expired entry written: %+v", ws)
+	}
+}
+
+func TestSnapshotGarbageInput(t *testing.T) {
+	dst, _ := newTestCache(t)
+	if _, err := dst.ReadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestSnapshotMultiKeyType(t *testing.T) {
+	src, clk := newTestCache(t)
+	err := src.RegisterFunction("f",
+		KeyTypeSpec{Name: "a"},
+		KeyTypeSpec{Name: "b", Index: "lsh", Dim: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Put("f", PutRequest{
+		Keys: map[string]vec.Vector{
+			"a": {1, 2},
+			"b": {3, 4},
+		},
+		Value: "multi", TTL: time.Hour,
+	})
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Config{Clock: clk, DisableDropout: true, Tuner: TunerConfig{WarmupZ: 1}})
+	if _, err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := dst.Lookup("f", "a", vec.Vector{1, 2}); !res.Hit {
+		t.Error("key type a not restored")
+	}
+	if res, _ := dst.Lookup("f", "b", vec.Vector{3, 4}); !res.Hit {
+		t.Error("key type b not restored")
+	}
+	if dst.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (single value, two indices)", dst.Len())
+	}
+}

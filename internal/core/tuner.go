@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TunerConfig parameterizes the NN-based threshold tuning algorithm
+// (Algorithm 1 of the paper). The zero value is replaced by the paper's
+// defaults: k = 4, γ = 0.8, z = 100.
+type TunerConfig struct {
+	// K is the tightening divisor: a false positive sets θ ← θ/K.
+	// The paper evaluates K ∈ {2, 4, 8} in Figure 7 and defaults to 4.
+	K float64
+	// Gamma is the EWMA weight for loosening:
+	// θ ← (1-γ)·‖key′-key‖ + γ·θ. Default 0.8.
+	Gamma float64
+	// WarmupZ is the number of entries that must be inserted before the
+	// algorithm "kicks into action" (default 100). Figure 6 studies the
+	// effect of this value on threshold accuracy.
+	WarmupZ int
+}
+
+func (c TunerConfig) withDefaults() TunerConfig {
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.Gamma <= 0 || c.Gamma >= 1 {
+		c.Gamma = 0.8
+	}
+	if c.WarmupZ <= 0 {
+		c.WarmupZ = 100
+	}
+	return c
+}
+
+// Tuner maintains the similarity threshold for one key index,
+// implementing Algorithm 1: the threshold starts at zero (exact match
+// only), is initialized once WarmupZ entries have been cached, is
+// loosened conservatively by an exponentially weighted moving average
+// when a distant neighbour turns out to share the new entry's value, and
+// is tightened aggressively (θ/K) when a neighbour within the threshold
+// turns out to have a different value — a condition surfaced by the
+// random-dropout mechanism (§3.4).
+type Tuner struct {
+	mu        sync.Mutex
+	cfg       TunerConfig
+	threshold float64
+	puts      int
+	active    bool
+	// warmupSame and warmupDiff record the NN distances seen during
+	// warm-up for same-value and different-value neighbours, so the
+	// initial threshold reflects the data (Figure 6's "initializing the
+	// threshold" from cached entries).
+	warmupSame []float64
+	warmupDiff []float64
+	// counters for observability.
+	tightenings int
+	loosenings  int
+}
+
+// NewTuner returns a tuner with the given configuration (zero fields take
+// the paper's defaults).
+func NewTuner(cfg TunerConfig) *Tuner {
+	return &Tuner{cfg: cfg.withDefaults()}
+}
+
+// Threshold returns the current similarity threshold. It is zero until
+// warm-up completes.
+func (t *Tuner) Threshold() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.threshold
+}
+
+// Active reports whether warm-up has completed.
+func (t *Tuner) Active() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// Reset returns the tuner to its initial state. register() resets the
+// threshold per §4.3.
+func (t *Tuner) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threshold = 0
+	t.puts = 0
+	t.active = false
+	t.warmupSame = nil
+	t.warmupDiff = nil
+	t.tightenings = 0
+	t.loosenings = 0
+}
+
+// ObservePut feeds one put() observation into Algorithm 1.
+//
+// dist is the distance from the new key to its nearest neighbour in the
+// index (before insertion); sameValue reports whether that neighbour's
+// cached value equals the newly computed one; haveNeighbor is false when
+// the index was empty.
+func (t *Tuner) ObservePut(dist float64, sameValue, haveNeighbor bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.puts++
+	if !t.active {
+		if haveNeighbor {
+			if sameValue {
+				t.warmupSame = append(t.warmupSame, dist)
+			} else {
+				t.warmupDiff = append(t.warmupDiff, dist)
+			}
+		}
+		if t.puts >= t.cfg.WarmupZ {
+			t.activateLocked()
+		}
+		return
+	}
+	if !haveNeighbor {
+		return
+	}
+	switch {
+	case dist <= t.threshold && !sameValue:
+		// Line 7-8: threshold too loose; tighten aggressively.
+		t.threshold /= t.cfg.K
+		t.tightenings++
+	case dist > t.threshold && sameValue:
+		// Line 9-10: threshold too tight; loosen with an EWMA.
+		t.threshold = (1-t.cfg.Gamma)*dist + t.cfg.Gamma*t.threshold
+		t.loosenings++
+	}
+}
+
+// activateLocked initializes the threshold from the warm-up
+// observations via WarmupThreshold and discards the recorded samples.
+func (t *Tuner) activateLocked() {
+	t.active = true
+	t.threshold = WarmupThreshold(t.warmupSame, t.warmupDiff)
+	t.warmupSame = nil
+	t.warmupDiff = nil
+}
+
+// warmupFalsePositivePenalty weighs an admitted different-value pair
+// against covered same-value pairs when choosing the initial threshold:
+// a wrong reuse costs accuracy, which the paper values over raw savings
+// ("the threshold is loosened conservatively", §3.5).
+const warmupFalsePositivePenalty = 4
+
+// WarmupThreshold chooses the initial similarity threshold from warm-up
+// nearest-neighbour observations: the distances at which a new entry's
+// nearest cached neighbour carried the same value (reuse would have been
+// correct) and a different value (reuse would have been wrong). It
+// returns the cut that maximizes covered same-value pairs minus a
+// penalty per admitted different-value pair — the observed diameter of
+// the "similar result" cluster (§3.5 intuition), discriminatively
+// bounded. With more warm-up entries both estimates sharpen, which is
+// why threshold accuracy grows with the number of initializing entries
+// (Figure 6).
+func WarmupThreshold(same, diff []float64) float64 {
+	if len(same) == 0 {
+		return 0
+	}
+	sortedSame := append([]float64(nil), same...)
+	sortedDiff := append([]float64(nil), diff...)
+	sort.Float64s(sortedSame)
+	sort.Float64s(sortedDiff)
+	best, bestScore := 0.0, 0.0
+	j := 0
+	for i, th := range sortedSame {
+		for j < len(sortedDiff) && sortedDiff[j] <= th {
+			j++
+		}
+		score := float64(i+1) - warmupFalsePositivePenalty*float64(j)
+		if score > bestScore {
+			best, bestScore = th, score
+		}
+	}
+	return best
+}
+
+// ForceActivate completes warm-up immediately with the given initial
+// threshold, used by experiments that sweep fixed thresholds (Figure 9).
+func (t *Tuner) ForceActivate(threshold float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.active = true
+	t.threshold = threshold
+}
+
+// Stats reports counters for observability and experiment output.
+func (t *Tuner) Stats() TunerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TunerStats{
+		Threshold:   t.threshold,
+		Puts:        t.puts,
+		Active:      t.active,
+		Tightenings: t.tightenings,
+		Loosenings:  t.loosenings,
+	}
+}
+
+// TunerStats is a snapshot of a tuner's state.
+type TunerStats struct {
+	Threshold   float64
+	Puts        int
+	Active      bool
+	Tightenings int
+	Loosenings  int
+}
+
+// String implements fmt.Stringer.
+func (s TunerStats) String() string {
+	return fmt.Sprintf("threshold=%.6g puts=%d active=%v tighten=%d loosen=%d",
+		s.Threshold, s.Puts, s.Active, s.Tightenings, s.Loosenings)
+}

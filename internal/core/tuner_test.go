@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTunerDefaults(t *testing.T) {
+	tn := NewTuner(TunerConfig{})
+	if tn.cfg.K != 4 || tn.cfg.Gamma != 0.8 || tn.cfg.WarmupZ != 100 {
+		t.Errorf("defaults = %+v, want k=4 gamma=0.8 z=100", tn.cfg)
+	}
+	if tn.Threshold() != 0 {
+		t.Errorf("initial threshold = %v, want 0", tn.Threshold())
+	}
+	if tn.Active() {
+		t.Error("tuner active before warm-up")
+	}
+}
+
+func TestTunerWarmupActivation(t *testing.T) {
+	tn := NewTuner(TunerConfig{WarmupZ: 10})
+	for i := 0; i < 9; i++ {
+		tn.ObservePut(2.0, true, true)
+		if tn.Active() {
+			t.Fatalf("tuner active after %d puts, warm-up is 10", i+1)
+		}
+		if tn.Threshold() != 0 {
+			t.Fatalf("threshold %v during warm-up, want 0", tn.Threshold())
+		}
+	}
+	tn.ObservePut(4.0, true, true)
+	if !tn.Active() {
+		t.Fatal("tuner not active after warm-up")
+	}
+	// With no different-value observations, the initial threshold
+	// covers all same-value pairs: max{2 ×9, 4} = 4.
+	if got := tn.Threshold(); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("initial threshold = %v, want 4", got)
+	}
+}
+
+func TestTunerWarmupNoSameValueNeighbors(t *testing.T) {
+	tn := NewTuner(TunerConfig{WarmupZ: 5})
+	for i := 0; i < 5; i++ {
+		tn.ObservePut(3.0, false, true)
+	}
+	if !tn.Active() {
+		t.Fatal("not active")
+	}
+	if tn.Threshold() != 0 {
+		t.Errorf("threshold = %v, want 0 with no same-value observations", tn.Threshold())
+	}
+}
+
+func TestTunerTighten(t *testing.T) {
+	tn := NewTuner(TunerConfig{K: 4, WarmupZ: 1})
+	tn.ObservePut(0, true, false) // completes warm-up
+	tn.ForceActivate(8.0)
+	// Within threshold, different value: tighten by K.
+	tn.ObservePut(5.0, false, true)
+	if got := tn.Threshold(); got != 2.0 {
+		t.Errorf("threshold after tighten = %v, want 2", got)
+	}
+	st := tn.Stats()
+	if st.Tightenings != 1 {
+		t.Errorf("tightenings = %d, want 1", st.Tightenings)
+	}
+}
+
+func TestTunerLoosen(t *testing.T) {
+	tn := NewTuner(TunerConfig{Gamma: 0.8, WarmupZ: 1})
+	tn.ObservePut(0, true, false)
+	tn.ForceActivate(1.0)
+	// Beyond threshold, same value: EWMA loosen.
+	tn.ObservePut(6.0, true, true)
+	want := 0.2*6.0 + 0.8*1.0
+	if got := tn.Threshold(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("threshold after loosen = %v, want %v", got, want)
+	}
+	st := tn.Stats()
+	if st.Loosenings != 1 {
+		t.Errorf("loosenings = %d, want 1", st.Loosenings)
+	}
+}
+
+func TestTunerNoChangeCases(t *testing.T) {
+	tn := NewTuner(TunerConfig{WarmupZ: 1})
+	tn.ObservePut(0, true, false)
+	tn.ForceActivate(5.0)
+	// Within threshold, same value: consistent, no change.
+	tn.ObservePut(3.0, true, true)
+	if got := tn.Threshold(); got != 5.0 {
+		t.Errorf("threshold changed on consistent observation: %v", got)
+	}
+	// Beyond threshold, different value: correctly dissimilar, no change.
+	tn.ObservePut(9.0, false, true)
+	if got := tn.Threshold(); got != 5.0 {
+		t.Errorf("threshold changed on dissimilar observation: %v", got)
+	}
+	// No neighbour: no change.
+	tn.ObservePut(0, false, false)
+	if got := tn.Threshold(); got != 5.0 {
+		t.Errorf("threshold changed with no neighbour: %v", got)
+	}
+}
+
+func TestTunerReset(t *testing.T) {
+	tn := NewTuner(TunerConfig{WarmupZ: 1})
+	tn.ObservePut(2.0, true, true)
+	tn.ForceActivate(7)
+	tn.Reset()
+	if tn.Active() || tn.Threshold() != 0 {
+		t.Errorf("after Reset: active=%v threshold=%v", tn.Active(), tn.Threshold())
+	}
+	st := tn.Stats()
+	if st.Puts != 0 || st.Tightenings != 0 || st.Loosenings != 0 {
+		t.Errorf("counters survive Reset: %+v", st)
+	}
+}
+
+// TestTunerDecayRate reproduces the arithmetic behind Figure 7: with
+// tightening factor k, n consecutive false positives shrink the
+// threshold by k^n.
+func TestTunerDecayRate(t *testing.T) {
+	for _, k := range []float64{2, 4, 8} {
+		tn := NewTuner(TunerConfig{K: k, WarmupZ: 1})
+		tn.ObservePut(0, true, false)
+		tn.ForceActivate(1.0)
+		n := 0
+		for tn.Threshold() > 1e-2 { // shrink by a factor of 100
+			tn.ObservePut(tn.Threshold()/2, false, true)
+			n++
+			if n > 1000 {
+				t.Fatalf("k=%v: threshold did not decay", k)
+			}
+		}
+		want := int(math.Ceil(2 / math.Log10(k)))
+		if n != want {
+			t.Errorf("k=%v: decayed 100x in %d steps, want %d", k, n, want)
+		}
+	}
+}
+
+// Property: the threshold never becomes negative, and loosening moves it
+// toward the observed distance without overshooting.
+func TestTunerBoundsProperty(t *testing.T) {
+	f := func(obs []float64, flags []bool) bool {
+		tn := NewTuner(TunerConfig{WarmupZ: 1})
+		tn.ObservePut(0, true, false)
+		for i, d := range obs {
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				d = 1
+			}
+			d = math.Mod(d, 1e6)
+			same := i < len(flags) && flags[i]
+			before := tn.Threshold()
+			tn.ObservePut(d, same, true)
+			after := tn.Threshold()
+			if after < 0 {
+				return false
+			}
+			if same && d > before {
+				// Loosening: new threshold strictly between old and d.
+				if after < before || after > d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTunerStatsString(t *testing.T) {
+	tn := NewTuner(TunerConfig{})
+	if s := tn.Stats().String(); s == "" {
+		t.Error("empty stats string")
+	}
+}

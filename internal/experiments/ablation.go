@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-dropout",
+		Title: "Ablation: random-dropout probability (§3.4 / end of §5.2)",
+		Paper: "the paper sets p = 0.1 and defers 'how to set the dropout " +
+			"probability'; this ablation maps the tradeoff: p = 0 never detects " +
+			"a stale threshold, large p wastes recomputation",
+		Run: runAblationDropout,
+	})
+	register(Experiment{
+		ID:    "ablation-index",
+		Title: "Ablation: index structure for the same cache workload (§3.6)",
+		Paper: "Figure 5 offers hash/treemap/KD-tree/LSH per key type; this " +
+			"ablation compares lookup latency and exactness on one workload",
+		Run: runAblationIndex,
+	})
+}
+
+// runAblationDropout replays a scene-change scenario for several dropout
+// probabilities: the cache holds stale results for keys near the new
+// scene's inputs, so every undetected false positive returns a wrong
+// value. Dropout is the only mechanism that triggers recomputation and
+// the tuner's tightening branch. Reported per p: wrong results served,
+// recomputations paid, and operations until the threshold shrank 10×.
+func runAblationDropout(w io.Writer) error {
+	rows := make([][]string, 0, 6)
+	for _, p := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4} {
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		cfg := core.Config{
+			Clock: clk,
+			Seed:  42,
+			Tuner: core.TunerConfig{WarmupZ: 1, K: 4},
+		}
+		if p == 0 {
+			cfg.DisableDropout = true
+		} else {
+			cfg.DropoutRate = p
+		}
+		cache := core.New(cfg)
+		if err := cache.RegisterFunction("f", core.KeyTypeSpec{Name: "k", Dim: 1}); err != nil {
+			return err
+		}
+		// Stale scene: results for keys 0..99 cached under a loose
+		// threshold.
+		for i := 0; i < 100; i++ {
+			if _, err := cache.Put("f", core.PutRequest{
+				Keys:  map[string]vec.Vector{"k": {float64(i)}},
+				Value: "old-scene",
+			}); err != nil {
+				return err
+			}
+		}
+		if err := cache.ForceThreshold("f", "k", 2.0); err != nil {
+			return err
+		}
+		// New scene: same key region now maps to different results.
+		const ops = 400
+		wrong, recomputes := 0, 0
+		shrunkAt := -1
+		rng := rand.New(rand.NewSource(7))
+		for op := 0; op < ops; op++ {
+			key := vec.Vector{rng.Float64() * 100}
+			res, err := cache.Lookup("f", "k", key)
+			if err != nil {
+				return err
+			}
+			if res.Hit {
+				if res.Value == "old-scene" {
+					wrong++
+				}
+				continue
+			}
+			recomputes++
+			if _, err := cache.Put("f", core.PutRequest{
+				Keys:  map[string]vec.Vector{"k": key},
+				Value: "new-scene",
+			}); err != nil {
+				return err
+			}
+			st, _ := cache.TunerStats("f", "k")
+			if shrunkAt < 0 && st.Threshold <= 0.2 {
+				shrunkAt = op
+			}
+		}
+		shrunk := "never"
+		if shrunkAt >= 0 {
+			shrunk = fmt.Sprintf("%d", shrunkAt)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p),
+			fmt.Sprintf("%d", wrong),
+			fmt.Sprintf("%d", recomputes),
+			shrunk,
+		})
+	}
+	table(w, []string{"dropout p", "wrong results (of 400)", "recomputations", "ops to 10x tighter"}, rows)
+	fmt.Fprintln(w, "\np = 0.1 (the paper's default) balances stale-result exposure against recomputation cost")
+	return nil
+}
+
+// runAblationIndex runs the same pre-populated cache workload over each
+// index kind, reporting lookup latency and whether the returned
+// neighbour matches the exact (linear-scan) answer.
+func runAblationIndex(w io.Writer) error {
+	const entries, dim, queries = 20_000, 64, 300
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]vec.Vector, entries)
+	for i := range keys {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		keys[i] = v
+	}
+	qs := make([]vec.Vector, queries)
+	for i := range qs {
+		q := keys[rng.Intn(entries)].Clone()
+		for j := range q {
+			q[j] += rng.NormFloat64() * 0.01
+		}
+		qs[i] = q
+	}
+	ref := index.NewLinear(vec.EuclideanMetric{})
+	for i, k := range keys {
+		ref.Insert(index.ID(i), k)
+	}
+	want := make([]index.ID, queries)
+	for i, q := range qs {
+		n, _ := ref.Nearest(q)
+		want[i] = n.ID
+	}
+
+	rows := make([][]string, 0, 5)
+	for _, kind := range []index.Kind{index.KindLinear, index.KindKDTree, index.KindLSH, index.KindTreeMap, index.KindHash} {
+		idx, err := index.New(kind, vec.EuclideanMetric{}, dim)
+		if err != nil {
+			return err
+		}
+		insertStart := time.Now()
+		for i, k := range keys {
+			idx.Insert(index.ID(i), k)
+		}
+		insertAvg := time.Since(insertStart) / entries
+		exact := 0
+		lookupStart := time.Now()
+		for i, q := range qs {
+			if n, ok := idx.Nearest(q); ok && n.ID == want[i] {
+				exact++
+			}
+		}
+		lookupAvg := time.Since(lookupStart) / queries
+		rows = append(rows, []string{
+			string(kind),
+			fmt.Sprintf("%.1f", float64(lookupAvg)/float64(time.Microsecond)),
+			fmt.Sprintf("%.1f", float64(insertAvg)/float64(time.Microsecond)),
+			fmt.Sprintf("%.0f%%", 100*float64(exact)/queries),
+		})
+	}
+	table(w, []string{"index", "lookup (µs)", "insert (µs)", "exact-NN agreement"}, rows)
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-k",
+		Title: "Ablation: k of the threshold-restricted kNN lookup (§3.4)",
+		Paper: "\"By default ... we set k to 1. We experimented with a few values " +
+			"and find that this value provides the fastest lookup time without " +
+			"sacrificing quality\" — this ablation reruns that experiment",
+		Run: runAblationK,
+	})
+}
+
+// runAblationK measures, for k ∈ {1, 2, 4, 8}: lookup latency and hit
+// quality (fraction of hits whose returned label matches ground truth)
+// over the weak-correlation dataset, at the tuner's own warm-up
+// threshold. The paper's finding to reproduce: k = 1 is fastest and
+// larger k does not buy quality.
+func runAblationK(w io.Writer) error {
+	ds, rec := hardCIFAR()
+	const stored, testN = 1000, 200
+	entries := drawEntries(ds, rec, ds.Classes, stored, 100)
+	test := drawEntries(ds, rec, ds.Classes, testN, 50_000)
+	threshold := initialThreshold(entries[:300], vec.EuclideanMetric{})
+
+	rows := make([][]string, 0, 4)
+	for _, k := range []int{1, 2, 4, 8} {
+		cache := core.New(core.Config{
+			DisableDropout: true,
+			Tuner:          core.TunerConfig{WarmupZ: 1},
+			LookupK:        k,
+		})
+		if err := cache.RegisterFunction("f", core.KeyTypeSpec{
+			Name: "downsamp", Index: "kdtree", Dim: len(entries[0].key),
+		}); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if _, err := cache.Put("f", core.PutRequest{
+				Keys:  map[string]vec.Vector{"downsamp": e.key},
+				Value: e.label,
+			}); err != nil {
+				return err
+			}
+		}
+		if err := cache.ForceThreshold("f", "downsamp", threshold); err != nil {
+			return err
+		}
+		hits, correct := 0, 0
+		start := time.Now()
+		for _, te := range test {
+			res, err := cache.Lookup("f", "downsamp", te.key)
+			if err != nil {
+				return err
+			}
+			if res.Hit {
+				hits++
+				if res.Value.(int) == te.truth {
+					correct++
+				}
+			}
+		}
+		perLookup := time.Since(start) / testN
+		quality := 0.0
+		if hits > 0 {
+			quality = float64(correct) / float64(hits)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.1f", float64(perLookup)/float64(time.Microsecond)),
+			fmt.Sprintf("%.0f%%", 100*float64(hits)/testN),
+			fmt.Sprintf("%.1f%%", 100*quality),
+		})
+	}
+	table(w, []string{"k", "lookup (µs)", "hit rate", "hit quality"}, rows)
+	fmt.Fprintf(w, "\n(threshold fixed at the warm-up value %.2f for all k)\n", threshold)
+	return nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/audio"
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "crossdevice",
+		Title: "Extension: cross-device deduplication (§7 future work)",
+		Paper: "the paper proposes applying deduplication across devices; this " +
+			"extension measures how a second device's work splits between local " +
+			"hits, hub reuses, and fresh computation",
+		Run: runCrossDevice,
+	})
+}
+
+// runCrossDevice simulates the §7 scenario without sockets (the wire
+// path is covered by the ipc experiment and service tests): a shared hub
+// cache plus per-device local caches using the Tiered adopt-on-hit
+// policy. Device A works through a day of ambient environments; device B
+// then enters the same environments, and we count where B's answers come
+// from.
+func runCrossDevice(w io.Writer) error {
+	newCache := func(seed int64) *core.Cache {
+		c := core.New(core.Config{
+			Seed:  seed,
+			Tuner: core.TunerConfig{WarmupZ: 10},
+		})
+		if err := c.RegisterFunction("ambient", core.KeyTypeSpec{Name: "mfcc", Dim: 26}); err != nil {
+			panic(err) // static registration cannot fail
+		}
+		return c
+	}
+	hub := newCache(1)
+
+	type device struct {
+		name  string
+		local *core.Cache
+	}
+	newDevice := func(name string, seed int64) *device {
+		return &device{name: name, local: newCache(seed)}
+	}
+	// Without sockets, emulate the remote hop with direct hub access:
+	// lookup local → hub → compute, adopting hub hits locally — exactly
+	// service.Tiered's algorithm (which the service tests cover over a
+	// real socket).
+	gen := audio.NewAmbientScene(2018)
+	type outcome struct{ local, hub, computed int }
+	process := func(d *device, hubCache *core.Cache, class, variant int, out *outcome) error {
+		clip, truth := gen.Sample(class, variant)
+		key := audio.MFCC(clip, audio.MFCCConfig{})
+		res, err := d.local.Lookup("ambient", "mfcc", key)
+		if err != nil {
+			return err
+		}
+		if res.Hit {
+			out.local++
+			return nil
+		}
+		if !res.Dropout {
+			hres, err := hubCache.Lookup("ambient", "mfcc", key)
+			if err != nil {
+				return err
+			}
+			if hres.Hit {
+				out.hub++
+				_, err = d.local.Put("ambient", core.PutRequest{
+					Keys:  map[string]vec.Vector{"mfcc": key},
+					Value: hres.Value,
+					App:   "remote-adopt",
+				})
+				return err
+			}
+		}
+		out.computed++
+		value := fmt.Sprintf("env-%d", truth)
+		if _, err := d.local.Put("ambient", core.PutRequest{
+			Keys:  map[string]vec.Vector{"mfcc": key},
+			Value: value,
+			App:   d.name,
+		}); err != nil {
+			return err
+		}
+		_, err = hubCache.Put("ambient", core.PutRequest{
+			Keys:  map[string]vec.Vector{"mfcc": key},
+			Value: value,
+			App:   d.name,
+		})
+		return err
+	}
+
+	phoneA := newDevice("phone-a", 2)
+	phoneB := newDevice("phone-b", 3)
+	var aDay, bFirst, bRevisit outcome
+	const classes = 6
+	// Phone A's day.
+	for i := 0; i < 60; i++ {
+		if err := process(phoneA, hub, (i/5)%classes, 100+i, &aDay); err != nil {
+			return err
+		}
+	}
+	// Phone B enters the same environments for the first time...
+	for i := 0; i < 30; i++ {
+		if err := process(phoneB, hub, (i/3)%classes, 500+i, &bFirst); err != nil {
+			return err
+		}
+	}
+	// ...then revisits them.
+	for i := 0; i < 30; i++ {
+		if err := process(phoneB, hub, (i/3)%classes, 800+i, &bRevisit); err != nil {
+			return err
+		}
+	}
+
+	rows := [][]string{
+		{"phone A (day 1)", fmt.Sprintf("%d", aDay.local), fmt.Sprintf("%d", aDay.hub), fmt.Sprintf("%d", aDay.computed)},
+		{"phone B (first visit)", fmt.Sprintf("%d", bFirst.local), fmt.Sprintf("%d", bFirst.hub), fmt.Sprintf("%d", bFirst.computed)},
+		{"phone B (revisit)", fmt.Sprintf("%d", bRevisit.local), fmt.Sprintf("%d", bRevisit.hub), fmt.Sprintf("%d", bRevisit.computed)},
+	}
+	table(w, []string{"device / phase", "local hits", "hub reuses", "computed"}, rows)
+	fmt.Fprintf(w, "\nshape check (B computes less than A, and shifts from hub to local): %v\n",
+		bFirst.computed+bRevisit.computed < aDay.computed &&
+			bRevisit.local > bFirst.local)
+	return nil
+}

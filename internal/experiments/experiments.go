@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment prints the same rows or series the
+// paper reports; absolute numbers reflect this machine and the synthetic
+// substrates, but the shapes — orderings, crossovers, speedup factors —
+// are the reproduction targets. EXPERIMENTS.md records paper-vs-measured
+// for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible artifact of the evaluation.
+type Experiment struct {
+	// ID is the artifact identifier ("table1", "fig2", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper summarizes what the paper's version shows (the shape to
+	// reproduce).
+	Paper string
+	// Run executes the experiment, writing its rows/series to w.
+	Run func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// paperOrder lists the artifacts in the order they appear in the paper.
+var paperOrder = []string{
+	"fig2", "table1", "fig6", "fig7", "fig8", "table2", "ipc", "space",
+	"fig9", "fig10a", "fig10b", "fig10c", "mnist16x",
+	"ablation-dropout", "ablation-index", "ablation-k", "crossdevice",
+}
+
+// All returns the experiments in paper order (artifacts not in the
+// canonical list follow, in registration order).
+func All() []Experiment {
+	rank := make(map[string]int, len(paperOrder))
+	for i, id := range paperOrder {
+		rank[id] = i
+	}
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, okI := rank[out[i].ID]
+		rj, okJ := rank[out[j].ID]
+		if okI && okJ {
+			return ri < rj
+		}
+		return okI && !okJ
+	})
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunAll executes every experiment in order, with headers.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// table builds an aligned text table.
+func table(w io.Writer, header []string, rows [][]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// mean returns the arithmetic mean of xs (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// minMax returns the extrema of xs.
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// median returns the median of xs (0 for empty input).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

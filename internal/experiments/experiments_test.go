@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	all := All()
+	if len(all) < len(paperOrder) {
+		t.Fatalf("registry has %d experiments, want ≥ %d", len(all), len(paperOrder))
+	}
+	for i, id := range paperOrder {
+		if all[i].ID != id {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	for _, e := range all {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig8")
+	if err != nil || e.ID != "fig8" {
+		t.Errorf("ByID(fig8) = %+v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if got := IDs(); len(got) != len(registry) {
+		t.Errorf("IDs() = %v", got)
+	}
+}
+
+// TestFig7Runs executes the fastest experiment end to end and checks
+// the output shape.
+func TestFig7Runs(t *testing.T) {
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"factor 1/2", "factor 1/4", "factor 1/8", "20x shrink"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig8ShapeHolds runs the replacement-policy comparison and asserts
+// the paper's core claim on the generated rows: importance < lru and
+// importance < random at the 20% cache point.
+func TestFig8ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 replays 2×9×3 sequences of 10k requests")
+	}
+	e, err := ByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the 20% rows of both distributions.
+	checked := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] == "20%" {
+			var imp, lru, rnd float64
+			if _, err := fmt.Sscan(fields[1], &imp); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fmt.Sscan(fields[2], &lru); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fmt.Sscan(fields[3], &rnd); err != nil {
+				t.Fatal(err)
+			}
+			if imp >= lru || imp >= rnd {
+				t.Errorf("importance %.3f not best at 20%% (lru %.3f random %.3f)", imp, lru, rnd)
+			}
+			checked++
+		}
+	}
+	if checked != 2 {
+		t.Errorf("found %d 20%% rows, want 2", checked)
+	}
+}
+
+// TestFastExperimentsRun smoke-tests the experiments that finish in
+// well under a second, checking they produce their headline lines.
+func TestFastExperimentsRun(t *testing.T) {
+	cases := map[string]string{
+		"ablation-dropout": "wrong results",
+		"space":            "shape check",
+	}
+	for id, want := range cases {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("%s output missing %q", id, want)
+		}
+	}
+}
+
+func TestInitialThresholdDegenerate(t *testing.T) {
+	if got := initialThreshold(nil, vec.EuclideanMetric{}); got != 0 {
+		t.Errorf("empty entries: %v", got)
+	}
+	one := []datasetEntry{{key: vec.Vector{1}, label: 0}}
+	if got := initialThreshold(one, vec.EuclideanMetric{}); got != 0 {
+		t.Errorf("single entry: %v", got)
+	}
+	// Two same-label entries: threshold covers their distance.
+	two := []datasetEntry{
+		{key: vec.Vector{0}, label: 1},
+		{key: vec.Vector{3}, label: 1},
+	}
+	if got := initialThreshold(two, vec.EuclideanMetric{}); got != 3 {
+		t.Errorf("same-label pair: %v, want 3", got)
+	}
+	// Different labels: no reuse is safe, threshold 0.
+	twoDiff := []datasetEntry{
+		{key: vec.Vector{0}, label: 1},
+		{key: vec.Vector{3}, label: 2},
+	}
+	if got := initialThreshold(twoDiff, vec.EuclideanMetric{}); got != 0 {
+		t.Errorf("diff-label pair: %v, want 0", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if mean(nil) != 0 || median(nil) != 0 {
+		t.Error("empty-input helpers")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+	lo, hi := minMax([]float64{2, -1, 5})
+	if lo != -1 || hi != 5 {
+		t.Error("minMax")
+	}
+	if accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy")
+	}
+	if accuracy([]int{1, 2}, []int{1, 3}) != 0.5 {
+		t.Error("accuracy")
+	}
+}

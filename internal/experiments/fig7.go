@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Threshold decay vs cache operations (dropout 0.1)",
+		Paper: "with tightening factor ≥ 1/4, the threshold shrinks 20× within " +
+			"~20 operations and 100× within ~30 on average",
+		Run: runFig7,
+	})
+}
+
+// runFig7 reproduces Figure 7: after a scene change the threshold is too
+// loose; every cache operation is a lookup that, with the dropout
+// probability, forces a recomputation whose put observes a
+// within-threshold value conflict and tightens by the factor k. The
+// series reports the normalized threshold after each operation for
+// k ∈ {2, 4, 8}.
+func runFig7(w io.Writer) error {
+	const (
+		ops     = 100
+		dropout = 0.1
+		reps    = 200
+	)
+	factors := []float64{2, 4, 8}
+
+	// traj[f][op] accumulates the normalized threshold after `op`
+	// operations for factor f, averaged over reps random runs.
+	traj := make([][]float64, len(factors))
+	for fi, k := range factors {
+		traj[fi] = make([]float64, ops+1)
+		for rep := 0; rep < reps; rep++ {
+			rng := rand.New(rand.NewSource(int64(rep)*31 + int64(fi)))
+			tuner := core.NewTuner(core.TunerConfig{K: k, WarmupZ: 1})
+			tuner.ObservePut(0, true, false) // complete warm-up
+			tuner.ForceActivate(1.0)
+			traj[fi][0] += 1.0
+			for op := 1; op <= ops; op++ {
+				// Each operation is a lookup against a stale cache; with
+				// probability `dropout` the lookup is dropped, the app
+				// recomputes, and the put sees the conflict.
+				if rng.Float64() < dropout {
+					tuner.ObservePut(tuner.Threshold()/2, false, true)
+				}
+				traj[fi][op] += tuner.Threshold()
+			}
+		}
+		for op := range traj[fi] {
+			traj[fi][op] /= reps
+		}
+	}
+
+	rows := make([][]string, 0, 11)
+	for op := 0; op <= ops; op += 10 {
+		row := []string{fmt.Sprintf("%d", op)}
+		for fi := range factors {
+			row = append(row, fmt.Sprintf("%.4f", traj[fi][op]))
+		}
+		rows = append(rows, row)
+	}
+	table(w, []string{"operations", "factor 1/2", "factor 1/4", "factor 1/8"}, rows)
+
+	// How many operations until the threshold has shrunk 20× and 100×.
+	for fi, k := range factors {
+		at20, at100 := -1, -1
+		for op, v := range traj[fi] {
+			if at20 < 0 && v <= 1.0/20 {
+				at20 = op
+			}
+			if at100 < 0 && v <= 1.0/100 {
+				at100 = op
+			}
+		}
+		fmt.Fprintf(w, "factor 1/%.0f: 20x shrink after %d ops, 100x after %d ops\n", k, at20, at100)
+	}
+	return nil
+}

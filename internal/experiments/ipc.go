@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/vec"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ipc",
+		Title: "IPC round-trip latency (§5.4)",
+		Paper: "average end-to-end latency of ~0.36 ms per request over Binder/AIDL",
+		Run:   runIPC,
+	})
+}
+
+// runIPC measures the §5.4 micro-benchmark: 500 sequential requests over
+// the service transport, total time divided by 500. Our transport is a
+// Unix domain socket, the Linux analogue of a local Binder hop.
+func runIPC(w io.Writer) error {
+	dir, err := os.MkdirTemp("", "potluck-ipc")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "potluck.sock")
+
+	cache := core.New(core.Config{DisableDropout: true, Tuner: core.TunerConfig{WarmupZ: 1}})
+	srv := service.NewServer(cache)
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	cl, err := service.Dial("unix", sock, "bench")
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.Register("f", service.KeyTypeDef{Name: "k"}); err != nil {
+		return err
+	}
+	key := vec.Vector{1, 2, 3, 4}
+	if _, err := cl.Put("f", map[string]vec.Vector{"k": key}, []byte("v"), service.PutOptions{}); err != nil {
+		return err
+	}
+
+	const requests = 500
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := cl.Lookup("f", "k", key); err != nil {
+			return err
+		}
+	}
+	avg := time.Since(start) / requests
+	fmt.Fprintf(w, "requests: %d\naverage round-trip: %.3f ms\n",
+		requests, float64(avg)/float64(time.Millisecond))
+	fmt.Fprintf(w, "paper (Binder/AIDL on Nexus 5): 0.36 ms\n")
+	return nil
+}

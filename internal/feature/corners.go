@@ -1,0 +1,197 @@
+package feature
+
+import (
+	"math"
+
+	"repro/internal/imaging"
+	"repro/internal/vec"
+)
+
+// FAST is the Features-from-Accelerated-Segment-Test corner detector
+// (paper citation [42]): a pixel is a corner when at least 9 contiguous
+// pixels on the Bresenham circle of radius 3 around it are all brighter
+// or all darker than the center by a threshold. It is the cheapest
+// detector in Table 1 and the paper's choice "for motion estimation
+// within the AR applications" (§5.2). The key is an 8×8 grid of corner
+// densities.
+type FAST struct {
+	// Threshold is the brightness delta; 0 means the default 0.15.
+	Threshold float64
+}
+
+// fastCircle is the radius-3 Bresenham circle (16 offsets, clockwise).
+var fastCircle = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// Name implements Extractor.
+func (FAST) Name() string { return "fast" }
+
+// Usage implements Extractor.
+func (FAST) Usage() string { return "Detection" }
+
+// Extract implements Extractor.
+func (f FAST) Extract(img *imaging.RGB) Result {
+	th := f.Threshold
+	if th <= 0 {
+		th = 0.15
+	}
+	g := img.Gray()
+	var pts []point
+	for y := 3; y < g.H-3; y++ {
+		for x := 3; x < g.W-3; x++ {
+			c := g.Pix[y*g.W+x]
+			// Fast rejection: a 9-contiguous segment spans at least two of
+			// the four compass points, so fewer than two deviating compass
+			// pixels cannot be a corner.
+			dev := 0
+			for _, i := range [4]int{0, 4, 8, 12} {
+				v := g.Pix[(y+fastCircle[i][1])*g.W+x+fastCircle[i][0]]
+				if v > c+th || v < c-th {
+					dev++
+				}
+			}
+			if dev < 2 {
+				continue
+			}
+			if fastSegment(g, x, y, c, th) {
+				pts = append(pts, point{x: x, y: y, weight: 1})
+			}
+		}
+	}
+	key := gridPool(pts, g.W, g.H, 8, 8)
+	// Payload: (x, y) plus a small patch per corner, as a tracker would
+	// retain.
+	return Result{Key: key, RawBytes: len(pts) * 56, Keypoints: len(pts)}
+}
+
+// fastSegment reports whether 9 contiguous circle pixels are all
+// brighter or all darker than c by th.
+func fastSegment(g *imaging.Gray, x, y int, c, th float64) bool {
+	var brighter, darker [32]bool
+	for i, o := range fastCircle {
+		v := g.Pix[(y+o[1])*g.W+x+o[0]]
+		brighter[i], brighter[i+16] = v > c+th, v > c+th
+		darker[i], darker[i+16] = v < c-th, v < c-th
+	}
+	run := 0
+	for i := 0; i < 32; i++ {
+		if brighter[i] {
+			run++
+			if run >= 9 {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	run = 0
+	for i := 0; i < 32; i++ {
+		if darker[i] {
+			run++
+			if run >= 9 {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}
+
+// Harris is the Harris-Stephens corner detector (paper citation [24]):
+// the response R = det(M) − k·tr(M)² of the Gaussian-windowed structure
+// tensor M, thresholded and grid-pooled into an 8×8 density key. It
+// costs more than FAST (three convolutions) but less than the
+// descriptor-based features, matching Table 1's ordering.
+type Harris struct {
+	// K is the Harris sensitivity parameter; 0 means the usual 0.04.
+	K float64
+	// Threshold on the response; 0 means the default 1e-4.
+	Threshold float64
+}
+
+// Name implements Extractor.
+func (Harris) Name() string { return "harris" }
+
+// Usage implements Extractor.
+func (Harris) Usage() string { return "Detection" }
+
+// Extract implements Extractor.
+func (h Harris) Extract(img *imaging.RGB) Result {
+	k := h.K
+	if k <= 0 {
+		k = 0.04
+	}
+	th := h.Threshold
+	if th <= 0 {
+		th = 1e-4
+	}
+	g := img.Gray()
+	gx, gy := imaging.Gradients(g)
+	ixx := imaging.NewGray(g.W, g.H)
+	iyy := imaging.NewGray(g.W, g.H)
+	ixy := imaging.NewGray(g.W, g.H)
+	for i := range gx.Pix {
+		ixx.Pix[i] = gx.Pix[i] * gx.Pix[i]
+		iyy.Pix[i] = gy.Pix[i] * gy.Pix[i]
+		ixy.Pix[i] = gx.Pix[i] * gy.Pix[i]
+	}
+	// Gaussian window over the structure tensor.
+	ixx = imaging.Blur(ixx, 1.0)
+	iyy = imaging.Blur(iyy, 1.0)
+	ixy = imaging.Blur(ixy, 1.0)
+	var pts []point
+	for y := 1; y < g.H-1; y++ {
+		for x := 1; x < g.W-1; x++ {
+			i := y*g.W + x
+			det := ixx.Pix[i]*iyy.Pix[i] - ixy.Pix[i]*ixy.Pix[i]
+			tr := ixx.Pix[i] + iyy.Pix[i]
+			r := det - k*tr*tr
+			if r > th && isLocalMax(func(xx, yy int) float64 {
+				ii := yy*g.W + xx
+				d := ixx.Pix[ii]*iyy.Pix[ii] - ixy.Pix[ii]*ixy.Pix[ii]
+				t := ixx.Pix[ii] + iyy.Pix[ii]
+				return d - k*t*t
+			}, x, y, r) {
+				pts = append(pts, point{x: x, y: y, weight: r})
+			}
+		}
+	}
+	key := gridPool(pts, g.W, g.H, 8, 8)
+	return Result{Key: key, RawBytes: len(pts) * 72, Keypoints: len(pts)}
+}
+
+// isLocalMax reports whether value r at (x, y) is a strict 8-neighbour
+// maximum of f.
+func isLocalMax(f func(x, y int) float64, x, y int, r float64) bool {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if f(x+dx, y+dy) > r {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// orientationHistogram accumulates an nbins histogram of gradient
+// orientation around (x, y) within the given radius, weighted by
+// magnitude; shared by the SIFT- and SURF-like descriptors.
+func orientationHistogram(mag, ori *imaging.Gray, x, y, radius, nbins int) vec.Vector {
+	h := make(vec.Vector, nbins)
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			b := int(ori.At(x+dx, y+dy) / math.Pi * float64(nbins))
+			if b >= nbins {
+				b = nbins - 1
+			}
+			h[b] += mag.At(x+dx, y+dy)
+		}
+	}
+	return h
+}

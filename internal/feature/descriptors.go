@@ -1,0 +1,318 @@
+package feature
+
+import (
+	"repro/internal/imaging"
+	"repro/internal/vec"
+)
+
+// SURF is a Speeded-Up-Robust-Features-style extractor (paper citation
+// [12]). Interest points are maxima of an integral-image box-filter
+// Hessian approximation across three scales; each keypoint gets a 64-D
+// descriptor of Haar-wavelet responses over a 4×4 subregion grid. The
+// cache key aggregates the descriptors (mean descriptor ⊕ 8×8 density
+// grid, 128 dims). Table 1 places SURF well below SIFT in cost because
+// box filters on the summed-area table replace Gaussian pyramids.
+type SURF struct {
+	// Threshold on the Hessian response; 0 means the default 1e-4.
+	Threshold float64
+	// MaxKeypoints caps the keypoints kept (0 = 500, the paper's
+	// "around 500 features ... detected in each image").
+	MaxKeypoints int
+}
+
+// Name implements Extractor.
+func (SURF) Name() string { return "surf" }
+
+// Usage implements Extractor.
+func (SURF) Usage() string { return "Recognition" }
+
+const surfDescriptorDims = 64
+
+// Extract implements Extractor.
+func (s SURF) Extract(img *imaging.RGB) Result {
+	th := s.Threshold
+	if th <= 0 {
+		th = 1e-4
+	}
+	maxKP := s.MaxKeypoints
+	if maxKP <= 0 {
+		maxKP = 500
+	}
+	g := img.Gray()
+	it := imaging.NewIntegral(g)
+	// Hessian responses at three box-filter sizes.
+	scales := []int{3, 5, 7}
+	responses := make([]*imaging.Gray, len(scales))
+	for si, l := range scales {
+		responses[si] = hessianResponse(it, g.W, g.H, l)
+	}
+	var pts []point
+	for si, resp := range responses {
+		l := scales[si]
+		for y := l; y < g.H-l; y++ {
+			for x := l; x < g.W-l; x++ {
+				r := resp.Pix[y*g.W+x]
+				if r > th && isLocalMax(func(xx, yy int) float64 {
+					return resp.Pix[yy*g.W+xx]
+				}, x, y, r) {
+					pts = append(pts, point{x: x, y: y, weight: r})
+				}
+			}
+		}
+	}
+	if len(pts) > maxKP {
+		pts = topByWeight(pts, maxKP)
+	}
+	// Descriptor per keypoint: Haar responses over a 4×4 grid.
+	mean := make(vec.Vector, surfDescriptorDims)
+	for _, p := range pts {
+		d := surfDescriptor(it, p.x, p.y)
+		for i := range mean {
+			mean[i] += d[i]
+		}
+	}
+	if len(pts) > 0 {
+		mean = mean.Scale(1 / float64(len(pts))).Normalize()
+	}
+	key := append(mean, gridPool(pts, g.W, g.H, 8, 8)...)
+	return Result{
+		Key:       key,
+		RawBytes:  len(pts) * surfDescriptorDims, // 1 byte/component payload
+		Keypoints: len(pts),
+	}
+}
+
+// hessianResponse approximates |det H| with box filters of size l on the
+// integral image.
+func hessianResponse(it *imaging.Integral, w, h, l int) *imaging.Gray {
+	out := imaging.NewGray(w, h)
+	area := float64(l * l)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Dxx: [-1 2 -1] horizontally with boxes of width l.
+			dxx := (2*it.Sum(x-l/2, y-l/2, x+l/2+1, y+l/2+1) -
+				it.Sum(x-l/2-l, y-l/2, x-l/2, y+l/2+1) -
+				it.Sum(x+l/2+1, y-l/2, x+l/2+1+l, y+l/2+1)) / area
+			dyy := (2*it.Sum(x-l/2, y-l/2, x+l/2+1, y+l/2+1) -
+				it.Sum(x-l/2, y-l/2-l, x+l/2+1, y-l/2) -
+				it.Sum(x-l/2, y+l/2+1, x+l/2+1, y+l/2+1+l)) / area
+			dxy := (it.Sum(x-l, y-l, x, y) + it.Sum(x+1, y+1, x+1+l, y+1+l) -
+				it.Sum(x+1, y-l, x+1+l, y) - it.Sum(x-l, y+1, x, y+1+l)) / area
+			v := dxx*dyy - 0.81*dxy*dxy
+			if v < 0 {
+				v = 0
+			}
+			out.Pix[y*w+x] = v
+		}
+	}
+	return out
+}
+
+// surfDescriptor computes 4×4 subregions × (Σdx, Σ|dx|, Σdy, Σ|dy|) from
+// Haar responses in a 16×16 window.
+func surfDescriptor(it *imaging.Integral, cx, cy int) vec.Vector {
+	d := make(vec.Vector, surfDescriptorDims)
+	idx := 0
+	for sy := 0; sy < 4; sy++ {
+		for sx := 0; sx < 4; sx++ {
+			var sdx, sadx, sdy, sady float64
+			for py := 0; py < 4; py++ {
+				for px := 0; px < 4; px++ {
+					x := cx - 8 + sx*4 + px
+					y := cy - 8 + sy*4 + py
+					dx := it.Sum(x, y-1, x+2, y+1) - it.Sum(x-2, y-1, x, y+1)
+					dy := it.Sum(x-1, y, x+1, y+2) - it.Sum(x-1, y-2, x+1, y)
+					sdx += dx
+					sdy += dy
+					if dx < 0 {
+						sadx -= dx
+					} else {
+						sadx += dx
+					}
+					if dy < 0 {
+						sady -= dy
+					} else {
+						sady += dy
+					}
+				}
+			}
+			d[idx], d[idx+1], d[idx+2], d[idx+3] = sdx, sadx, sdy, sady
+			idx += 4
+		}
+	}
+	return d.Normalize()
+}
+
+// SIFT is a Scale-Invariant-Feature-Transform-style extractor (paper
+// citation [35]): a Gaussian scale-space pyramid, difference-of-Gaussian
+// extrema detection across octaves, and a 128-D gradient-orientation
+// descriptor per keypoint (4×4 spatial bins × 8 orientations). The key
+// aggregates descriptors like SURF's. Building the pyramid dominates the
+// cost, which is why SIFT tops Table 1 by orders of magnitude.
+type SIFT struct {
+	// Octaves is the pyramid depth (0 = 3).
+	Octaves int
+	// Threshold on the DoG response magnitude; 0 means the default 0.01.
+	Threshold float64
+	// MaxKeypoints caps retained keypoints (0 = 500).
+	MaxKeypoints int
+}
+
+// Name implements Extractor.
+func (SIFT) Name() string { return "sift" }
+
+// Usage implements Extractor.
+func (SIFT) Usage() string { return "Recognition" }
+
+const siftDescriptorDims = 128
+
+// Extract implements Extractor.
+func (s SIFT) Extract(img *imaging.RGB) Result {
+	octaves := s.Octaves
+	if octaves <= 0 {
+		octaves = 3
+	}
+	th := s.Threshold
+	if th <= 0 {
+		th = 0.01
+	}
+	maxKP := s.MaxKeypoints
+	if maxKP <= 0 {
+		maxKP = 500
+	}
+	base := img.Gray()
+	var pts []point
+	type level struct {
+		img   *imaging.Gray
+		scale int // sampling factor back to base resolution
+	}
+	var gradLevels []level
+	cur := base
+	scale := 1
+	for o := 0; o < octaves && cur.W >= 16 && cur.H >= 16; o++ {
+		// Scale space: six blur levels per octave (SIFT's s+3 with s=3).
+		sigmas := []float64{0.8, 1.1, 1.5, 2.1, 2.9, 4.0}
+		blurred := make([]*imaging.Gray, len(sigmas))
+		for i, sg := range sigmas {
+			blurred[i] = imaging.Blur(cur, sg)
+		}
+		// DoG layers and 2-D extrema (the scale dimension is collapsed:
+		// the middle layers vote).
+		for li := 1; li < len(blurred)-1; li++ {
+			dog := imaging.NewGray(cur.W, cur.H)
+			for i := range dog.Pix {
+				dog.Pix[i] = blurred[li].Pix[i] - blurred[li-1].Pix[i]
+			}
+			for y := 1; y < cur.H-1; y++ {
+				for x := 1; x < cur.W-1; x++ {
+					v := dog.Pix[y*cur.W+x]
+					av := v
+					if av < 0 {
+						av = -v
+					}
+					if av < th {
+						continue
+					}
+					if isExtremum(dog, x, y, v) {
+						pts = append(pts, point{x: x * scale, y: y * scale, weight: av})
+					}
+				}
+			}
+		}
+		gradLevels = append(gradLevels, level{img: blurred[1], scale: scale})
+		cur = imaging.Resize(blurred[len(blurred)-1], cur.W/2, cur.H/2)
+		scale *= 2
+	}
+	if len(pts) > maxKP {
+		pts = topByWeight(pts, maxKP)
+	}
+	// Descriptors from the base-octave gradient field.
+	mean := make(vec.Vector, siftDescriptorDims)
+	if len(gradLevels) > 0 && len(pts) > 0 {
+		mag, ori := imaging.GradientMagnitudeOrientation(gradLevels[0].img)
+		for _, p := range pts {
+			d := siftDescriptor(mag, ori, p.x, p.y)
+			for i := range mean {
+				mean[i] += d[i]
+			}
+		}
+		mean = mean.Scale(1 / float64(len(pts))).Normalize()
+	}
+	key := append(mean, gridPool(pts, base.W, base.H, 8, 8)...)
+	return Result{
+		Key:       key,
+		RawBytes:  len(pts) * siftDescriptorDims * 2, // 2 bytes/component
+		Keypoints: len(pts),
+	}
+}
+
+func isExtremum(dog *imaging.Gray, x, y int, v float64) bool {
+	if v > 0 {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if dog.Pix[(y+dy)*dog.W+x+dx] >= v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if dog.Pix[(y+dy)*dog.W+x+dx] <= v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// siftDescriptor computes a 4×4 spatial grid of 8-bin orientation
+// histograms over a 16×16 window.
+func siftDescriptor(mag, ori *imaging.Gray, cx, cy int) vec.Vector {
+	d := make(vec.Vector, siftDescriptorDims)
+	for sy := 0; sy < 4; sy++ {
+		for sx := 0; sx < 4; sx++ {
+			h := orientationHistogram(mag, ori, cx-8+sx*4+2, cy-8+sy*4+2, 2, 8)
+			copy(d[(sy*4+sx)*8:], h)
+		}
+	}
+	return d.Normalize()
+}
+
+// topByWeight keeps the n heaviest points (selection without full sort).
+func topByWeight(pts []point, n int) []point {
+	if len(pts) <= n {
+		return pts
+	}
+	// Partial selection sort on weight; n is small (≤500).
+	out := make([]point, len(pts))
+	copy(out, pts)
+	lo, hi := 0, len(out)-1
+	for lo < hi {
+		p := out[hi].weight
+		i := lo
+		for j := lo; j < hi; j++ {
+			if out[j].weight > p {
+				out[i], out[j] = out[j], out[i]
+				i++
+			}
+		}
+		out[i], out[hi] = out[hi], out[i]
+		switch {
+		case i == n:
+			return out[:n]
+		case i < n:
+			lo = i + 1
+		default:
+			hi = i - 1
+		}
+	}
+	return out[:n]
+}

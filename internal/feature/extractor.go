@@ -1,0 +1,111 @@
+// Package feature implements the key-generation mechanisms of §3.2 and
+// §5.2: feature extractors that turn a raw image into a feature-vector
+// key defined in a metric space. The inventory follows Table 1 of the
+// paper — SIFT-like and SURF-like descriptors for recognition, Harris
+// and FAST corners for detection, down-sampling for deep-learning input
+// — plus the color-histogram and HOG features used in Figure 2.
+//
+// Each extractor produces a fixed-length key (descriptor sets are
+// aggregated over a spatial grid so that keys from any image compare
+// under a single metric) and reports the footprint of the full
+// descriptor payload, the quantity Table 1 calls "Size".
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/imaging"
+	"repro/internal/vec"
+)
+
+// Result is the outcome of one extraction.
+type Result struct {
+	// Key is the fixed-length feature-vector key for the cache.
+	Key vec.Vector
+	// RawBytes is the footprint of the full (variable-length) descriptor
+	// payload, e.g. N keypoints × descriptor size. Table 1 reports this.
+	RawBytes int
+	// Keypoints is the number of interest points detected (0 for dense
+	// features such as histograms).
+	Keypoints int
+}
+
+// Extractor converts an image into a cache key.
+type Extractor interface {
+	// Name returns the extractor's stable identifier ("sift", "fast", ...).
+	Name() string
+	// Usage describes the workload the feature suits, per Table 1.
+	Usage() string
+	// Extract computes the feature for img.
+	Extract(img *imaging.RGB) Result
+}
+
+// registry holds the built-in extractors, following the paper's "library
+// of mechanisms provided within Potluck" (§3.2).
+var registry = map[string]Extractor{}
+
+// Register adds an extractor to the library. It panics on duplicate
+// names; extractors are registered at init time.
+func Register(e Extractor) {
+	if _, dup := registry[e.Name()]; dup {
+		panic(fmt.Sprintf("feature: duplicate extractor %q", e.Name()))
+	}
+	registry[e.Name()] = e
+}
+
+// ByName returns the named extractor from the library.
+func ByName(name string) (Extractor, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("feature: unknown extractor %q", name)
+	}
+	return e, nil
+}
+
+// Names lists the registered extractors in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(ColorHist{})
+	Register(HOG{})
+	Register(Downsample{})
+	Register(FAST{})
+	Register(Harris{})
+	Register(SURF{})
+	Register(SIFT{})
+}
+
+// gridPool accumulates per-point weight into a gw×gh spatial grid and
+// returns it L1-normalized. It converts variable keypoint sets into
+// fixed-length, comparable key components.
+func gridPool(points []point, w, h, gw, gh int) vec.Vector {
+	out := make(vec.Vector, gw*gh)
+	if w == 0 || h == 0 {
+		return out
+	}
+	for _, p := range points {
+		cx := p.x * gw / w
+		cy := p.y * gh / h
+		if cx >= gw {
+			cx = gw - 1
+		}
+		if cy >= gh {
+			cy = gh - 1
+		}
+		out[cy*gw+cx] += p.weight
+	}
+	return out.NormalizeL1()
+}
+
+type point struct {
+	x, y   int
+	weight float64
+}

@@ -1,0 +1,24 @@
+package feature
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkExtract measures each library extractor on a camera-sized
+// frame (smaller than Table 1's 600×400; the root bench covers that).
+func BenchmarkExtract(b *testing.B) {
+	img := synth.NewVideo(synth.VideoConfig{W: 160, H: 120, Seed: 1, Objects: 20}).Frame(0)
+	for _, name := range Names() {
+		ext, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ext.Extract(img)
+			}
+		})
+	}
+}

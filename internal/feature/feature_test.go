@@ -1,0 +1,250 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/synth"
+	"repro/internal/vec"
+)
+
+// testImage renders a deterministic scene with corners, edges and color.
+func testImage(w, h int) *imaging.RGB {
+	v := synth.NewVideo(synth.VideoConfig{W: w, H: h, Seed: 42, Noise: 0})
+	return v.Frame(0)
+}
+
+func TestRegistryContainsTable1Features(t *testing.T) {
+	for _, name := range []string{"sift", "surf", "harris", "fast", "downsamp", "colorhist", "hog"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Errorf("Name = %q", e.Name())
+		}
+		if e.Usage() == "" {
+			t.Errorf("%s: empty usage", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown extractor did not error")
+	}
+	if len(Names()) < 7 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(ColorHist{})
+}
+
+func TestAllExtractorsFixedLengthDeterministic(t *testing.T) {
+	img := testImage(96, 72)
+	img2 := testImage(128, 96) // different size, same scene family
+	for _, name := range Names() {
+		e, _ := ByName(name)
+		r1 := e.Extract(img)
+		r1b := e.Extract(img)
+		if len(r1.Key) == 0 {
+			t.Errorf("%s: empty key", name)
+			continue
+		}
+		if (vec.EuclideanMetric{}).Distance(r1.Key, r1b.Key) != 0 {
+			t.Errorf("%s: extraction not deterministic", name)
+		}
+		r2 := e.Extract(img2)
+		if len(r2.Key) != len(r1.Key) {
+			t.Errorf("%s: key length varies with image size: %d vs %d",
+				name, len(r1.Key), len(r2.Key))
+		}
+		for _, x := range r1.Key {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("%s: key contains %v", name, x)
+				break
+			}
+		}
+	}
+}
+
+func TestColorHistProperties(t *testing.T) {
+	img := imaging.NewRGB(10, 10)
+	img.Fill(1, 0, 0) // pure red
+	r := (ColorHist{}).Extract(img)
+	if len(r.Key) != 768 {
+		t.Fatalf("key dims = %d", len(r.Key))
+	}
+	var sum float64
+	for _, v := range r.Key {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram not L1-normalized: %v", sum)
+	}
+	// All red mass in the top red bin, green/blue in bin 0.
+	if r.Key[255] < 0.33 {
+		t.Errorf("red bin mass = %v", r.Key[255])
+	}
+	// Histogram is translation invariant.
+	shifted, _ := imaging.WarpRGB(img, imaging.Translation(2, 1), 1, 0, 0)
+	r2 := (ColorHist{}).Extract(shifted)
+	if d := (vec.EuclideanMetric{}).Distance(r.Key, r2.Key); d > 1e-9 {
+		t.Errorf("histogram changed under translation: %v", d)
+	}
+}
+
+func TestHOGRespondsToOrientation(t *testing.T) {
+	// Vertical vs horizontal edges must produce different HOG keys.
+	vert := imaging.NewRGB(64, 64)
+	horz := imaging.NewRGB(64, 64)
+	for i := 0; i < 64; i++ {
+		for j := 32; j < 64; j++ {
+			vert.Set(j, i, 1, 1, 1)
+			horz.Set(i, j, 1, 1, 1)
+		}
+	}
+	h := HOG{}
+	rv := h.Extract(vert)
+	rh := h.Extract(horz)
+	if d := (vec.EuclideanMetric{}).Distance(rv.Key, rh.Key); d < 0.1 {
+		t.Errorf("HOG cannot distinguish orientations: dist %v", d)
+	}
+	if len(rv.Key) != hogCells*hogCells*hogBins {
+		t.Errorf("key dims = %d", len(rv.Key))
+	}
+}
+
+func TestDownsampleDims(t *testing.T) {
+	r := (Downsample{}).Extract(testImage(96, 72))
+	if len(r.Key) != DownsampleDims {
+		t.Errorf("dims = %d", len(r.Key))
+	}
+	if r.RawBytes != 768 {
+		t.Errorf("RawBytes = %d", r.RawBytes)
+	}
+}
+
+func TestFASTDetectsCorners(t *testing.T) {
+	// A bright square on black has 4 strong corners.
+	img := imaging.NewRGB(64, 64)
+	for y := 20; y < 44; y++ {
+		for x := 20; x < 44; x++ {
+			img.Set(x, y, 1, 1, 1)
+		}
+	}
+	r := (FAST{}).Extract(img)
+	if r.Keypoints == 0 {
+		t.Fatal("FAST found no corners on a square")
+	}
+	// A uniform image has none.
+	flat := imaging.NewRGB(64, 64)
+	flat.Fill(0.5, 0.5, 0.5)
+	if rf := (FAST{}).Extract(flat); rf.Keypoints != 0 {
+		t.Errorf("FAST found %d corners on a flat image", rf.Keypoints)
+	}
+}
+
+func TestHarrisDetectsCornersNotEdges(t *testing.T) {
+	square := imaging.NewRGB(64, 64)
+	for y := 20; y < 44; y++ {
+		for x := 20; x < 44; x++ {
+			square.Set(x, y, 1, 1, 1)
+		}
+	}
+	rs := (Harris{}).Extract(square)
+	if rs.Keypoints == 0 {
+		t.Fatal("Harris found no corners on a square")
+	}
+	// A pure vertical edge should yield far fewer responses than the
+	// square's corners.
+	edge := imaging.NewRGB(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 32; x < 64; x++ {
+			edge.Set(x, y, 1, 1, 1)
+		}
+	}
+	re := (Harris{}).Extract(edge)
+	if re.Keypoints >= rs.Keypoints {
+		t.Errorf("Harris edge responses (%d) >= corner responses (%d)",
+			re.Keypoints, rs.Keypoints)
+	}
+}
+
+func TestSURFAndSIFTFindKeypoints(t *testing.T) {
+	img := testImage(128, 96)
+	rsurf := (SURF{}).Extract(img)
+	if rsurf.Keypoints == 0 {
+		t.Error("SURF found no keypoints on a structured scene")
+	}
+	if len(rsurf.Key) != surfDescriptorDims+64 {
+		t.Errorf("SURF key dims = %d", len(rsurf.Key))
+	}
+	rsift := (SIFT{}).Extract(img)
+	if rsift.Keypoints == 0 {
+		t.Error("SIFT found no keypoints on a structured scene")
+	}
+	if len(rsift.Key) != siftDescriptorDims+64 {
+		t.Errorf("SIFT key dims = %d", len(rsift.Key))
+	}
+}
+
+func TestMaxKeypointsCap(t *testing.T) {
+	img := testImage(128, 96)
+	r := (SURF{MaxKeypoints: 10}).Extract(img)
+	if r.Keypoints > 10 {
+		t.Errorf("SURF keypoints = %d, cap 10", r.Keypoints)
+	}
+	r = (SIFT{MaxKeypoints: 5}).Extract(img)
+	if r.Keypoints > 5 {
+		t.Errorf("SIFT keypoints = %d, cap 5", r.Keypoints)
+	}
+}
+
+// TestFeatureStability is the Figure 2 property: feature distance
+// between adjacent video frames is small relative to distant frames.
+func TestFeatureStability(t *testing.T) {
+	v := synth.NewVideo(synth.VideoConfig{W: 96, H: 72, Seed: 5, Noise: 0.005})
+	f0 := v.Frame(0)
+	f1 := v.Frame(1)
+	f40 := v.Frame(40)
+	metric := vec.EuclideanMetric{}
+	for _, name := range []string{"colorhist", "hog"} {
+		e, _ := ByName(name)
+		k0 := e.Extract(f0).Key.Normalize()
+		k1 := e.Extract(f1).Key.Normalize()
+		k40 := e.Extract(f40).Key.Normalize()
+		near := metric.Distance(k0, k1)
+		far := metric.Distance(k0, k40)
+		if near >= far {
+			t.Errorf("%s: adjacent distance %.4f >= distant %.4f", name, near, far)
+		}
+	}
+}
+
+func TestGridPoolNormalizationAndBounds(t *testing.T) {
+	pts := []point{{x: 0, y: 0, weight: 1}, {x: 99, y: 99, weight: 3}}
+	g := gridPool(pts, 100, 100, 4, 4)
+	if len(g) != 16 {
+		t.Fatalf("grid dims = %d", len(g))
+	}
+	var sum float64
+	for _, v := range g {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("grid not normalized: %v", sum)
+	}
+	if g[0] != 0.25 || g[15] != 0.75 {
+		t.Errorf("grid = %v", g)
+	}
+	// Degenerate dimensions do not panic.
+	if z := gridPool(pts, 0, 0, 4, 4); len(z) != 16 {
+		t.Error("zero-size gridPool wrong length")
+	}
+}

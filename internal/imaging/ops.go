@@ -1,0 +1,278 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Kernel is a square convolution kernel (odd side length).
+type Kernel struct {
+	Size int // side length, odd
+	W    []float64
+}
+
+// Convolve applies k to g with border replication.
+func Convolve(g *Gray, k Kernel) *Gray {
+	out := NewGray(g.W, g.H)
+	r := k.Size / 2
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var sum float64
+			for ky := 0; ky < k.Size; ky++ {
+				for kx := 0; kx < k.Size; kx++ {
+					sum += k.W[ky*k.Size+kx] * g.At(x+kx-r, y+ky-r)
+				}
+			}
+			out.Pix[y*g.W+x] = sum
+		}
+	}
+	return out
+}
+
+// SobelX and SobelY are the standard 3×3 Sobel gradient kernels.
+var (
+	SobelX = Kernel{Size: 3, W: []float64{-1, 0, 1, -2, 0, 2, -1, 0, 1}}
+	SobelY = Kernel{Size: 3, W: []float64{-1, -2, -1, 0, 0, 0, 1, 2, 1}}
+)
+
+// Gradients returns the horizontal and vertical Sobel derivatives of g.
+func Gradients(g *Gray) (gx, gy *Gray) {
+	return Convolve(g, SobelX), Convolve(g, SobelY)
+}
+
+// GradientMagnitudeOrientation returns per-pixel gradient magnitude and
+// orientation (radians in [0, π), unsigned).
+func GradientMagnitudeOrientation(g *Gray) (mag, ori *Gray) {
+	gx, gy := Gradients(g)
+	mag = NewGray(g.W, g.H)
+	ori = NewGray(g.W, g.H)
+	for i := range mag.Pix {
+		dx, dy := gx.Pix[i], gy.Pix[i]
+		mag.Pix[i] = math.Hypot(dx, dy)
+		a := math.Atan2(dy, dx)
+		if a < 0 {
+			a += math.Pi
+		}
+		if a >= math.Pi {
+			a -= math.Pi
+		}
+		ori.Pix[i] = a
+	}
+	return mag, ori
+}
+
+// GaussianKernel builds a normalized 2-D Gaussian kernel for the given
+// standard deviation. The radius is ceil(3σ).
+func GaussianKernel(sigma float64) Kernel {
+	if sigma <= 0 {
+		return Kernel{Size: 1, W: []float64{1}}
+	}
+	r := int(math.Ceil(3 * sigma))
+	size := 2*r + 1
+	w := make([]float64, size*size)
+	var sum float64
+	for y := -r; y <= r; y++ {
+		for x := -r; x <= r; x++ {
+			v := math.Exp(-float64(x*x+y*y) / (2 * sigma * sigma))
+			w[(y+r)*size+(x+r)] = v
+			sum += v
+		}
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return Kernel{Size: size, W: w}
+}
+
+// gaussianKernel1D builds a normalized 1-D Gaussian of radius ceil(3σ).
+func gaussianKernel1D(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	r := int(math.Ceil(3 * sigma))
+	w := make([]float64, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		w[i+r] = v
+		sum += v
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// Blur applies a Gaussian blur with the given sigma. The Gaussian is
+// separable, so the blur runs as two 1-D passes — O(r) per pixel instead
+// of O(r²).
+func Blur(g *Gray, sigma float64) *Gray {
+	k := gaussianKernel1D(sigma)
+	r := len(k) / 2
+	// Horizontal pass.
+	tmp := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var sum float64
+			for i, w := range k {
+				sum += w * g.At(x+i-r, y)
+			}
+			tmp.Pix[y*g.W+x] = sum
+		}
+	}
+	// Vertical pass.
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var sum float64
+			for i, w := range k {
+				sum += w * tmp.At(x, y+i-r)
+			}
+			out.Pix[y*g.W+x] = sum
+		}
+	}
+	return out
+}
+
+// BlurRGB blurs each channel of an RGB image.
+func BlurRGB(m *RGB, sigma float64) *RGB {
+	k := GaussianKernel(sigma)
+	out := NewRGB(m.W, m.H)
+	r := k.Size / 2
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			var sr, sg, sb float64
+			for ky := 0; ky < k.Size; ky++ {
+				for kx := 0; kx < k.Size; kx++ {
+					cr, cg, cb := m.At(x+kx-r, y+ky-r)
+					w := k.W[ky*k.Size+kx]
+					sr += w * cr
+					sg += w * cg
+					sb += w * cb
+				}
+			}
+			out.Set(x, y, sr, sg, sb)
+		}
+	}
+	return out
+}
+
+// Resize scales g to w×h with bilinear interpolation.
+func Resize(g *Gray, w, h int) *Gray {
+	out := NewGray(w, h)
+	if w == 0 || h == 0 || g.W == 0 || g.H == 0 {
+		return out
+	}
+	sx := float64(g.W) / float64(w)
+	sy := float64(g.H) / float64(h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = g.Bilinear((float64(x)+0.5)*sx-0.5, (float64(y)+0.5)*sy-0.5)
+		}
+	}
+	return out
+}
+
+// ResizeRGB scales m to w×h with bilinear interpolation.
+func ResizeRGB(m *RGB, w, h int) *RGB {
+	out := NewRGB(w, h)
+	if w == 0 || h == 0 || m.W == 0 || m.H == 0 {
+		return out
+	}
+	sx := float64(m.W) / float64(w)
+	sy := float64(m.H) / float64(h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			fy := (float64(y)+0.5)*sy - 0.5
+			x0, y0 := int(math.Floor(fx)), int(math.Floor(fy))
+			dx, dy := fx-float64(x0), fy-float64(y0)
+			r00, g00, b00 := m.At(x0, y0)
+			r10, g10, b10 := m.At(x0+1, y0)
+			r01, g01, b01 := m.At(x0, y0+1)
+			r11, g11, b11 := m.At(x0+1, y0+1)
+			out.Set(x, y,
+				r00*(1-dx)*(1-dy)+r10*dx*(1-dy)+r01*(1-dx)*dy+r11*dx*dy,
+				g00*(1-dx)*(1-dy)+g10*dx*(1-dy)+g01*(1-dx)*dy+g11*dx*dy,
+				b00*(1-dx)*(1-dy)+b10*dx*(1-dy)+b01*(1-dx)*dy+b11*dx*dy)
+		}
+	}
+	return out
+}
+
+// Integral is a summed-area table: S[y][x] holds the sum of all samples
+// with coordinates < (x, y). SURF-style box filters evaluate in O(1)
+// against it.
+type Integral struct {
+	W, H int
+	S    []float64 // (W+1)×(H+1)
+}
+
+// NewIntegral computes the summed-area table of g.
+func NewIntegral(g *Gray) *Integral {
+	w, h := g.W, g.H
+	it := &Integral{W: w, H: h, S: make([]float64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 1; y <= h; y++ {
+		var row float64
+		for x := 1; x <= w; x++ {
+			row += g.Pix[(y-1)*w+(x-1)]
+			it.S[y*stride+x] = it.S[(y-1)*stride+x] + row
+		}
+	}
+	return it
+}
+
+// Sum returns the sum of samples in the rectangle [x0, x1)×[y0, y1),
+// clamped to the image bounds.
+func (it *Integral) Sum(x0, y0, x1, y1 int) float64 {
+	x0 = clampInt(x0, 0, it.W)
+	x1 = clampInt(x1, 0, it.W)
+	y0 = clampInt(y0, 0, it.H)
+	y1 = clampInt(y1, 0, it.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	stride := it.W + 1
+	return it.S[y1*stride+x1] - it.S[y0*stride+x1] - it.S[y1*stride+x0] + it.S[y0*stride+x0]
+}
+
+// AddNoise adds zero-mean Gaussian noise with the given sigma, clamping
+// samples to [0, 1]. It is used by the synthetic datasets to model
+// sensor noise.
+func AddNoise(g *Gray, sigma float64, rng *rand.Rand) *Gray {
+	out := g.Clone()
+	for i := range out.Pix {
+		out.Pix[i] = Clamp01(out.Pix[i] + rng.NormFloat64()*sigma)
+	}
+	return out
+}
+
+// AddNoiseRGB adds per-channel Gaussian noise.
+func AddNoiseRGB(m *RGB, sigma float64, rng *rand.Rand) *RGB {
+	out := m.Clone()
+	for i := range out.Pix {
+		out.Pix[i] = Clamp01(out.Pix[i] + rng.NormFloat64()*sigma)
+	}
+	return out
+}
+
+// AdjustBrightness adds delta to every sample, clamping to [0, 1]. It
+// models the lighting variation of spatial correlation (§2.2: "different
+// lighting conditions ... different color bias").
+func AdjustBrightness(g *Gray, delta float64) *Gray {
+	out := g.Clone()
+	for i := range out.Pix {
+		out.Pix[i] = Clamp01(out.Pix[i] + delta)
+	}
+	return out
+}
+
+// AdjustBrightnessRGB adds delta to every channel.
+func AdjustBrightnessRGB(m *RGB, delta float64) *RGB {
+	out := m.Clone()
+	for i := range out.Pix {
+		out.Pix[i] = Clamp01(out.Pix[i] + delta)
+	}
+	return out
+}

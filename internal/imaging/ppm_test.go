@@ -1,0 +1,87 @@
+package imaging
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	img := NewRGB(7, 5)
+	rng := rand.New(rand.NewSource(1))
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64()
+	}
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 7 || got.H != 5 {
+		t.Fatalf("dims = %dx%d", got.W, got.H)
+	}
+	for i := range img.Pix {
+		if math.Abs(got.Pix[i]-img.Pix[i]) > 1.0/255 {
+			t.Fatalf("pixel %d: %v vs %v", i, got.Pix[i], img.Pix[i])
+		}
+	}
+}
+
+func TestPPMFileRoundTrip(t *testing.T) {
+	img := NewRGB(3, 3)
+	img.Fill(0.2, 0.5, 0.8)
+	path := filepath.Join(t.TempDir(), "x.ppm")
+	if err := SavePPM(path, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPPM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b := got.At(1, 1)
+	if math.Abs(r-0.2) > 0.01 || math.Abs(g-0.5) > 0.01 || math.Abs(b-0.8) > 0.01 {
+		t.Errorf("pixel = (%v, %v, %v)", r, g, b)
+	}
+}
+
+func TestPPMRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"P5\n2 2\n255\n....",           // wrong magic
+		"P6\n-1 2\n255\n",              // negative dims
+		"P6\n2 2\n65535\n",             // 16-bit not supported
+		"P6\n2 2\n255\nxx",             // truncated raster
+		"P6\n99999999 99999999\n255\n", // implausible dims
+	}
+	for _, c := range cases {
+		if _, err := DecodePPM(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	if _, err := LoadPPM("/no/such/file.ppm"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPPMClampsOutOfRange(t *testing.T) {
+	img := NewRGB(1, 1)
+	img.Pix[0], img.Pix[1], img.Pix[2] = -1, 2, 0.5
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, _ := got.At(0, 0)
+	if r != 0 || g != 1 {
+		t.Errorf("clamped pixel = (%v, %v)", r, g)
+	}
+}

@@ -1,0 +1,167 @@
+package imaging
+
+import (
+	"errors"
+	"math"
+)
+
+// Mat3 is a row-major 3×3 matrix used for 2-D projective transforms
+// (homographies). Affine transforms are homographies whose last row is
+// (0, 0, 1).
+type Mat3 [9]float64
+
+// Identity3 returns the identity transform.
+func Identity3() Mat3 { return Mat3{1, 0, 0, 0, 1, 0, 0, 0, 1} }
+
+// Mul returns m·n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var out Mat3
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += m[r*3+k] * n[k*3+c]
+			}
+			out[r*3+c] = s
+		}
+	}
+	return out
+}
+
+// Apply maps the point (x, y) through the homography, performing the
+// perspective divide.
+func (m Mat3) Apply(x, y float64) (float64, float64) {
+	u := m[0]*x + m[1]*y + m[2]
+	v := m[3]*x + m[4]*y + m[5]
+	w := m[6]*x + m[7]*y + m[8]
+	if w == 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	return u / w, v / w
+}
+
+// ErrSingular is returned when inverting a singular transform.
+var ErrSingular = errors.New("imaging: singular transform")
+
+// Inverse returns the matrix inverse.
+func (m Mat3) Inverse() (Mat3, error) {
+	a, b, c := m[0], m[1], m[2]
+	d, e, f := m[3], m[4], m[5]
+	g, h, i := m[6], m[7], m[8]
+	A := e*i - f*h
+	B := -(d*i - f*g)
+	C := d*h - e*g
+	det := a*A + b*B + c*C
+	if math.Abs(det) < 1e-15 {
+		return Mat3{}, ErrSingular
+	}
+	inv := Mat3{
+		A, -(b*i - c*h), b*f - c*e,
+		B, a*i - c*g, -(a*f - c*d),
+		C, -(a*h - b*g), a*e - b*d,
+	}
+	for k := range inv {
+		inv[k] /= det
+	}
+	return inv, nil
+}
+
+// Translation returns the transform that shifts points by (tx, ty).
+func Translation(tx, ty float64) Mat3 {
+	return Mat3{1, 0, tx, 0, 1, ty, 0, 0, 1}
+}
+
+// Scaling returns the transform that scales about the origin.
+func Scaling(sx, sy float64) Mat3 {
+	return Mat3{sx, 0, 0, 0, sy, 0, 0, 0, 1}
+}
+
+// Rotation returns the transform that rotates by theta radians about the
+// origin.
+func Rotation(theta float64) Mat3 {
+	s, c := math.Sin(theta), math.Cos(theta)
+	return Mat3{c, -s, 0, s, c, 0, 0, 0, 1}
+}
+
+// RotationAbout rotates by theta about the point (cx, cy).
+func RotationAbout(theta, cx, cy float64) Mat3 {
+	return Translation(cx, cy).Mul(Rotation(theta)).Mul(Translation(-cx, -cy))
+}
+
+// ScalingAbout scales about the point (cx, cy).
+func ScalingAbout(sx, sy, cx, cy float64) Mat3 {
+	return Translation(cx, cy).Mul(Scaling(sx, sy)).Mul(Translation(-cx, -cy))
+}
+
+// Warp maps g through the forward transform m, sampling with bilinear
+// interpolation via the inverse mapping. Pixels whose preimage falls
+// outside g are filled with fill. This is the core of the AR fast path:
+// instead of re-rendering a 3-D scene, a cached frame is warped to the
+// new viewpoint (§5.5, citing plenoptic image-based rendering).
+func Warp(g *Gray, m Mat3, fill float64) (*Gray, error) {
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			sx, sy := inv.Apply(float64(x), float64(y))
+			if sx < -0.5 || sy < -0.5 || sx > float64(g.W)-0.5 || sy > float64(g.H)-0.5 ||
+				math.IsInf(sx, 0) || math.IsInf(sy, 0) {
+				out.Pix[y*g.W+x] = fill
+				continue
+			}
+			out.Pix[y*g.W+x] = g.Bilinear(sx, sy)
+		}
+	}
+	return out, nil
+}
+
+// WarpRGB maps an RGB image through the forward transform m.
+func WarpRGB(img *RGB, m Mat3, fr, fg, fb float64) (*RGB, error) {
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	out := NewRGB(img.W, img.H)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			sx, sy := inv.Apply(float64(x), float64(y))
+			if sx < -0.5 || sy < -0.5 || sx > float64(img.W)-0.5 || sy > float64(img.H)-0.5 ||
+				math.IsInf(sx, 0) || math.IsInf(sy, 0) {
+				out.Set(x, y, fr, fg, fb)
+				continue
+			}
+			x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
+			dx, dy := sx-float64(x0), sy-float64(y0)
+			r00, g00, b00 := img.At(x0, y0)
+			r10, g10, b10 := img.At(x0+1, y0)
+			r01, g01, b01 := img.At(x0, y0+1)
+			r11, g11, b11 := img.At(x0+1, y0+1)
+			out.Set(x, y,
+				r00*(1-dx)*(1-dy)+r10*dx*(1-dy)+r01*(1-dx)*dy+r11*dx*dy,
+				g00*(1-dx)*(1-dy)+g10*dx*(1-dy)+g01*(1-dx)*dy+g11*dx*dy,
+				b00*(1-dx)*(1-dy)+b10*dx*(1-dy)+b01*(1-dx)*dy+b11*dx*dy)
+		}
+	}
+	return out, nil
+}
+
+// MSE returns the mean squared error between two equally sized images;
+// it returns +Inf for mismatched dimensions. Experiments use it to
+// measure how close a warped cached frame is to a full re-render.
+func MSE(a, b *Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		return math.Inf(1)
+	}
+	if len(a.Pix) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := a.Pix[i] - b.Pix[i]
+		sum += d * d
+	}
+	return sum / float64(len(a.Pix))
+}

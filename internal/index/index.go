@@ -1,0 +1,80 @@
+// Package index implements the key-index data structures from the
+// paper's cache layout (§3.6, Figure 5): exact hash maps, ordered tree
+// maps, KD-trees, locality-sensitive hashing, and plain linear
+// enumeration. Each supports threshold-restricted nearest-neighbour
+// queries over feature-vector keys; Table 2 of the paper compares their
+// lookup latencies.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// ID identifies a cache entry within an index. IDs are assigned by the
+// cache core and are stable for the lifetime of the entry.
+type ID uint64
+
+// Neighbor is one result of a nearest-neighbour query.
+type Neighbor struct {
+	ID   ID
+	Key  vec.Vector
+	Dist float64
+}
+
+// Index stores (ID, key-vector) pairs and answers nearest-neighbour
+// queries under the index's metric. Implementations are NOT safe for
+// concurrent use; the cache core serializes access.
+type Index interface {
+	// Insert adds a key under id. Inserting an existing id replaces its
+	// key.
+	Insert(id ID, key vec.Vector)
+	// Remove deletes the entry with the given id. Removing an absent id
+	// is a no-op.
+	Remove(id ID)
+	// Nearest returns the stored entry closest to key, or ok=false if
+	// the index is empty.
+	Nearest(key vec.Vector) (n Neighbor, ok bool)
+	// KNearest returns up to k stored entries closest to key, ordered by
+	// increasing distance.
+	KNearest(key vec.Vector, k int) []Neighbor
+	// Len returns the number of stored entries.
+	Len() int
+	// Metric returns the metric the index orders by.
+	Metric() vec.Metric
+	// Kind returns the structural kind of this index.
+	Kind() Kind
+}
+
+// Kind names an index structure, used when applications register key
+// types (§3.7) and in experiment output.
+type Kind string
+
+// The index kinds from Figure 5 of the paper.
+const (
+	KindLinear  Kind = "linear"  // naive enumeration (Table 2 baseline)
+	KindKDTree  Kind = "kdtree"  // spatial k-d tree
+	KindLSH     Kind = "lsh"     // locality-sensitive hashing
+	KindTreeMap Kind = "treemap" // balanced BST over lexicographic order
+	KindHash    Kind = "hash"    // exact-match hash map
+)
+
+// New constructs an index of the given kind using metric m. Dim is the
+// expected key dimensionality; LSH uses it to size its projections (pass
+// 0 to let the index learn the dimension from the first insert).
+func New(kind Kind, m vec.Metric, dim int) (Index, error) {
+	switch kind {
+	case KindLinear:
+		return NewLinear(m), nil
+	case KindKDTree:
+		return NewKDTree(m), nil
+	case KindLSH:
+		return NewLSH(m, dim, DefaultLSHConfig()), nil
+	case KindTreeMap:
+		return NewTreeMap(m), nil
+	case KindHash:
+		return NewHash(m), nil
+	}
+	return nil, fmt.Errorf("index: unknown kind %q", kind)
+}

@@ -1,0 +1,74 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func benchKeys(n, dim int, seed int64) []vec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// BenchmarkInsert measures insertion cost per index kind and size.
+func BenchmarkInsert(b *testing.B) {
+	for _, kind := range []Kind{KindLinear, KindKDTree, KindLSH, KindTreeMap, KindHash} {
+		b.Run(string(kind), func(b *testing.B) {
+			keys := benchKeys(b.N, 16, 1)
+			idx, _ := New(kind, vec.EuclideanMetric{}, 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Insert(ID(i), keys[i])
+			}
+		})
+	}
+}
+
+// BenchmarkNearest measures 1-NN query cost per kind at several sizes.
+func BenchmarkNearest(b *testing.B) {
+	for _, kind := range []Kind{KindKDTree, KindLSH, KindLinear} {
+		for _, n := range []int{1_000, 10_000} {
+			b.Run(fmt.Sprintf("%s-%d", kind, n), func(b *testing.B) {
+				keys := benchKeys(n, 16, 2)
+				idx, _ := New(kind, vec.EuclideanMetric{}, 16)
+				for i, k := range keys {
+					idx.Insert(ID(i), k)
+				}
+				queries := benchKeys(256, 16, 3)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					idx.Nearest(queries[i%len(queries)])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRadius measures range-search cost for the exact structures.
+func BenchmarkRadius(b *testing.B) {
+	for _, kind := range []Kind{KindKDTree, KindLinear} {
+		b.Run(string(kind), func(b *testing.B) {
+			keys := benchKeys(10_000, 8, 4)
+			idx, _ := New(kind, vec.EuclideanMetric{}, 8)
+			for i, k := range keys {
+				idx.Insert(ID(i), k)
+			}
+			queries := benchKeys(128, 8, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Radius(idx, queries[i%len(queries)], 1.0)
+			}
+		})
+	}
+}

@@ -1,0 +1,265 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// KDTree is a k-dimensional tree supporting exact nearest-neighbour
+// search in O(log N) average time for low-to-moderate dimensions
+// (paper §3.6: "KD-trees ... support spatial indexing and efficient
+// nearest neighbor and range searches"). Pruning uses per-axis bounds
+// and is exact for the Euclidean, Manhattan and Chebyshev metrics; for
+// other metrics the tree degrades to a full traversal and stays correct.
+//
+// Deletions are tombstoned and the tree is rebuilt when more than half
+// the nodes are dead, giving amortized O(log N) removal.
+type KDTree struct {
+	metric   vec.Metric
+	prunable bool
+	root     *kdNode
+	size     int // live entries
+	dead     int // tombstoned entries
+	byID     map[ID]*kdNode
+}
+
+type kdNode struct {
+	id          ID
+	key         vec.Vector
+	axis        int
+	left, right *kdNode
+	deleted     bool
+}
+
+// NewKDTree returns an empty KD-tree using metric m.
+func NewKDTree(m vec.Metric) *KDTree {
+	var prunable bool
+	switch m.(type) {
+	case vec.EuclideanMetric, vec.ManhattanMetric, vec.ChebyshevMetric:
+		prunable = true
+	}
+	return &KDTree{metric: m, prunable: prunable, byID: make(map[ID]*kdNode)}
+}
+
+// Insert implements Index.
+func (t *KDTree) Insert(id ID, key vec.Vector) {
+	if old, ok := t.byID[id]; ok && !old.deleted {
+		old.deleted = true
+		t.dead++
+		t.size--
+	}
+	key = key.Clone()
+	n := &kdNode{id: id, key: key}
+	t.byID[id] = n
+	t.size++
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	cur := t.root
+	for {
+		n.axis = (cur.axis + 1) % len(key)
+		if axisLess(key, cur.key, cur.axis) {
+			if cur.left == nil {
+				cur.left = n
+				return
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = n
+				return
+			}
+			cur = cur.right
+		}
+	}
+}
+
+// axisLess compares along an axis, tolerating keys of differing
+// dimensionality (shorter keys read as 0 on missing axes).
+func axisLess(a, b vec.Vector, axis int) bool {
+	av, bv := 0.0, 0.0
+	if axis < len(a) {
+		av = a[axis]
+	}
+	if axis < len(b) {
+		bv = b[axis]
+	}
+	return av < bv
+}
+
+// Remove implements Index.
+func (t *KDTree) Remove(id ID) {
+	n, ok := t.byID[id]
+	if !ok || n.deleted {
+		return
+	}
+	n.deleted = true
+	delete(t.byID, id)
+	t.size--
+	t.dead++
+	if t.dead > t.size {
+		t.rebuild()
+	}
+}
+
+func (t *KDTree) rebuild() {
+	nodes := make([]*kdNode, 0, t.size)
+	var collect func(n *kdNode)
+	collect = func(n *kdNode) {
+		if n == nil {
+			return
+		}
+		collect(n.left)
+		if !n.deleted {
+			nodes = append(nodes, n)
+		}
+		collect(n.right)
+	}
+	collect(t.root)
+	t.root = buildBalanced(nodes, 0)
+	t.dead = 0
+}
+
+func buildBalanced(nodes []*kdNode, axis int) *kdNode {
+	if len(nodes) == 0 {
+		return nil
+	}
+	// Median-of-slice by axis using an in-place selection sort around the
+	// midpoint (quickselect would be faster but rebuilds are rare).
+	mid := len(nodes) / 2
+	quickSelect(nodes, mid, axis)
+	n := nodes[mid]
+	dim := len(n.key)
+	next := 0
+	if dim > 0 {
+		next = (axis + 1) % dim
+	}
+	n.axis = axis
+	n.left = buildBalanced(nodes[:mid], next)
+	n.right = buildBalanced(nodes[mid+1:], next)
+	return n
+}
+
+func quickSelect(nodes []*kdNode, k, axis int) {
+	lo, hi := 0, len(nodes)-1
+	for lo < hi {
+		p := partition(nodes, lo, hi, axis)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func partition(nodes []*kdNode, lo, hi, axis int) int {
+	pivot := nodes[hi].key
+	i := lo
+	for j := lo; j < hi; j++ {
+		if axisLess(nodes[j].key, pivot, axis) {
+			nodes[i], nodes[j] = nodes[j], nodes[i]
+			i++
+		}
+	}
+	nodes[i], nodes[hi] = nodes[hi], nodes[i]
+	return i
+}
+
+// Nearest implements Index.
+func (t *KDTree) Nearest(key vec.Vector) (Neighbor, bool) {
+	res := t.KNearest(key, 1)
+	if len(res) == 0 {
+		return Neighbor{}, false
+	}
+	return res[0], true
+}
+
+// KNearest implements Index.
+func (t *KDTree) KNearest(key vec.Vector, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &maxDistHeap{}
+	t.search(t.root, key, k, h)
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	return out
+}
+
+func (t *KDTree) search(n *kdNode, key vec.Vector, k int, h *maxDistHeap) {
+	if n == nil {
+		return
+	}
+	if !n.deleted {
+		d := t.metric.Distance(key, n.key)
+		if h.Len() < k {
+			heap.Push(h, Neighbor{ID: n.id, Key: n.key, Dist: d})
+		} else if worst := (*h)[0]; d < worst.Dist || (d == worst.Dist && n.id < worst.ID) {
+			(*h)[0] = Neighbor{ID: n.id, Key: n.key, Dist: d}
+			heap.Fix(h, 0)
+		}
+	}
+	goLeft := axisLess(key, n.key, n.axis)
+	first, second := n.left, n.right
+	if !goLeft {
+		first, second = n.right, n.left
+	}
+	t.search(first, key, k, h)
+	// Prune the far side when the axis distance already exceeds the
+	// current worst candidate (valid for Lp metrics).
+	if second != nil {
+		axDist := axisAbsDiff(key, n.key, n.axis)
+		if !t.prunable || h.Len() < k || axDist <= (*h)[0].Dist {
+			t.search(second, key, k, h)
+		}
+	}
+}
+
+func axisAbsDiff(a, b vec.Vector, axis int) float64 {
+	av, bv := 0.0, 0.0
+	if axis < len(a) {
+		av = a[axis]
+	}
+	if axis < len(b) {
+		bv = b[axis]
+	}
+	return math.Abs(av - bv)
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return t.size }
+
+// Metric implements Index.
+func (t *KDTree) Metric() vec.Metric { return t.metric }
+
+// Kind implements Index.
+func (t *KDTree) Kind() Kind { return KindKDTree }
+
+// maxDistHeap is a max-heap of neighbours by distance, so the root is the
+// worst candidate and can be replaced cheaply.
+type maxDistHeap []Neighbor
+
+func (h maxDistHeap) Len() int { return len(h) }
+func (h maxDistHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].ID > h[j].ID
+}
+func (h maxDistHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxDistHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxDistHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,97 @@
+package index
+
+import (
+	"repro/internal/vec"
+)
+
+// RadiusSearcher is implemented by indices that support range searches
+// ("KD-trees and LSHs are data structures to support spatial indexing
+// and efficient nearest neighbor and range searches", §4.2). Radius
+// returns every stored entry within distance r of key, ordered by
+// increasing distance.
+type RadiusSearcher interface {
+	Radius(key vec.Vector, r float64) []Neighbor
+}
+
+// Radius performs a range search on any index: natively when the index
+// implements RadiusSearcher, otherwise by filtering a full KNearest.
+func Radius(idx Index, key vec.Vector, r float64) []Neighbor {
+	if rs, ok := idx.(RadiusSearcher); ok {
+		return rs.Radius(key, r)
+	}
+	all := idx.KNearest(key, idx.Len())
+	cut := len(all)
+	for i, n := range all {
+		if n.Dist > r {
+			cut = i
+			break
+		}
+	}
+	return all[:cut]
+}
+
+// Radius implements RadiusSearcher for the linear index.
+func (l *Linear) Radius(key vec.Vector, r float64) []Neighbor {
+	out := make([]Neighbor, 0, 8)
+	for id, k := range l.keys {
+		if d := l.metric.Distance(key, k); d <= r {
+			out = append(out, Neighbor{ID: id, Key: k, Dist: d})
+		}
+	}
+	sortNeighbors(out)
+	return out
+}
+
+// Radius implements RadiusSearcher for the KD-tree with subtree pruning
+// (exact for Lp metrics; full traversal otherwise).
+func (t *KDTree) Radius(key vec.Vector, r float64) []Neighbor {
+	var out []Neighbor
+	var walk func(n *kdNode)
+	walk = func(n *kdNode) {
+		if n == nil {
+			return
+		}
+		if !n.deleted {
+			if d := t.metric.Distance(key, n.key); d <= r {
+				out = append(out, Neighbor{ID: n.id, Key: n.key, Dist: d})
+			}
+		}
+		ax := axisAbsDiff(key, n.key, n.axis)
+		goLeft := axisLess(key, n.key, n.axis)
+		if goLeft {
+			walk(n.left)
+			if !t.prunable || ax <= r {
+				walk(n.right)
+			}
+		} else {
+			walk(n.right)
+			if !t.prunable || ax <= r {
+				walk(n.left)
+			}
+		}
+	}
+	walk(t.root)
+	sortNeighbors(out)
+	return out
+}
+
+// Radius implements RadiusSearcher for LSH: bucket candidates are ranked
+// exactly, and when probing finds nothing the scan fallback keeps the
+// result complete (mirroring KNearest's contract).
+func (l *LSH) Radius(key vec.Vector, r float64) []Neighbor {
+	cand := l.candidates(key)
+	if len(cand) == 0 {
+		for id := range l.keys {
+			cand[id] = struct{}{}
+		}
+	}
+	out := make([]Neighbor, 0, len(cand))
+	for id := range cand {
+		k := l.keys[id]
+		if d := l.metric.Distance(key, k); d <= r {
+			out = append(out, Neighbor{ID: id, Key: k, Dist: d})
+		}
+	}
+	sortNeighbors(out)
+	return out
+}

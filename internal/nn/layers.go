@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Layer transforms a volume.
+type Layer interface {
+	// Forward computes the layer output.
+	Forward(in *Volume) *Volume
+	// OutDims reports the output dimensions for the given input
+	// dimensions, letting networks validate shapes at build time.
+	OutDims(c, h, w int) (int, int, int)
+}
+
+// Conv2D is a 2-D convolution with zero padding.
+type Conv2D struct {
+	InC, OutC   int
+	K           int // kernel side
+	Stride, Pad int
+	Weights     []float64 // [outC][inC][K][K]
+	Bias        []float64 // [outC]
+}
+
+// NewConv2D builds a convolution with He-style random weights drawn from
+// rng (deterministic given the caller's seed).
+func NewConv2D(inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weights: make([]float64, outC*inC*k*k),
+		Bias:    make([]float64, outC),
+	}
+	scale := math.Sqrt(2.0 / float64(inC*k*k))
+	for i := range c.Weights {
+		c.Weights[i] = rng.NormFloat64() * scale
+	}
+	return c
+}
+
+// OutDims implements Layer.
+func (c *Conv2D) OutDims(_, h, w int) (int, int, int) {
+	if h+2*c.Pad < c.K || w+2*c.Pad < c.K {
+		return c.OutC, 0, 0
+	}
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return c.OutC, oh, ow
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *Volume) *Volume {
+	oc, oh, ow := c.OutDims(in.C, in.H, in.W)
+	out := NewVolume(oc, oh, ow)
+	for o := 0; o < c.OutC; o++ {
+		wBase := o * c.InC * c.K * c.K
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := c.Bias[o]
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						rowBase := (ic*in.H + iy) * in.W
+						wRow := wBase + (ic*c.K+ky)*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							sum += c.Weights[wRow+kx] * in.Data[rowBase+ix]
+						}
+					}
+				}
+				out.Data[(o*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct{}
+
+// OutDims implements Layer.
+func (ReLU) OutDims(c, h, w int) (int, int, int) { return c, h, w }
+
+// Forward implements Layer.
+func (ReLU) Forward(in *Volume) *Volume {
+	out := NewVolume(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// MaxPool downsamples with a k×k max filter.
+type MaxPool struct {
+	K, Stride int
+}
+
+// OutDims implements Layer.
+func (p MaxPool) OutDims(c, h, w int) (int, int, int) {
+	if h < p.K || w < p.K {
+		return c, 0, 0
+	}
+	return c, (h-p.K)/p.Stride + 1, (w-p.K)/p.Stride + 1
+}
+
+// Forward implements Layer.
+func (p MaxPool) Forward(in *Volume) *Volume {
+	oc, oh, ow := p.OutDims(in.C, in.H, in.W)
+	out := NewVolume(oc, oh, ow)
+	for c := 0; c < oc; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						v := in.At(c, oy*p.Stride+ky, ox*p.Stride+kx)
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(c*oh+oy)*ow+ox] = best
+			}
+		}
+	}
+	return out
+}
+
+// Dense is a fully connected layer applied to the flattened input.
+type Dense struct {
+	In, Out int
+	Weights []float64 // [out][in]
+	Bias    []float64
+}
+
+// NewDense builds a dense layer with Xavier-style random weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Weights: make([]float64, in*out), Bias: make([]float64, out)}
+	scale := math.Sqrt(1.0 / float64(in))
+	for i := range d.Weights {
+		d.Weights[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// OutDims implements Layer.
+func (d *Dense) OutDims(_, _, _ int) (int, int, int) { return d.Out, 1, 1 }
+
+// Forward implements Layer.
+func (d *Dense) Forward(in *Volume) *Volume {
+	out := NewVolume(d.Out, 1, 1)
+	for o := 0; o < d.Out; o++ {
+		sum := d.Bias[o]
+		base := o * d.In
+		n := d.In
+		if len(in.Data) < n {
+			n = len(in.Data)
+		}
+		for i := 0; i < n; i++ {
+			sum += d.Weights[base+i] * in.Data[i]
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// Softmax normalizes scores into a probability distribution.
+func Softmax(scores []float64) []float64 {
+	if len(scores) == 0 {
+		return nil
+	}
+	max := scores[0]
+	for _, s := range scores[1:] {
+		if s > max {
+			max = s
+		}
+	}
+	out := make([]float64, len(scores))
+	var sum float64
+	for i, s := range scores {
+		out[i] = math.Exp(s - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/synth"
+)
+
+// BenchmarkTinyAlexNetInference measures one forward pass — the
+// computation Potluck deduplicates in the recognition benchmarks.
+func BenchmarkTinyAlexNetInference(b *testing.B) {
+	net := NewTinyAlexNet(1)
+	img := synth.NewCIFARLike(1).Sample(0, 0).Image
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Features(img)
+	}
+}
+
+// BenchmarkClassify measures inference plus the nearest-centroid head.
+func BenchmarkClassify(b *testing.B) {
+	ds := synth.NewCIFARLike(2)
+	var imgs []*imaging.RGB
+	var labels []int
+	for c := 0; c < 10; c++ {
+		for v := 0; v < 2; v++ {
+			s := ds.Sample(c, v)
+			imgs = append(imgs, s.Image)
+			labels = append(labels, s.Label)
+		}
+	}
+	clf, err := Train(NewTinyAlexNet(2), imgs, labels, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := ds.Sample(3, 100).Image
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Classify(probe)
+	}
+}
+
+// BenchmarkConvLayer isolates the dominant layer.
+func BenchmarkConvLayer(b *testing.B) {
+	net := NewTinyAlexNet(3)
+	img := synth.NewCIFARLike(3).Sample(0, 0).Image
+	in := ImageToVolume(img, 32, 32)
+	conv := net.layers[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(in)
+	}
+}

@@ -1,0 +1,228 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/synth"
+)
+
+func TestVolumeAtSet(t *testing.T) {
+	v := NewVolume(2, 3, 4)
+	v.Set(1, 2, 3, 0.5)
+	if got := v.At(1, 2, 3); got != 0.5 {
+		t.Errorf("At = %v", got)
+	}
+	if got := v.At(-1, 0, 0); got != 0 {
+		t.Errorf("out-of-bounds At = %v, want 0 (zero padding)", got)
+	}
+	v.Set(5, 0, 0, 1) // ignored
+	if len(v.Flat()) != 24 {
+		t.Errorf("Flat len = %d", len(v.Flat()))
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	// A 1×1 conv with weight 1 is the identity.
+	c := &Conv2D{InC: 1, OutC: 1, K: 1, Stride: 1, Pad: 0,
+		Weights: []float64{1}, Bias: []float64{0}}
+	in := NewVolume(1, 2, 2)
+	copy(in.Data, []float64{1, 2, 3, 4})
+	out := c.Forward(in)
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatalf("identity conv output %v", out.Data)
+		}
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 3×3 box filter over a single bright pixel.
+	c := &Conv2D{InC: 1, OutC: 1, K: 3, Stride: 1, Pad: 1,
+		Weights: []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}, Bias: []float64{0}}
+	in := NewVolume(1, 3, 3)
+	in.Set(0, 1, 1, 1)
+	out := c.Forward(in)
+	for _, v := range out.Data {
+		if v != 1 {
+			t.Fatalf("box filter output %v, want all 1", out.Data)
+		}
+	}
+	// Stride-2, no pad.
+	c2 := &Conv2D{InC: 1, OutC: 1, K: 2, Stride: 2, Pad: 0,
+		Weights: []float64{1, 1, 1, 1}, Bias: []float64{10}}
+	in2 := NewVolume(1, 4, 4)
+	for i := range in2.Data {
+		in2.Data[i] = 1
+	}
+	out2 := c2.Forward(in2)
+	if out2.H != 2 || out2.W != 2 {
+		t.Fatalf("stride-2 dims = %dx%d", out2.H, out2.W)
+	}
+	if out2.Data[0] != 14 {
+		t.Errorf("stride-2 value = %v, want 4+10", out2.Data[0])
+	}
+}
+
+func TestReLU(t *testing.T) {
+	in := NewVolume(1, 1, 3)
+	copy(in.Data, []float64{-1, 0, 2})
+	out := (ReLU{}).Forward(in)
+	want := []float64{0, 0, 2}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("ReLU = %v", out.Data)
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := NewVolume(1, 2, 2)
+	copy(in.Data, []float64{1, 5, 3, 2})
+	out := (MaxPool{K: 2, Stride: 2}).Forward(in)
+	if out.H != 1 || out.W != 1 || out.Data[0] != 5 {
+		t.Errorf("MaxPool = %+v", out)
+	}
+}
+
+func TestDense(t *testing.T) {
+	d := &Dense{In: 2, Out: 1, Weights: []float64{3, 4}, Bias: []float64{1}}
+	in := NewVolume(2, 1, 1)
+	copy(in.Data, []float64{1, 2})
+	out := d.Forward(in)
+	if out.Data[0] != 12 {
+		t.Errorf("Dense = %v, want 3+8+1", out.Data[0])
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Errorf("softmax not monotone: %v", p)
+	}
+	if Softmax(nil) != nil {
+		t.Error("softmax of empty input")
+	}
+	// Large scores do not overflow.
+	p = Softmax([]float64{1000, 1001})
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Errorf("softmax overflow: %v", p)
+	}
+}
+
+func TestNetworkShapeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Pooling a 2×2 input twice collapses it.
+	_, err := NewNetwork(1, 2, 2, MaxPool{K: 2, Stride: 2}, MaxPool{K: 2, Stride: 2})
+	if err == nil {
+		t.Error("collapsing network accepted")
+	}
+	net, err := NewNetwork(3, 32, 32, NewConv2D(3, 8, 3, 1, 1, rng), ReLU{}, MaxPool{K: 2, Stride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.OutLen() != 8*16*16 {
+		t.Errorf("OutLen = %d", net.OutLen())
+	}
+}
+
+func TestTinyAlexNetDeterministic(t *testing.T) {
+	img := synth.NewCIFARLike(1).Sample(0, 0).Image
+	a := NewTinyAlexNet(7).Features(img)
+	b := NewTinyAlexNet(7).Features(img)
+	if len(a) != 128 {
+		t.Fatalf("feature len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different features")
+		}
+	}
+	cth := NewTinyAlexNet(8).Features(img)
+	same := true
+	for i := range a {
+		if a[i] != cth[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical features")
+	}
+}
+
+func TestImageToVolumeResizes(t *testing.T) {
+	img := imaging.NewRGB(10, 10)
+	img.Fill(0.2, 0.4, 0.6)
+	v := ImageToVolume(img, 4, 4)
+	if v.C != 3 || v.H != 4 || v.W != 4 {
+		t.Fatalf("dims = %dx%dx%d", v.C, v.H, v.W)
+	}
+	if math.Abs(v.At(2, 1, 1)-0.6) > 1e-9 {
+		t.Errorf("blue channel = %v", v.At(2, 1, 1))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	net := NewTinyAlexNet(1)
+	if _, err := Train(net, nil, nil, 10); err == nil {
+		t.Error("empty training set accepted")
+	}
+	img := synth.NewCIFARLike(1).Sample(0, 0).Image
+	if _, err := Train(net, []*imaging.RGB{img}, []int{99}, 10); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+// TestClassifierLearnsSyntheticClasses is the recognizer's end-to-end
+// check: trained on CIFAR-like samples it must beat chance by a wide
+// margin on held-out variants, without being perfect.
+func TestClassifierLearnsSyntheticClasses(t *testing.T) {
+	ds := synth.NewCIFARLike(3)
+	var trainImgs []*imaging.RGB
+	var trainLabels []int
+	for c := 0; c < 10; c++ {
+		for v := 0; v < 8; v++ {
+			s := ds.Sample(c, v)
+			trainImgs = append(trainImgs, s.Image)
+			trainLabels = append(trainLabels, s.Label)
+		}
+	}
+	clf, err := Train(NewTinyAlexNet(5), trainImgs, trainLabels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var testImgs []*imaging.RGB
+	var testLabels []int
+	for c := 0; c < 10; c++ {
+		for v := 100; v < 104; v++ {
+			s := ds.Sample(c, v)
+			testImgs = append(testImgs, s.Image)
+			testLabels = append(testLabels, s.Label)
+		}
+	}
+	acc := clf.Accuracy(testImgs, testLabels)
+	if acc < 0.5 {
+		t.Errorf("held-out accuracy = %.2f, want ≥ 0.5 (chance is 0.1)", acc)
+	}
+	t.Logf("held-out accuracy: %.2f", acc)
+	if clf.Classes() != 10 {
+		t.Errorf("Classes = %d", clf.Classes())
+	}
+	_, scores := clf.Classify(testImgs[0])
+	if len(scores) != 10 {
+		t.Errorf("scores len = %d", len(scores))
+	}
+	if (&Classifier{net: NewTinyAlexNet(1), centroids: make([][]float64, 0), classes: 0}).Accuracy(nil, nil) != 0 {
+		t.Error("Accuracy on empty set != 0")
+	}
+}

@@ -1,0 +1,116 @@
+// Package render is a from-scratch 3-D software renderer: vector/matrix
+// math, triangle meshes, a perspective camera, and a z-buffered
+// rasterizer with Lambert shading. It is the substrate for the paper's
+// two AR benchmark applications (§5.1): rendering virtual objects for a
+// device pose is the expensive computation, and the warp fast path
+// (pose-keyed reuse of a cached frame, §5.5) is the deduplicated
+// alternative, following plenoptic image-based rendering (paper
+// citation [36]).
+package render
+
+import "math"
+
+// Vec3 is a 3-D vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the inner product.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns the unit vector along v (zero vector unchanged).
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Mat4 is a row-major 4×4 homogeneous transform.
+type Mat4 [16]float64
+
+// Identity4 returns the identity transform.
+func Identity4() Mat4 {
+	return Mat4{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1}
+}
+
+// Mul returns m·n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += m[r*4+k] * n[k*4+c]
+			}
+			out[r*4+c] = s
+		}
+	}
+	return out
+}
+
+// ApplyPoint transforms a point (w = 1) without perspective divide.
+func (m Mat4) ApplyPoint(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3],
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7],
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11],
+	}
+}
+
+// ApplyDir transforms a direction (w = 0; translation ignored).
+func (m Mat4) ApplyDir(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z,
+	}
+}
+
+// Translate4 returns a translation transform.
+func Translate4(t Vec3) Mat4 {
+	return Mat4{1, 0, 0, t.X, 0, 1, 0, t.Y, 0, 0, 1, t.Z, 0, 0, 0, 1}
+}
+
+// Scale4 returns a uniform scaling transform.
+func Scale4(s float64) Mat4 {
+	return Mat4{s, 0, 0, 0, 0, s, 0, 0, 0, 0, s, 0, 0, 0, 0, 1}
+}
+
+// RotateX4 rotates about the X axis by theta radians.
+func RotateX4(theta float64) Mat4 {
+	s, c := math.Sin(theta), math.Cos(theta)
+	return Mat4{1, 0, 0, 0, 0, c, -s, 0, 0, s, c, 0, 0, 0, 0, 1}
+}
+
+// RotateY4 rotates about the Y axis.
+func RotateY4(theta float64) Mat4 {
+	s, c := math.Sin(theta), math.Cos(theta)
+	return Mat4{c, 0, s, 0, 0, 1, 0, 0, -s, 0, c, 0, 0, 0, 0, 1}
+}
+
+// RotateZ4 rotates about the Z axis.
+func RotateZ4(theta float64) Mat4 {
+	s, c := math.Sin(theta), math.Cos(theta)
+	return Mat4{c, -s, 0, 0, s, c, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1}
+}

@@ -1,0 +1,104 @@
+package render
+
+import "math"
+
+// Mesh is a triangle mesh with a flat base color.
+type Mesh struct {
+	Verts []Vec3
+	// Tris indexes Verts; counter-clockwise winding faces outward.
+	Tris  [][3]int
+	Color [3]float64
+}
+
+// Triangles returns the triangle count (the renderer's cost driver).
+func (m *Mesh) Triangles() int { return len(m.Tris) }
+
+// Cube returns a unit cube centred at the origin.
+func Cube(color [3]float64) *Mesh {
+	v := []Vec3{
+		{-0.5, -0.5, -0.5}, {0.5, -0.5, -0.5}, {0.5, 0.5, -0.5}, {-0.5, 0.5, -0.5},
+		{-0.5, -0.5, 0.5}, {0.5, -0.5, 0.5}, {0.5, 0.5, 0.5}, {-0.5, 0.5, 0.5},
+	}
+	t := [][3]int{
+		{0, 2, 1}, {0, 3, 2}, // back
+		{4, 5, 6}, {4, 6, 7}, // front
+		{0, 1, 5}, {0, 5, 4}, // bottom
+		{3, 7, 6}, {3, 6, 2}, // top
+		{0, 4, 7}, {0, 7, 3}, // left
+		{1, 2, 6}, {1, 6, 5}, // right
+	}
+	return &Mesh{Verts: v, Tris: t, Color: color}
+}
+
+// Sphere returns a UV sphere of the given resolution; triangle count is
+// roughly 2·lat·lon, so resolution controls rendering cost.
+func Sphere(lat, lon int, color [3]float64) *Mesh {
+	if lat < 2 {
+		lat = 2
+	}
+	if lon < 3 {
+		lon = 3
+	}
+	m := &Mesh{Color: color}
+	for i := 0; i <= lat; i++ {
+		phi := math.Pi * float64(i) / float64(lat)
+		for j := 0; j <= lon; j++ {
+			theta := 2 * math.Pi * float64(j) / float64(lon)
+			m.Verts = append(m.Verts, Vec3{
+				0.5 * math.Sin(phi) * math.Cos(theta),
+				0.5 * math.Cos(phi),
+				0.5 * math.Sin(phi) * math.Sin(theta),
+			})
+		}
+	}
+	idx := func(i, j int) int { return i*(lon+1) + j }
+	for i := 0; i < lat; i++ {
+		for j := 0; j < lon; j++ {
+			a, b, c, d := idx(i, j), idx(i+1, j), idx(i+1, j+1), idx(i, j+1)
+			m.Tris = append(m.Tris, [3]int{a, b, c}, [3]int{a, c, d})
+		}
+	}
+	return m
+}
+
+// Pyramid returns a square pyramid (apex up), a cheap distinctive shape.
+func Pyramid(color [3]float64) *Mesh {
+	v := []Vec3{
+		{-0.5, 0, -0.5}, {0.5, 0, -0.5}, {0.5, 0, 0.5}, {-0.5, 0, 0.5},
+		{0, 0.8, 0},
+	}
+	t := [][3]int{
+		{0, 1, 4}, {1, 2, 4}, {2, 3, 4}, {3, 0, 4},
+		{0, 2, 1}, {0, 3, 2},
+	}
+	return &Mesh{Verts: v, Tris: t, Color: color}
+}
+
+// Furniture returns a composite table-like mesh (top slab + four legs),
+// standing in for IKEA-Place-style virtual furniture.
+func Furniture(color [3]float64) *Mesh {
+	m := &Mesh{Color: color}
+	addBox := func(cx, cy, cz, sx, sy, sz float64) {
+		base := len(m.Verts)
+		for _, d := range [][3]float64{
+			{-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+			{-1, -1, 1}, {1, -1, 1}, {1, 1, 1}, {-1, 1, 1},
+		} {
+			m.Verts = append(m.Verts, Vec3{cx + d[0]*sx/2, cy + d[1]*sy/2, cz + d[2]*sz/2})
+		}
+		for _, t := range [][3]int{
+			{0, 2, 1}, {0, 3, 2}, {4, 5, 6}, {4, 6, 7},
+			{0, 1, 5}, {0, 5, 4}, {3, 7, 6}, {3, 6, 2},
+			{0, 4, 7}, {0, 7, 3}, {1, 2, 6}, {1, 6, 5},
+		} {
+			m.Tris = append(m.Tris, [3]int{base + t[0], base + t[1], base + t[2]})
+		}
+	}
+	addBox(0, 0.5, 0, 1.2, 0.1, 0.8) // top
+	for _, lx := range []float64{-0.5, 0.5} {
+		for _, lz := range []float64{-0.3, 0.3} {
+			addBox(lx, 0.225, lz, 0.1, 0.45, 0.1) // legs
+		}
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package render
+
+import (
+	"math"
+
+	"repro/internal/imaging"
+	"repro/internal/vec"
+)
+
+// Pose is the device's 3-D orientation and location, the cache key for
+// the location-based AR application ("The 3D orientation and location of
+// the device are used as the key for the cache lookups", §5.5).
+type Pose struct {
+	// Yaw, Pitch, Roll are the orientation in radians.
+	Yaw, Pitch, Roll float64
+	// Pos is the camera position in world coordinates.
+	Pos Vec3
+}
+
+// Key converts the pose to a 6-D feature vector. Orientation components
+// are scaled so that a radian of rotation and a unit of translation
+// contribute comparably to the distance.
+func (p Pose) Key() vec.Vector {
+	return vec.Vector{p.Yaw, p.Pitch, p.Roll, p.Pos.X, p.Pos.Y, p.Pos.Z}
+}
+
+// ViewMatrix returns the world→camera transform for the pose.
+func (p Pose) ViewMatrix() Mat4 {
+	// Inverse of R_y(yaw)·R_x(pitch)·R_z(roll) then translate.
+	rot := RotateZ4(-p.Roll).Mul(RotateX4(-p.Pitch)).Mul(RotateY4(-p.Yaw))
+	return rot.Mul(Translate4(p.Pos.Scale(-1)))
+}
+
+// Object places a mesh in the world.
+type Object struct {
+	Mesh      *Mesh
+	Transform Mat4
+}
+
+// Scene is a collection of placed objects.
+type Scene struct {
+	Objects []Object
+	// Light is the directional light (world space); zero means the
+	// default (0.4, -1, -0.3).
+	Light Vec3
+}
+
+// Triangles returns the total triangle count, the scene-complexity
+// measure behind Figure 10(b)'s 1/2/3-object scenes.
+func (s *Scene) Triangles() int {
+	n := 0
+	for _, o := range s.Objects {
+		n += o.Mesh.Triangles()
+	}
+	return n
+}
+
+// Renderer rasterizes scenes with a perspective camera and z-buffer.
+type Renderer struct {
+	W, H int
+	// FOV is the vertical field of view in radians (default π/3).
+	FOV float64
+	// Near clips geometry closer than this distance (default 0.1).
+	Near float64
+}
+
+// NewRenderer returns a renderer with default camera parameters.
+func NewRenderer(w, h int) *Renderer {
+	return &Renderer{W: w, H: h, FOV: math.Pi / 3, Near: 0.1}
+}
+
+// Render draws the scene from the given pose into a new RGB frame with
+// a depth buffer, returning the frame. Background is a dark gradient so
+// warped frames blend plausibly.
+func (r *Renderer) Render(scene *Scene, pose Pose) *imaging.RGB {
+	img := imaging.NewRGB(r.W, r.H)
+	for y := 0; y < r.H; y++ {
+		t := float64(y) / float64(max(r.H-1, 1))
+		for x := 0; x < r.W; x++ {
+			img.Set(x, y, 0.08+0.05*t, 0.08+0.05*t, 0.12+0.06*t)
+		}
+	}
+	zbuf := make([]float64, r.W*r.H)
+	for i := range zbuf {
+		zbuf[i] = math.Inf(1)
+	}
+	view := pose.ViewMatrix()
+	light := scene.Light
+	if light == (Vec3{}) {
+		light = Vec3{0.4, -1, -0.3}
+	}
+	light = light.Normalize().Scale(-1) // direction toward the light
+	f := float64(r.H) / 2 / math.Tan(r.FOV/2)
+
+	project := func(v Vec3) (float64, float64, float64, bool) {
+		if v.Z >= -r.Near { // camera looks down -Z
+			return 0, 0, 0, false
+		}
+		return float64(r.W)/2 + f*v.X/(-v.Z), float64(r.H)/2 - f*v.Y/(-v.Z), -v.Z, true
+	}
+
+	for _, obj := range scene.Objects {
+		mv := view.Mul(obj.Transform)
+		for _, tri := range obj.Mesh.Tris {
+			a := mv.ApplyPoint(obj.Mesh.Verts[tri[0]])
+			b := mv.ApplyPoint(obj.Mesh.Verts[tri[1]])
+			c := mv.ApplyPoint(obj.Mesh.Verts[tri[2]])
+			ax, ay, az, okA := project(a)
+			bx, by, bz, okB := project(b)
+			cx, cy, cz, okC := project(c)
+			if !okA || !okB || !okC {
+				continue // simple clipping: drop near-plane crossers
+			}
+			// Back-face culling and Lambert shading in camera space.
+			n := b.Sub(a).Cross(c.Sub(a))
+			if n.Z <= 0 {
+				continue // facing away
+			}
+			worldN := obj.Transform.ApplyDir(
+				obj.Mesh.Verts[tri[1]].Sub(obj.Mesh.Verts[tri[0]]).
+					Cross(obj.Mesh.Verts[tri[2]].Sub(obj.Mesh.Verts[tri[0]])),
+			).Normalize()
+			shade := 0.35 + 0.65*math.Max(0, worldN.Dot(light))
+			col := obj.Mesh.Color
+			r.fillTriangle(img, zbuf,
+				ax, ay, az, bx, by, bz, cx, cy, cz,
+				col[0]*shade, col[1]*shade, col[2]*shade)
+		}
+	}
+	return img
+}
+
+// fillTriangle rasterizes one screen-space triangle with barycentric
+// z-interpolation against the z-buffer.
+func (r *Renderer) fillTriangle(img *imaging.RGB, zbuf []float64,
+	ax, ay, az, bx, by, bz, cx, cy, cz, cr, cg, cb float64) {
+
+	minX := int(math.Floor(math.Min(ax, math.Min(bx, cx))))
+	maxX := int(math.Ceil(math.Max(ax, math.Max(bx, cx))))
+	minY := int(math.Floor(math.Min(ay, math.Min(by, cy))))
+	maxY := int(math.Ceil(math.Max(ay, math.Max(by, cy))))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX >= r.W {
+		maxX = r.W - 1
+	}
+	if maxY >= r.H {
+		maxY = r.H - 1
+	}
+	area := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+	if area == 0 {
+		return
+	}
+	inv := 1 / area
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			px, py := float64(x)+0.5, float64(y)+0.5
+			w0 := ((bx-px)*(cy-py) - (by-py)*(cx-px)) * inv
+			w1 := ((cx-px)*(ay-py) - (cy-py)*(ax-px)) * inv
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			z := w0*az + w1*bz + w2*cz
+			i := y*r.W + x
+			if z < zbuf[i] {
+				zbuf[i] = z
+				img.Set(x, y, cr, cg, cb)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+package render
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+// BenchmarkRender measures rasterization cost vs triangle count, the
+// scaling behind Figure 10(b).
+func BenchmarkRender(b *testing.B) {
+	r := NewRenderer(320, 240)
+	for _, res := range []int{8, 16, 32} {
+		scene := &Scene{Objects: []Object{{
+			Mesh:      Sphere(res, res*3/2, [3]float64{0.8, 0.3, 0.3}),
+			Transform: Translate4(Vec3{Z: -5}),
+		}}}
+		b.Run(fmt.Sprintf("tris-%d", scene.Triangles()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Render(scene, Pose{})
+			}
+		})
+	}
+}
+
+// BenchmarkWarpToPose measures the fast path's fixed per-frame cost.
+func BenchmarkWarpToPose(b *testing.B) {
+	r := NewRenderer(320, 240)
+	scene := &Scene{Objects: []Object{{
+		Mesh:      Sphere(16, 24, [3]float64{0.8, 0.3, 0.3}),
+		Transform: Translate4(Vec3{Z: -5}),
+	}}}
+	frame := r.Render(scene, Pose{})
+	to := Pose{Yaw: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WarpToPose(frame, Pose{}, to, r.FOV)
+	}
+}
+
+// BenchmarkWarpQuality is not a speed benchmark: it reports (via b.Log)
+// the MSE of the warp against a true re-render at increasing pose
+// deltas, the quality cliff that bounds the usable similarity threshold.
+func BenchmarkWarpQuality(b *testing.B) {
+	r := NewRenderer(160, 120)
+	scene := &Scene{Objects: []Object{{
+		Mesh:      Sphere(16, 24, [3]float64{0.8, 0.3, 0.3}),
+		Transform: Translate4(Vec3{Z: -5}),
+	}}}
+	from := Pose{}
+	cached := r.Render(scene, from)
+	for i := 0; i < b.N; i++ {
+		for _, dyaw := range []float64{0.02, 0.05, 0.1, 0.2} {
+			to := Pose{Yaw: dyaw}
+			truth := r.Render(scene, to)
+			warped := WarpToPose(cached, from, to, r.FOV)
+			mse := imaging.MSE(warped.Gray(), truth.Gray())
+			if i == 0 {
+				b.Logf("dyaw=%.2f mse=%.5f", dyaw, mse)
+			}
+		}
+	}
+}

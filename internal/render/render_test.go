@@ -1,0 +1,257 @@
+package render
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imaging"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := (Vec3{1, 0, 0}).Cross(Vec3{0, 1, 0}); got != (Vec3{0, 0, 1}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	n := (Vec3{10, 0, 0}).Normalize()
+	if n != (Vec3{1, 0, 0}) {
+		t.Errorf("Normalize = %v", n)
+	}
+	if z := (Vec3{}).Normalize(); z != (Vec3{}) {
+		t.Errorf("Normalize zero = %v", z)
+	}
+}
+
+func TestMat4Identity(t *testing.T) {
+	id := Identity4()
+	p := Vec3{1, 2, 3}
+	if got := id.ApplyPoint(p); got != p {
+		t.Errorf("identity moved point: %v", got)
+	}
+	if got := id.Mul(Translate4(Vec3{1, 0, 0})); got != Translate4(Vec3{1, 0, 0}) {
+		t.Error("I*T != T")
+	}
+}
+
+func TestMat4TranslateRotate(t *testing.T) {
+	tr := Translate4(Vec3{1, 2, 3})
+	if got := tr.ApplyPoint(Vec3{0, 0, 0}); got != (Vec3{1, 2, 3}) {
+		t.Errorf("translate = %v", got)
+	}
+	if got := tr.ApplyDir(Vec3{1, 0, 0}); got != (Vec3{1, 0, 0}) {
+		t.Errorf("ApplyDir includes translation: %v", got)
+	}
+	ry := RotateY4(math.Pi / 2)
+	got := ry.ApplyPoint(Vec3{1, 0, 0})
+	if math.Abs(got.X) > 1e-12 || math.Abs(got.Z+1) > 1e-12 {
+		t.Errorf("RotateY(90°)·x̂ = %v, want -ẑ", got)
+	}
+	rx := RotateX4(math.Pi / 2)
+	got = rx.ApplyPoint(Vec3{0, 1, 0})
+	if math.Abs(got.Y) > 1e-12 || math.Abs(got.Z-1) > 1e-12 {
+		t.Errorf("RotateX(90°)·ŷ = %v, want ẑ", got)
+	}
+	rz := RotateZ4(math.Pi / 2)
+	got = rz.ApplyPoint(Vec3{1, 0, 0})
+	if math.Abs(got.X) > 1e-12 || math.Abs(got.Y-1) > 1e-12 {
+		t.Errorf("RotateZ(90°)·x̂ = %v, want ŷ", got)
+	}
+}
+
+// Property: rotations preserve vector length.
+func TestRotationPreservesLengthProperty(t *testing.T) {
+	f := func(theta, x, y, z float64) bool {
+		theta = math.Mod(theta, 2*math.Pi)
+		v := Vec3{math.Mod(x, 100), math.Mod(y, 100), math.Mod(z, 100)}
+		if math.IsNaN(theta + v.X + v.Y + v.Z) {
+			return true
+		}
+		for _, m := range []Mat4{RotateX4(theta), RotateY4(theta), RotateZ4(theta)} {
+			if math.Abs(m.ApplyPoint(v).Norm()-v.Norm()) > 1e-9*(1+v.Norm()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshes(t *testing.T) {
+	if got := Cube([3]float64{1, 0, 0}).Triangles(); got != 12 {
+		t.Errorf("cube triangles = %d", got)
+	}
+	s := Sphere(8, 12, [3]float64{0, 1, 0})
+	if s.Triangles() != 2*8*12 {
+		t.Errorf("sphere triangles = %d", s.Triangles())
+	}
+	// All sphere vertices on the 0.5 radius.
+	for _, v := range s.Verts {
+		if math.Abs(v.Norm()-0.5) > 1e-9 {
+			t.Fatalf("sphere vertex off surface: %v", v)
+		}
+	}
+	if got := Pyramid([3]float64{0, 0, 1}).Triangles(); got != 6 {
+		t.Errorf("pyramid triangles = %d", got)
+	}
+	if got := Furniture([3]float64{1, 1, 0}).Triangles(); got != 5*12 {
+		t.Errorf("furniture triangles = %d", got)
+	}
+	// Degenerate sphere params are clamped.
+	if Sphere(0, 0, [3]float64{}).Triangles() == 0 {
+		t.Error("clamped sphere has no triangles")
+	}
+}
+
+func sceneOneCube() *Scene {
+	return &Scene{Objects: []Object{{
+		Mesh:      Cube([3]float64{1, 0.2, 0.2}),
+		Transform: Translate4(Vec3{0, 0, -5}),
+	}}}
+}
+
+func TestRenderDrawsObject(t *testing.T) {
+	r := NewRenderer(64, 48)
+	img := r.Render(sceneOneCube(), Pose{})
+	// Center pixel shows the cube (reddish), corner shows background.
+	cr, cg, cb := img.At(32, 24)
+	if cr < 0.3 || cr <= cg || cr <= cb {
+		t.Errorf("center pixel = (%v, %v, %v), want red-dominated", cr, cg, cb)
+	}
+	br, _, bb := img.At(1, 1)
+	if br > 0.2 || bb > 0.25 {
+		t.Errorf("corner pixel = (%v, _, %v), want background", br, bb)
+	}
+}
+
+func TestRenderBehindCameraIsClipped(t *testing.T) {
+	r := NewRenderer(32, 32)
+	scene := &Scene{Objects: []Object{{
+		Mesh:      Cube([3]float64{1, 1, 1}),
+		Transform: Translate4(Vec3{0, 0, 5}), // behind the camera
+	}}}
+	img := r.Render(scene, Pose{})
+	cr, cg, cb := img.At(16, 16)
+	if cr > 0.2 && cg > 0.2 && cb > 0.2 {
+		t.Errorf("object behind camera rendered: (%v, %v, %v)", cr, cg, cb)
+	}
+}
+
+func TestRenderZBuffer(t *testing.T) {
+	// A red cube in front of a green cube: center must be red.
+	scene := &Scene{Objects: []Object{
+		{Mesh: Cube([3]float64{0, 1, 0}), Transform: Translate4(Vec3{0, 0, -8}).Mul(Scale4(3))},
+		{Mesh: Cube([3]float64{1, 0, 0}), Transform: Translate4(Vec3{0, 0, -4})},
+	}}
+	r := NewRenderer(64, 64)
+	img := r.Render(scene, Pose{})
+	cr, cg, _ := img.At(32, 32)
+	if cr <= cg {
+		t.Errorf("occluded object visible: r=%v g=%v", cr, cg)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRenderer(32, 32)
+	a := r.Render(sceneOneCube(), Pose{Yaw: 0.2, Pitch: 0.1})
+	b := r.Render(sceneOneCube(), Pose{Yaw: 0.2, Pitch: 0.1})
+	if imaging.MSE(a.Gray(), b.Gray()) != 0 {
+		t.Error("render not deterministic")
+	}
+}
+
+func TestRenderCostGrowsWithTriangles(t *testing.T) {
+	one := sceneOneCube()
+	three := &Scene{Objects: []Object{
+		{Mesh: Sphere(24, 32, [3]float64{1, 0, 0}), Transform: Translate4(Vec3{-1, 0, -5})},
+		{Mesh: Sphere(24, 32, [3]float64{0, 1, 0}), Transform: Translate4(Vec3{0, 0, -6})},
+		{Mesh: Sphere(24, 32, [3]float64{0, 0, 1}), Transform: Translate4(Vec3{1, 0, -5})},
+	}}
+	if three.Triangles() <= one.Triangles() {
+		t.Errorf("scene complexity not increasing: %d vs %d", three.Triangles(), one.Triangles())
+	}
+}
+
+func TestPoseKey(t *testing.T) {
+	p := Pose{Yaw: 1, Pitch: 2, Roll: 3, Pos: Vec3{4, 5, 6}}
+	k := p.Key()
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if k[i] != want[i] {
+			t.Fatalf("Key = %v", k)
+		}
+	}
+}
+
+func TestViewMatrixInvertsPose(t *testing.T) {
+	// A point at the camera position maps to the origin.
+	p := Pose{Yaw: 0.5, Pitch: -0.2, Roll: 0.1, Pos: Vec3{1, 2, 3}}
+	got := p.ViewMatrix().ApplyPoint(p.Pos)
+	if got.Norm() > 1e-9 {
+		t.Errorf("camera position maps to %v, want origin", got)
+	}
+}
+
+// TestWarpApproximatesRender is the fast-path quality check: for a small
+// pose delta, warping the cached frame must be much closer to the true
+// re-render than the stale frame itself.
+func TestWarpApproximatesRender(t *testing.T) {
+	r := NewRenderer(64, 48)
+	scene := sceneOneCube()
+	from := Pose{}
+	to := Pose{Yaw: 0.06, Pitch: 0.03}
+	cached := r.Render(scene, from)
+	truth := r.Render(scene, to)
+	warped := WarpToPose(cached, from, to, r.FOV)
+	errStale := imaging.MSE(cached.Gray(), truth.Gray())
+	errWarp := imaging.MSE(warped.Gray(), truth.Gray())
+	if errWarp >= errStale {
+		t.Errorf("warp error %.5f >= stale error %.5f", errWarp, errStale)
+	}
+}
+
+func TestWarpIdentityPose(t *testing.T) {
+	r := NewRenderer(32, 32)
+	frame := r.Render(sceneOneCube(), Pose{})
+	same := WarpToPose(frame, Pose{}, Pose{}, r.FOV)
+	if imaging.MSE(frame.Gray(), same.Gray()) > 1e-9 {
+		t.Error("identity warp changed frame")
+	}
+}
+
+func TestWarpZoomOnAdvance(t *testing.T) {
+	r := NewRenderer(64, 48)
+	frame := r.Render(sceneOneCube(), Pose{})
+	// Moving forward (along -Z for yaw 0) should scale content up:
+	// the object's bright area grows.
+	toward := WarpToPose(frame, Pose{}, Pose{Pos: Vec3{0, 0, -1}}, r.FOV)
+	area := func(m *imaging.RGB) int {
+		n := 0
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				// The cube is red-dominated; background is blue-ish.
+				if r, _, b := m.At(x, y); r > 0.3 && r > b {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if area(toward) <= area(frame) {
+		t.Errorf("advancing did not zoom in: %d <= %d", area(toward), area(frame))
+	}
+}

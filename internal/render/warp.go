@@ -1,0 +1,63 @@
+package render
+
+import (
+	"math"
+
+	"repro/internal/imaging"
+)
+
+// WarpToPose approximates the frame at pose `to` from a frame rendered
+// at pose `from`, the Potluck fast path for AR rendering: "looking up
+// rendered 2D images with the most similar orientation, estimating the
+// transform matrix, and warping the original 2D image to fit the current
+// orientation" (§5.5). The approximation maps small pose deltas to a 2-D
+// projective transform: yaw/pitch become screen translation, roll a
+// rotation about the image center, and forward motion a scale change.
+// It is accurate for the small deltas within the cache's similarity
+// threshold and degrades gracefully beyond it.
+func WarpToPose(frame *imaging.RGB, from, to Pose, fov float64) *imaging.RGB {
+	if fov <= 0 {
+		fov = math.Pi / 3
+	}
+	f := float64(frame.H) / 2 / math.Tan(fov/2)
+	cx := float64(frame.W) / 2
+	cy := float64(frame.H) / 2
+
+	dyaw := to.Yaw - from.Yaw
+	dpitch := to.Pitch - from.Pitch
+	droll := to.Roll - from.Roll
+
+	// Forward axis of the source pose (camera looks down -Z rotated by
+	// yaw/pitch); motion along it reads as zoom.
+	forward := Vec3{
+		-math.Sin(from.Yaw) * math.Cos(from.Pitch),
+		math.Sin(from.Pitch),
+		-math.Cos(from.Yaw) * math.Cos(from.Pitch),
+	}
+	delta := to.Pos.Sub(from.Pos)
+	advance := delta.Dot(forward)
+	// Assume a nominal scene depth for the parallax-to-zoom conversion.
+	const nominalDepth = 5.0
+	scale := 1.0
+	if nominalDepth-advance > 0.1 {
+		scale = nominalDepth / (nominalDepth - advance)
+	}
+	// Lateral motion reads as translation (parallax at nominal depth).
+	right := Vec3{math.Cos(from.Yaw), 0, -math.Sin(from.Yaw)}
+	up := Vec3{0, 1, 0}
+	// Positive yaw turns the camera left, so scene content shifts right
+	// on screen; positive pitch tilts up, shifting content down.
+	tx := f*dyaw - f*delta.Dot(right)/nominalDepth
+	ty := f*dpitch + f*delta.Dot(up)/nominalDepth
+
+	m := imaging.Translation(tx, ty).
+		Mul(imaging.RotationAbout(-droll, cx, cy)).
+		Mul(imaging.ScalingAbout(scale, scale, cx, cy))
+	out, err := imaging.WarpRGB(frame, m, 0.08, 0.08, 0.12)
+	if err != nil {
+		// The transform above is always invertible (scale > 0), but fall
+		// back to the unwarped frame defensively.
+		return frame.Clone()
+	}
+	return out
+}

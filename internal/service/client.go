@@ -1,0 +1,150 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// Client is an application's handle to the Potluck service, wrapping the
+// register()/lookup()/put() API of §4.3 over the wire protocol. It is
+// safe for concurrent use; requests are serialized over one connection,
+// matching Binder's synchronous transaction model.
+type Client struct {
+	app  string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a Potluck service. app names the calling application
+// for reputation tracking and diagnostics.
+func Dial(network, addr, app string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s/%s: %w", network, addr, err)
+	}
+	return &Client{app: app, conn: conn}, nil
+}
+
+// NewClientConn wraps an existing connection (e.g. a net.Pipe in tests).
+func NewClientConn(conn net.Conn, app string) *Client {
+	return &Client{app: app, conn: conn}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads one reply.
+func (c *Client) roundTrip(req *Request) (*Reply, error) {
+	req.App = c.app
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := DecodeReply(payload)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == MsgReplyError {
+		return nil, fmt.Errorf("service: %s", reply.Error)
+	}
+	return reply, nil
+}
+
+// Register registers a function and its key types with the service
+// (§4.3: "registers a handle with the cache service ... and initializes
+// the application-specific key index. It also resets the input
+// similarity threshold").
+func (c *Client) Register(function string, keyTypes ...KeyTypeDef) error {
+	if len(keyTypes) == 0 {
+		return errors.New("service: at least one key type required")
+	}
+	_, err := c.roundTrip(&Request{
+		Type:     MsgRegister,
+		Function: function,
+		KeyTypes: keyTypes,
+	})
+	return err
+}
+
+// LookupResult is the client-side view of a lookup outcome.
+type LookupResult struct {
+	Hit       bool
+	Dropout   bool
+	Value     []byte
+	Distance  float64
+	Threshold float64
+	// MissedAt is the server clock time of a miss; pass it back to Put
+	// so the service can compute the computation overhead.
+	MissedAt time.Time
+}
+
+// Lookup queries the cache.
+func (c *Client) Lookup(function, keyType string, key vec.Vector) (LookupResult, error) {
+	reply, err := c.roundTrip(&Request{
+		Type:     MsgLookup,
+		Function: function,
+		KeyType:  keyType,
+		Key:      key,
+	})
+	if err != nil {
+		return LookupResult{}, err
+	}
+	return LookupResult{
+		Hit:       reply.Hit,
+		Dropout:   reply.Dropout,
+		Value:     reply.Value,
+		Distance:  reply.Distance,
+		Threshold: reply.Threshold,
+		MissedAt:  time.Unix(0, reply.MissedAt),
+	}, nil
+}
+
+// PutOptions carries the optional fields of a put.
+type PutOptions struct {
+	// Cost is the measured computation overhead.
+	Cost time.Duration
+	// Size overrides the entry-size estimate.
+	Size int
+	// TTL overrides the service's default validity period.
+	TTL time.Duration
+}
+
+// Put inserts a computed result under one or more keys.
+func (c *Client) Put(function string, keys map[string]vec.Vector, value []byte, opts PutOptions) (uint64, error) {
+	reply, err := c.roundTrip(&Request{
+		Type:     MsgPut,
+		Function: function,
+		Keys:     keys,
+		Value:    value,
+		Cost:     int64(opts.Cost),
+		Size:     int64(opts.Size),
+		TTL:      int64(opts.TTL),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return reply.ID, nil
+}
+
+// Stats fetches the service's cache counters.
+func (c *Client) Stats() (StatsPayload, error) {
+	reply, err := c.roundTrip(&Request{Type: MsgStats})
+	if err != nil {
+		return StatsPayload{}, err
+	}
+	return reply.Stats, nil
+}

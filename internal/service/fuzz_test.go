@@ -1,0 +1,76 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// FuzzDecodeRequest hardens the wire decoder against arbitrary bytes:
+// it must never panic, and anything it accepts must re-encode and
+// re-decode to the same structure (decode∘encode idempotence).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(&Request{Type: MsgLookup, Function: "f", KeyType: "k", Key: vec.Vector{1, 2}}))
+	f.Add(EncodeRequest(&Request{
+		Type: MsgPut, App: "a", Function: "f",
+		Keys:  map[string]vec.Vector{"x": {3}},
+		Value: []byte("v"), Cost: 5, TTL: 7,
+	}))
+	f.Add(EncodeRequest(&Request{
+		Type:     MsgRegister,
+		Function: "f",
+		KeyTypes: []KeyTypeDef{{Name: "k", Metric: "euclidean", Index: "kdtree", Dim: 2}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		re := EncodeRequest(req)
+		req2, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeRequest(req2), re) {
+			t.Fatal("encode not stable across round trips")
+		}
+	})
+}
+
+// FuzzDecodeReply mirrors FuzzDecodeRequest for the reply direction.
+func FuzzDecodeReply(f *testing.F) {
+	f.Add(EncodeReply(&Reply{Type: MsgReplyLookup, Hit: true, Value: []byte("v"), Distance: 1.5}))
+	f.Add(EncodeReply(&Reply{Type: MsgReplyError, Error: "boom"}))
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reply, err := DecodeReply(data)
+		if err != nil {
+			return
+		}
+		re := EncodeReply(reply)
+		if _, err := DecodeReply(re); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadFrame checks the framing layer against hostile prefixes.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	WriteFrame(&good, []byte("payload"))
+	f.Add(good.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxMessageSize {
+			t.Fatalf("oversized payload accepted: %d", len(payload))
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/synth"
+	"repro/internal/vec"
+)
+
+// TestVisionPipelineOverIPC runs the full stack end to end: synthetic
+// camera frames → downsample feature keys → Potluck service over a Unix
+// socket → cross-application reuse, with the threshold tuner running
+// live on the server. This is the paper's deployment shape (Figure 4)
+// minus only Android itself.
+func TestVisionPipelineOverIPC(t *testing.T) {
+	srv, sock := startServer(t, core.Config{
+		Seed:  1,
+		Tuner: core.TunerConfig{WarmupZ: 10},
+	})
+
+	ext, err := feature.ByName("downsamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := synth.NewCIFARLike(5)
+
+	newApp := func(name string) *Client {
+		cl, err := Dial("unix", sock, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		if err := cl.Register("objectRecognition", KeyTypeDef{Name: "downsamp", Index: "kdtree", Dim: feature.DownsampleDims}); err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	lens := newApp("lens")
+	nav := newApp("nav")
+
+	// The "expensive" recognizer: ground truth after a token delay.
+	recognize := func(class int) []byte {
+		return []byte(fmt.Sprintf("class-%d", class))
+	}
+
+	correctHits, wrongHits := 0, 0
+	process := func(cl *Client, class, variant int) (hit bool) {
+		img := ds.Sample(class, variant).Image
+		key := ext.Extract(img).Key
+		res, err := cl.Lookup("objectRecognition", "downsamp", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hit {
+			// Approximate reuse is allowed to be occasionally wrong —
+			// that is the paper's accuracy/performance tradeoff — but
+			// mostly right.
+			if string(res.Value) == fmt.Sprintf("class-%d", class) {
+				correctHits++
+			} else {
+				wrongHits++
+			}
+			return true
+		}
+		if _, err := cl.Put("objectRecognition",
+			map[string]vec.Vector{"downsamp": key}, recognize(class),
+			PutOptions{Cost: 150 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		return false
+	}
+
+	// Lens warms the cache over bursts of similar frames; the tuner
+	// activates after WarmupZ puts.
+	for i := 0; i < 40; i++ {
+		process(lens, (i/4)%10, 100+i)
+	}
+	// Nav then sees the same environments moments later.
+	navHits := 0
+	for i := 0; i < 20; i++ {
+		if process(nav, (i/2)%10, 500+i) {
+			navHits++
+		}
+	}
+	if navHits == 0 {
+		st, _ := lens.Stats()
+		t.Fatalf("no cross-app hits over IPC; stats %+v, cache %d entries",
+			st, srv.Cache().Len())
+	}
+	if total := correctHits + wrongHits; total > 0 {
+		acc := float64(correctHits) / float64(total)
+		if acc < 0.7 {
+			t.Errorf("hit accuracy %.2f (%d/%d) below 0.7", acc, correctHits, total)
+		}
+	}
+	st, err := lens.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SavedComputeN == 0 {
+		t.Error("no computation savings recorded")
+	}
+	t.Logf("nav cross-app hits: %d/20, hit accuracy %d/%d, saved %s",
+		navHits, correctHits, correctHits+wrongHits, time.Duration(st.SavedComputeN))
+}

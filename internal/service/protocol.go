@@ -1,0 +1,369 @@
+// Package service exposes the Potluck cache as a background service, the
+// role Android Binder/AIDL plays in the paper's implementation (§4).
+// Applications connect over a Unix domain socket (or TCP loopback) and
+// exchange length-prefixed binary messages: Register, Lookup, Put, and
+// Stats requests, mirroring the AppListener/CacheManager split of
+// Figure 4. Values cross the wire as opaque byte slices; applications
+// serialize their own results.
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// MsgType identifies a wire message.
+type MsgType uint8
+
+// Wire message types.
+const (
+	MsgRegister MsgType = iota + 1
+	MsgLookup
+	MsgPut
+	MsgStats
+	MsgReplyOK
+	MsgReplyError
+	MsgReplyLookup
+	MsgReplyPut
+	MsgReplyStats
+)
+
+// MaxMessageSize bounds a single wire message (16 MiB), protecting the
+// server from malformed or hostile length prefixes.
+const MaxMessageSize = 16 << 20
+
+// ErrMessageTooLarge is returned when a frame exceeds MaxMessageSize.
+var ErrMessageTooLarge = errors.New("service: message exceeds size limit")
+
+// KeyTypeDef describes a key type in a Register message. Extraction
+// functions cannot cross the process boundary, so remote key types
+// always receive explicit keys in Put requests.
+type KeyTypeDef struct {
+	Name   string
+	Metric string // vec.MetricByName identifier
+	Index  string // index.Kind
+	Dim    uint32
+}
+
+// Request is the union of client→server messages (§4.2: "a Request
+// message ... consists of the request type, function name, key type,
+// lookup key, and computation results to store").
+type Request struct {
+	Type     MsgType
+	App      string
+	Function string
+	KeyType  string
+	Key      vec.Vector
+	Keys     map[string]vec.Vector
+	KeyTypes []KeyTypeDef
+	Value    []byte
+	Cost     int64 // nanoseconds
+	Size     int64
+	TTL      int64 // nanoseconds
+}
+
+// Reply is the union of server→client messages.
+type Reply struct {
+	Type      MsgType
+	Error     string
+	Hit       bool
+	Dropout   bool
+	Value     []byte
+	Distance  float64
+	Threshold float64
+	MissedAt  int64 // nanoseconds since epoch, for cost accounting
+	ID        uint64
+	Stats     StatsPayload
+}
+
+// StatsPayload mirrors core.Stats over the wire.
+type StatsPayload struct {
+	Hits, Misses, Dropouts, Puts  int64
+	Evictions, Expirations        int64
+	Entries, Bytes, SavedComputeN int64
+}
+
+// --- encoding primitives ---
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *encoder) bool(v bool) {
+	var b uint8
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *encoder) vector(v vec.Vector) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("service: truncated message")
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
+}
+
+func (d *decoder) vector() vec.Vector {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+8*n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	v := make(vec.Vector, n)
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}
+
+// EncodeRequest serializes a request payload (without the frame header).
+func EncodeRequest(r *Request) []byte {
+	var e encoder
+	e.u8(uint8(r.Type))
+	e.str(r.App)
+	e.str(r.Function)
+	e.str(r.KeyType)
+	e.vector(r.Key)
+	e.u32(uint32(len(r.Keys)))
+	for _, k := range sortedKeys(r.Keys) {
+		e.str(k.name)
+		e.vector(k.key)
+	}
+	e.u32(uint32(len(r.KeyTypes)))
+	for _, kt := range r.KeyTypes {
+		e.str(kt.Name)
+		e.str(kt.Metric)
+		e.str(kt.Index)
+		e.u32(kt.Dim)
+	}
+	e.bytes(r.Value)
+	e.i64(r.Cost)
+	e.i64(r.Size)
+	e.i64(r.TTL)
+	return e.buf
+}
+
+type namedKey struct {
+	name string
+	key  vec.Vector
+}
+
+// sortedKeys yields deterministic wire encoding for map fields.
+func sortedKeys(m map[string]vec.Vector) []namedKey {
+	out := make([]namedKey, 0, len(m))
+	for name, k := range m {
+		out = append(out, namedKey{name, k})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(buf []byte) (*Request, error) {
+	d := decoder{buf: buf}
+	r := &Request{Type: MsgType(d.u8())}
+	r.App = d.str()
+	r.Function = d.str()
+	r.KeyType = d.str()
+	r.Key = d.vector()
+	if n := int(d.u32()); n > 0 {
+		if n > len(buf) { // each entry takes ≥ 8 bytes; cheap sanity bound
+			return nil, errors.New("service: corrupt key map length")
+		}
+		r.Keys = make(map[string]vec.Vector, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			name := d.str()
+			r.Keys[name] = d.vector()
+		}
+	}
+	if n := int(d.u32()); n > 0 {
+		if n > len(buf) {
+			return nil, errors.New("service: corrupt key type list length")
+		}
+		r.KeyTypes = make([]KeyTypeDef, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.KeyTypes = append(r.KeyTypes, KeyTypeDef{
+				Name:   d.str(),
+				Metric: d.str(),
+				Index:  d.str(),
+				Dim:    d.u32(),
+			})
+		}
+	}
+	r.Value = d.bytes()
+	r.Cost = d.i64()
+	r.Size = d.i64()
+	r.TTL = d.i64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+// EncodeReply serializes a reply payload.
+func EncodeReply(r *Reply) []byte {
+	var e encoder
+	e.u8(uint8(r.Type))
+	e.str(r.Error)
+	e.bool(r.Hit)
+	e.bool(r.Dropout)
+	e.bytes(r.Value)
+	e.f64(r.Distance)
+	e.f64(r.Threshold)
+	e.i64(r.MissedAt)
+	e.u64(r.ID)
+	s := r.Stats
+	for _, v := range []int64{s.Hits, s.Misses, s.Dropouts, s.Puts,
+		s.Evictions, s.Expirations, s.Entries, s.Bytes, s.SavedComputeN} {
+		e.i64(v)
+	}
+	return e.buf
+}
+
+// DecodeReply parses a reply payload.
+func DecodeReply(buf []byte) (*Reply, error) {
+	d := decoder{buf: buf}
+	r := &Reply{Type: MsgType(d.u8())}
+	r.Error = d.str()
+	r.Hit = d.bool()
+	r.Dropout = d.bool()
+	r.Value = d.bytes()
+	r.Distance = d.f64()
+	r.Threshold = d.f64()
+	r.MissedAt = d.i64()
+	r.ID = d.u64()
+	for _, p := range []*int64{&r.Stats.Hits, &r.Stats.Misses, &r.Stats.Dropouts,
+		&r.Stats.Puts, &r.Stats.Evictions, &r.Stats.Expirations,
+		&r.Stats.Entries, &r.Stats.Bytes, &r.Stats.SavedComputeN} {
+		*p = d.i64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+// WriteFrame writes a length-prefixed message.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

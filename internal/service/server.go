@@ -1,0 +1,258 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// Server is the Potluck background service: it owns the cache, accepts
+// application connections, and serves Register/Lookup/Put/Stats
+// requests. It mirrors the paper's module split (Figure 4): the accept
+// loop and per-connection handlers are the AppListener ("maintains a
+// threadpool, handles the requests from upper-level applications"), the
+// cache with its expiry janitor is the CacheManager, and core.Cache's
+// entry store is the DataStorage.
+type Server struct {
+	cache *core.Cache
+	// Logf receives diagnostic messages; nil silences them.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a cache in a service.
+func NewServer(cache *core.Cache) *Server {
+	return &Server{cache: cache, conns: make(map[net.Conn]struct{})}
+}
+
+// Cache returns the underlying cache (for in-process inspection).
+func (s *Server) Cache() *core.Cache { return s.cache }
+
+// Serve accepts connections on l until Close or ctx cancellation. It
+// also runs the expiry janitor for the duration.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("service: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	jctx, jcancel := context.WithCancel(ctx)
+	defer jcancel()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		core.NewJanitor(s.cache).Run(jctx)
+	}()
+
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil || s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// handleConn serves one application connection; requests on a connection
+// are processed sequentially (Binder transactions are synchronous per
+// caller thread).
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return // disconnect or malformed frame: drop the client
+		}
+		req, err := DecodeRequest(payload)
+		var reply *Reply
+		if err != nil {
+			reply = &Reply{Type: MsgReplyError, Error: err.Error()}
+		} else {
+			reply = s.dispatch(req)
+		}
+		if err := WriteFrame(conn, EncodeReply(reply)); err != nil {
+			s.logf("service: write reply: %v", err)
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the cache.
+func (s *Server) dispatch(req *Request) *Reply {
+	switch req.Type {
+	case MsgRegister:
+		return s.handleRegister(req)
+	case MsgLookup:
+		return s.handleLookup(req)
+	case MsgPut:
+		return s.handlePut(req)
+	case MsgStats:
+		return s.handleStats()
+	default:
+		return &Reply{Type: MsgReplyError, Error: fmt.Sprintf("unknown request type %d", req.Type)}
+	}
+}
+
+func (s *Server) handleRegister(req *Request) *Reply {
+	specs := make([]core.KeyTypeSpec, 0, len(req.KeyTypes))
+	for _, def := range req.KeyTypes {
+		metric, err := vec.MetricByName(def.Metric)
+		if err != nil {
+			return &Reply{Type: MsgReplyError, Error: err.Error()}
+		}
+		kind := index.Kind(def.Index)
+		if kind == "" {
+			kind = index.KindKDTree
+		}
+		specs = append(specs, core.KeyTypeSpec{
+			Name:   def.Name,
+			Metric: metric,
+			Index:  kind,
+			Dim:    int(def.Dim),
+		})
+	}
+	if err := s.cache.RegisterFunction(req.Function, specs...); err != nil {
+		return &Reply{Type: MsgReplyError, Error: err.Error()}
+	}
+	return &Reply{Type: MsgReplyOK}
+}
+
+func (s *Server) handleLookup(req *Request) *Reply {
+	res, err := s.cache.Lookup(req.Function, req.KeyType, req.Key)
+	if err != nil {
+		return &Reply{Type: MsgReplyError, Error: err.Error()}
+	}
+	reply := &Reply{
+		Type:      MsgReplyLookup,
+		Hit:       res.Hit,
+		Dropout:   res.Dropout,
+		Distance:  res.Distance,
+		Threshold: res.Threshold,
+		MissedAt:  res.MissedAt.UnixNano(),
+	}
+	if res.Hit {
+		b, ok := res.Value.([]byte)
+		if !ok {
+			// In-process puts may store non-byte values; those entries
+			// are invisible to remote lookups rather than fatal.
+			reply.Hit = false
+			return reply
+		}
+		reply.Value = b
+	}
+	return reply
+}
+
+func (s *Server) handlePut(req *Request) *Reply {
+	putReq := core.PutRequest{
+		Keys:  req.Keys,
+		Value: req.Value,
+		Cost:  time.Duration(req.Cost),
+		Size:  int(req.Size),
+		TTL:   time.Duration(req.TTL),
+		App:   req.App,
+	}
+	id, err := s.cache.Put(req.Function, putReq)
+	if err != nil {
+		return &Reply{Type: MsgReplyError, Error: err.Error()}
+	}
+	return &Reply{Type: MsgReplyPut, ID: uint64(id)}
+}
+
+func (s *Server) handleStats() *Reply {
+	st := s.cache.Stats()
+	return &Reply{Type: MsgReplyStats, Stats: StatsPayload{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Dropouts:      st.Dropouts,
+		Puts:          st.Puts,
+		Evictions:     st.Evictions,
+		Expirations:   st.Expirations,
+		Entries:       int64(st.Entries),
+		Bytes:         st.Bytes,
+		SavedComputeN: int64(st.SavedCompute),
+	}}
+}
+
+// ListenAndServe listens on the given network/address ("unix" +
+// socket path, or "tcp" + host:port) and serves until ctx is cancelled.
+func (s *Server) ListenAndServe(ctx context.Context, network, addr string) error {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}

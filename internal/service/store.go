@@ -1,0 +1,104 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SpillStore is the optional second storage tier standing in for the
+// paper's "secondary flash storage" (Figure 4): byte values above a
+// threshold are written to files and read back on demand, keeping the
+// in-memory tier small. It is safe for concurrent use.
+type SpillStore struct {
+	dir       string
+	threshold int
+
+	mu     sync.Mutex
+	nextID uint64
+	inMem  map[uint64][]byte
+	onDisk map[uint64]string
+}
+
+// NewSpillStore creates a store rooted at dir; values of threshold bytes
+// or more spill to disk. dir is created if missing.
+func NewSpillStore(dir string, threshold int) (*SpillStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: spill dir: %w", err)
+	}
+	if threshold <= 0 {
+		threshold = 64 << 10
+	}
+	return &SpillStore{
+		dir:       dir,
+		threshold: threshold,
+		inMem:     make(map[uint64][]byte),
+		onDisk:    make(map[uint64]string),
+	}, nil
+}
+
+// Put stores a value and returns its handle.
+func (s *SpillStore) Put(value []byte) (uint64, error) {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	if len(value) < s.threshold {
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		s.inMem[id] = cp
+		s.mu.Unlock()
+		return id, nil
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("entry-%d.bin", id))
+	s.onDisk[id] = path
+	s.mu.Unlock()
+	if err := os.WriteFile(path, value, 0o644); err != nil {
+		s.mu.Lock()
+		delete(s.onDisk, id)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("service: spill write: %w", err)
+	}
+	return id, nil
+}
+
+// Get retrieves a value by handle.
+func (s *SpillStore) Get(id uint64) ([]byte, error) {
+	s.mu.Lock()
+	if v, ok := s.inMem[id]; ok {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		s.mu.Unlock()
+		return cp, nil
+	}
+	path, ok := s.onDisk[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: no entry %d", id)
+	}
+	return os.ReadFile(path)
+}
+
+// Delete removes a value.
+func (s *SpillStore) Delete(id uint64) error {
+	s.mu.Lock()
+	if _, ok := s.inMem[id]; ok {
+		delete(s.inMem, id)
+		s.mu.Unlock()
+		return nil
+	}
+	path, ok := s.onDisk[id]
+	delete(s.onDisk, id)
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return os.Remove(path)
+}
+
+// Stats reports the number of in-memory and spilled entries.
+func (s *SpillStore) Stats() (inMem, onDisk int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inMem), len(s.onDisk)
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// Tiered chains a device-local cache with a remote Potluck service,
+// implementing the paper's cross-device deduplication direction ("We can
+// also apply the deduplication concept across devices", §7). Lookups try
+// the local cache first and fall through to the remote peer; remote hits
+// are adopted into the local cache so subsequent lookups stay local.
+// Puts are written through to both tiers.
+//
+// Values are byte slices at this layer (they cross a device boundary).
+type Tiered struct {
+	// Local is the on-device cache.
+	Local *core.Cache
+	// Remote is the peer's service; nil degrades Tiered to local-only.
+	Remote *Client
+	// AdoptTTL bounds the validity of adopted remote results; 0 uses
+	// the local cache's default.
+	AdoptTTL time.Duration
+}
+
+// TieredResult reports a tiered lookup.
+type TieredResult struct {
+	Hit bool
+	// RemoteHit is true when the value came from the peer.
+	RemoteHit bool
+	Value     []byte
+	// MissedAt supports cost accounting exactly like core.LookupResult.
+	MissedAt time.Time
+}
+
+// Lookup queries local then remote.
+func (t *Tiered) Lookup(function, keyType string, key vec.Vector) (TieredResult, error) {
+	res, err := t.Local.Lookup(function, keyType, key)
+	if err != nil {
+		return TieredResult{}, err
+	}
+	if res.Hit {
+		if b, ok := res.Value.([]byte); ok {
+			return TieredResult{Hit: true, Value: b, MissedAt: res.MissedAt}, nil
+		}
+		// A non-byte value was stored through the in-process API; treat
+		// it as unavailable at this layer rather than failing.
+	}
+	if t.Remote == nil || res.Dropout {
+		// Dropout must propagate as a real miss: it is the quality
+		// control that keeps both tiers honest.
+		return TieredResult{MissedAt: res.MissedAt}, nil
+	}
+	rres, err := t.Remote.Lookup(function, keyType, key)
+	if err != nil || !rres.Hit {
+		return TieredResult{MissedAt: res.MissedAt}, err
+	}
+	// Adopt the peer's result locally (§2.4: dedup works as long as the
+	// previous results are still cached — now across devices).
+	_, err = t.Local.Put(function, core.PutRequest{
+		Keys:  map[string]vec.Vector{keyType: key},
+		Value: rres.Value,
+		TTL:   t.AdoptTTL,
+		App:   "remote-adopt",
+	})
+	if err != nil {
+		return TieredResult{}, err
+	}
+	return TieredResult{Hit: true, RemoteHit: true, Value: rres.Value, MissedAt: res.MissedAt}, nil
+}
+
+// Put writes through to both tiers. A remote failure does not undo the
+// local write; the error is returned so callers can surface it.
+func (t *Tiered) Put(function, keyType string, key vec.Vector, value []byte, cost time.Duration) error {
+	if _, err := t.Local.Put(function, core.PutRequest{
+		Keys:  map[string]vec.Vector{keyType: key},
+		Value: value,
+		Cost:  cost,
+	}); err != nil {
+		return err
+	}
+	if t.Remote == nil {
+		return nil
+	}
+	_, err := t.Remote.Put(function, map[string]vec.Vector{keyType: key}, value, PutOptions{Cost: cost})
+	return err
+}

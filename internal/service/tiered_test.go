@@ -1,0 +1,102 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+func tieredFixture(t *testing.T) (*Tiered, *Server) {
+	t.Helper()
+	srv, sock := startServer(t, testConfig())
+	if err := srv.Cache().RegisterFunction("f", core.KeyTypeSpec{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Dial("unix", sock, "device-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remote.Close() })
+	local := core.New(testConfig())
+	if err := local.RegisterFunction("f", core.KeyTypeSpec{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	return &Tiered{Local: local, Remote: remote}, srv
+}
+
+func TestTieredLocalHit(t *testing.T) {
+	tr, _ := tieredFixture(t)
+	key := vec.Vector{1}
+	if err := tr.Put("f", "k", key, []byte("v"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Lookup("f", "k", key)
+	if err != nil || !res.Hit || res.RemoteHit {
+		t.Fatalf("local hit: %+v, %v", res, err)
+	}
+}
+
+func TestTieredRemoteHitAndAdoption(t *testing.T) {
+	tr, srv := tieredFixture(t)
+	key := vec.Vector{2}
+	// Another device computed this result.
+	if _, err := srv.Cache().Put("f", core.PutRequest{
+		Keys:  map[string]vec.Vector{"k": key},
+		Value: []byte("remote-v"),
+		Cost:  time.Second,
+		App:   "device-a",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Lookup("f", "k", key)
+	if err != nil || !res.Hit || !res.RemoteHit || string(res.Value) != "remote-v" {
+		t.Fatalf("remote hit: %+v, %v", res, err)
+	}
+	// The result was adopted: the next lookup is local.
+	res, err = tr.Lookup("f", "k", key)
+	if err != nil || !res.Hit || res.RemoteHit {
+		t.Fatalf("adopted lookup: %+v, %v", res, err)
+	}
+}
+
+func TestTieredMissEverywhere(t *testing.T) {
+	tr, _ := tieredFixture(t)
+	res, err := tr.Lookup("f", "k", vec.Vector{3})
+	if err != nil || res.Hit {
+		t.Fatalf("miss: %+v, %v", res, err)
+	}
+	if res.MissedAt.IsZero() {
+		t.Error("MissedAt not set on miss")
+	}
+}
+
+func TestTieredWriteThrough(t *testing.T) {
+	tr, srv := tieredFixture(t)
+	key := vec.Vector{4}
+	if err := tr.Put("f", "k", key, []byte("w"), 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Visible on the remote service (another device would now hit it).
+	lr, err := srv.Cache().Lookup("f", "k", key)
+	if err != nil || !lr.Hit {
+		t.Fatalf("remote after write-through: %+v, %v", lr, err)
+	}
+}
+
+func TestTieredLocalOnly(t *testing.T) {
+	local := core.New(testConfig())
+	if err := local.RegisterFunction("f", core.KeyTypeSpec{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Tiered{Local: local}
+	key := vec.Vector{5}
+	if err := tr.Put("f", "k", key, []byte("x"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Lookup("f", "k", key)
+	if err != nil || !res.Hit {
+		t.Fatalf("local-only: %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,234 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/imaging"
+)
+
+// Labeled pairs an image with its ground-truth class.
+type Labeled struct {
+	Image *imaging.RGB
+	Label int
+}
+
+// CIFARLike generates a 10-class, 32×32 RGB dataset analogous to
+// CIFAR-10: each class has a distinctive procedural appearance (shape,
+// color, texture), and samples within a class are "similar objects
+// appearing in different backgrounds" (§5.1) — the object geometry and
+// palette persist while position, scale, background, lighting, and
+// noise vary per sample.
+type CIFARLike struct {
+	// Side is the image side length (default 32).
+	Side int
+	// Classes is the number of classes (default 10).
+	Classes int
+	// Jitter scales the intra-class variation in [0, 1] (default 1).
+	// Lower values produce more tightly correlated samples.
+	Jitter float64
+	// Noise is the sensor-noise sigma (default 0.02).
+	Noise float64
+	// BgCorr in [0, 1] correlates the background with the class: the
+	// paper's spatial correlation (§2.2 — the same kind of object tends
+	// to recur in similar environments: stop signs on streets). 0 draws
+	// backgrounds independently; 1 fixes them per class. Default 0.6.
+	BgCorr float64
+	seed   int64
+}
+
+// NewCIFARLike returns a generator with the standard configuration.
+func NewCIFARLike(seed int64) *CIFARLike {
+	return &CIFARLike{Side: 32, Classes: 10, Jitter: 1, Noise: 0.02, BgCorr: 0.8, seed: seed}
+}
+
+// Sample renders one image of the given class. variant selects the
+// intra-class sample deterministically: the same (class, variant) always
+// produces the same image.
+func (d *CIFARLike) Sample(class, variant int) Labeled {
+	class = ((class % d.Classes) + d.Classes) % d.Classes
+	rng := rand.New(rand.NewSource(d.seed ^ int64(class)*7919 ^ int64(variant)*104729))
+	m := imaging.NewRGB(d.Side, d.Side)
+
+	// Background: partially correlated with the class (§2.2's spatial
+	// correlation), blended with a per-variant random environment.
+	classBgHue := math.Mod(float64(class)*0.618033988749895+0.37, 1)
+	bgHue := (1-d.BgCorr)*rng.Float64() + d.BgCorr*classBgHue
+	bright := 0.35 + 0.3*((1-d.BgCorr)*rng.Float64()+d.BgCorr*0.5)
+	r0, g0, b0 := hsv(bgHue, 0.3, bright)
+	r1, g1, b1 := hsv(bgHue+0.1, 0.25, bright-0.1)
+	verticalGradient(m, r0, g0, b0, r1, g1, b1)
+
+	// The class object: stable shape and palette, jittered pose.
+	cr, cg, cb := classColor(class)
+	s := float64(d.Side)
+	j := d.Jitter
+	cx := jitter(rng, s/2, s/8*j)
+	cy := jitter(rng, s/2, s/8*j)
+	size := jitter(rng, s/3.2, s/12*j)
+
+	switch class % 10 {
+	case 0: // disc
+		fillCircle(m, cx, cy, size, cr, cg, cb)
+	case 1: // square
+		h := int(size)
+		fillRect(m, int(cx)-h, int(cy)-h, int(cx)+h, int(cy)+h, cr, cg, cb)
+	case 2: // triangle
+		fillTriangle(m, cx, int(cy-size), int(cy+size), size, cr, cg, cb)
+	case 3: // ring
+		drawRing(m, cx, cy, size*0.55, size, cr, cg, cb)
+	case 4: // cross
+		drawCross(m, int(cx), int(cy), int(size), int(size/2.2)+1, cr, cg, cb)
+	case 5: // horizontal bar
+		fillRect(m, 2, int(cy-size/2.5), d.Side-2, int(cy+size/2.5), cr, cg, cb)
+	case 6: // vertical bar
+		fillRect(m, int(cx-size/2.5), 2, int(cx+size/2.5), d.Side-2, cr, cg, cb)
+	case 7: // stripes
+		drawStripes(m, jitter(rng, 6, 1*j), jitter(rng, 0.6, 0.15*j), cr, cg, cb)
+	case 8: // two discs
+		fillCircle(m, cx-size/1.6, cy, size/1.7, cr, cg, cb)
+		fillCircle(m, cx+size/1.6, cy, size/1.7, cr, cg, cb)
+	case 9: // disc on square
+		h := int(size)
+		fillRect(m, int(cx)-h, int(cy)-h, int(cx)+h, int(cy)+h, cr*0.5, cg*0.5, cb*0.5)
+		fillCircle(m, cx, cy, size*0.6, cr, cg, cb)
+	}
+
+	// Lighting shift and sensor noise (§2.2 "different lighting
+	// conditions", image blur).
+	m = imaging.AdjustBrightnessRGB(m, (rng.Float64()*2-1)*0.08*j)
+	if rng.Float64() < 0.3*j {
+		m = imaging.BlurRGB(m, 0.6)
+	}
+	if d.Noise > 0 {
+		m = imaging.AddNoiseRGB(m, d.Noise, rng)
+	}
+	return Labeled{Image: m, Label: class}
+}
+
+// Batch renders n samples cycling through the classes, with variants
+// drawn from the given base offset. Useful for building train/test
+// splits: disjoint variant ranges never collide.
+func (d *CIFARLike) Batch(n, variantBase int) []Labeled {
+	out := make([]Labeled, n)
+	for i := range out {
+		out[i] = d.Sample(i%d.Classes, variantBase+i)
+	}
+	return out
+}
+
+// MNISTLike generates a 10-class, 28×28 grayscale digit dataset
+// analogous to MNIST: seven-segment-style digit glyphs with jittered
+// stroke geometry and noise. "The digits have been size-normalized and
+// centered in a fixed-size image" (§5.1); class appearance is far more
+// regular than CIFARLike's, matching the paper's observation that MNIST
+// shows "higher semantic correlation" (§5.6).
+type MNISTLike struct {
+	// Side is the image side length (default 28).
+	Side int
+	// Jitter scales intra-class variation (default 1).
+	Jitter float64
+	// Noise is the sensor-noise sigma (default 0.05).
+	Noise float64
+	seed  int64
+}
+
+// NewMNISTLike returns a generator with the standard configuration.
+func NewMNISTLike(seed int64) *MNISTLike {
+	return &MNISTLike{Side: 28, Jitter: 1, Noise: 0.03, seed: seed}
+}
+
+// segments encodes seven-segment glyphs for digits 0-9:
+// bit 0=top, 1=top-right, 2=bottom-right, 3=bottom, 4=bottom-left,
+// 5=top-left, 6=middle.
+var segments = [10]uint8{
+	0b0111111, // 0
+	0b0000110, // 1
+	0b1011011, // 2
+	0b1001111, // 3
+	0b1100110, // 4
+	0b1101101, // 5
+	0b1111101, // 6
+	0b0000111, // 7
+	0b1111111, // 8
+	0b1101111, // 9
+}
+
+// Sample renders one digit image; (class, variant) is deterministic.
+func (d *MNISTLike) Sample(class, variant int) Labeled {
+	class = ((class % 10) + 10) % 10
+	rng := rand.New(rand.NewSource(d.seed ^ int64(class)*31337 ^ int64(variant)*7907))
+	g := imaging.NewGray(d.Side, d.Side)
+	s := float64(d.Side)
+	j := d.Jitter
+
+	// Glyph frame with slightly jittered position and stroke width. The
+	// jitter is kept tight so MNIST-like classes are more internally
+	// correlated than CIFAR-like ones, matching §5.6.
+	left := jitter(rng, s*0.28, s*0.015*j)
+	right := jitter(rng, s*0.72, s*0.015*j)
+	top := jitter(rng, s*0.15, s*0.012*j)
+	mid := jitter(rng, s*0.5, s*0.012*j)
+	bottom := jitter(rng, s*0.85, s*0.012*j)
+	tw := jitter(rng, s*0.08, s*0.008*j)
+	ink := 0.85 + 0.12*rng.Float64()
+
+	seg := segments[class]
+	hline := func(y, x0, x1 float64) {
+		for yy := int(y - tw); yy <= int(y+tw); yy++ {
+			for xx := int(x0); xx <= int(x1); xx++ {
+				g.Set(xx, yy, ink)
+			}
+		}
+	}
+	vline := func(x, y0, y1 float64) {
+		for yy := int(y0); yy <= int(y1); yy++ {
+			for xx := int(x - tw); xx <= int(x+tw); xx++ {
+				g.Set(xx, yy, ink)
+			}
+		}
+	}
+	if seg&(1<<0) != 0 {
+		hline(top, left, right)
+	}
+	if seg&(1<<1) != 0 {
+		vline(right, top, mid)
+	}
+	if seg&(1<<2) != 0 {
+		vline(right, mid, bottom)
+	}
+	if seg&(1<<3) != 0 {
+		hline(bottom, left, right)
+	}
+	if seg&(1<<4) != 0 {
+		vline(left, mid, bottom)
+	}
+	if seg&(1<<5) != 0 {
+		vline(left, top, mid)
+	}
+	if seg&(1<<6) != 0 {
+		hline(mid, left, right)
+	}
+
+	g = imaging.Blur(g, 0.7) // pen softness
+	if d.Noise > 0 {
+		g = imaging.AddNoise(g, d.Noise, rng)
+	}
+	m := imaging.NewRGB(d.Side, d.Side)
+	for y := 0; y < d.Side; y++ {
+		for x := 0; x < d.Side; x++ {
+			v := g.At(x, y)
+			m.Set(x, y, v, v, v)
+		}
+	}
+	return Labeled{Image: m, Label: class}
+}
+
+// Batch renders n samples cycling through digits, like CIFARLike.Batch.
+func (d *MNISTLike) Batch(n, variantBase int) []Labeled {
+	out := make([]Labeled, n)
+	for i := range out {
+		out[i] = d.Sample(i%10, variantBase+i)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/vec"
+)
+
+// meanRGBDist is a crude image distance: mean absolute channel
+// difference, used to verify correlation structure.
+func meanRGBDist(a, b *imaging.RGB) float64 {
+	if len(a.Pix) != len(b.Pix) {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range a.Pix {
+		sum += math.Abs(a.Pix[i] - b.Pix[i])
+	}
+	return sum / float64(len(a.Pix))
+}
+
+func TestCIFARLikeDeterministic(t *testing.T) {
+	d := NewCIFARLike(1)
+	a := d.Sample(3, 7)
+	b := d.Sample(3, 7)
+	if meanRGBDist(a.Image, b.Image) != 0 {
+		t.Error("same (class, variant) produced different images")
+	}
+	if a.Label != 3 {
+		t.Errorf("label = %d", a.Label)
+	}
+}
+
+func TestCIFARLikeDimensionsAndRange(t *testing.T) {
+	d := NewCIFARLike(2)
+	s := d.Sample(0, 0)
+	if s.Image.W != 32 || s.Image.H != 32 {
+		t.Errorf("dims = %dx%d", s.Image.W, s.Image.H)
+	}
+	for _, v := range s.Image.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel out of range: %v", v)
+		}
+	}
+}
+
+func TestCIFARLikeVariantsDiffer(t *testing.T) {
+	d := NewCIFARLike(3)
+	a := d.Sample(1, 0)
+	b := d.Sample(1, 1)
+	if meanRGBDist(a.Image, b.Image) == 0 {
+		t.Error("different variants identical")
+	}
+}
+
+// TestCIFARLikeClassStructure verifies the deduplication premise: the
+// downsampled-pixel distance within a class is smaller on average than
+// across classes.
+func TestCIFARLikeClassStructure(t *testing.T) {
+	d := NewCIFARLike(4)
+	down := func(m *imaging.RGB) vec.Vector {
+		g := imaging.Resize(m.Gray(), 8, 8)
+		return vec.Vector(g.Pix)
+	}
+	metric := vec.EuclideanMetric{}
+	var intra, inter []float64
+	for class := 0; class < 10; class++ {
+		ref := down(d.Sample(class, 0).Image)
+		for v := 1; v <= 3; v++ {
+			intra = append(intra, metric.Distance(ref, down(d.Sample(class, v).Image)))
+		}
+		other := (class + 1) % 10
+		for v := 0; v < 3; v++ {
+			inter = append(inter, metric.Distance(ref, down(d.Sample(other, v).Image)))
+		}
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(intra) >= mean(inter) {
+		t.Errorf("intra-class distance %.3f >= inter-class %.3f; dedup premise broken",
+			mean(intra), mean(inter))
+	}
+}
+
+func TestCIFARLikeBatch(t *testing.T) {
+	d := NewCIFARLike(5)
+	batch := d.Batch(25, 100)
+	if len(batch) != 25 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, s := range batch {
+		if s.Label != i%10 {
+			t.Errorf("batch[%d].Label = %d", i, s.Label)
+		}
+	}
+	// Disjoint variant bases must not collide.
+	other := d.Batch(25, 200)
+	if meanRGBDist(batch[0].Image, other[0].Image) == 0 {
+		t.Error("disjoint variant ranges produced identical images")
+	}
+}
+
+func TestCIFARLikeNegativeClassWraps(t *testing.T) {
+	d := NewCIFARLike(6)
+	s := d.Sample(-3, 0)
+	if s.Label < 0 || s.Label >= 10 {
+		t.Errorf("label = %d", s.Label)
+	}
+}
+
+func TestMNISTLikeDeterministicAndDistinct(t *testing.T) {
+	d := NewMNISTLike(1)
+	a := d.Sample(8, 0)
+	b := d.Sample(8, 0)
+	if meanRGBDist(a.Image, b.Image) != 0 {
+		t.Error("MNIST sample not deterministic")
+	}
+	if a.Image.W != 28 || a.Image.H != 28 {
+		t.Errorf("dims = %dx%d", a.Image.W, a.Image.H)
+	}
+	// Digits 1 and 8 must differ strongly.
+	one := d.Sample(1, 0)
+	if meanRGBDist(a.Image, one.Image) < 0.02 {
+		t.Error("digits 8 and 1 nearly identical")
+	}
+}
+
+func TestMNISTLikeTighterThanCIFAR(t *testing.T) {
+	// §5.6: MNIST shows higher correlation. Verify intra-class spread is
+	// smaller for the MNIST-like generator (on luminance vectors).
+	// CIFAR-like is compared at BgCorr 0 — fully independent backgrounds,
+	// its maximum-variation configuration — since MNIST digits have no
+	// background at all.
+	cifar := NewCIFARLike(7)
+	cifar.BgCorr = 0
+	mnist := NewMNISTLike(7)
+	down := func(m *imaging.RGB) vec.Vector {
+		g := imaging.Resize(m.Gray(), 8, 8)
+		return vec.Vector(g.Pix)
+	}
+	metric := vec.EuclideanMetric{}
+	spread := func(sample func(c, v int) Labeled) float64 {
+		var s float64
+		n := 0
+		for c := 0; c < 10; c++ {
+			ref := down(sample(c, 0).Image)
+			for v := 1; v <= 3; v++ {
+				s += metric.Distance(ref, down(sample(c, v).Image))
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	cs := spread(cifar.Sample)
+	ms := spread(mnist.Sample)
+	if ms >= cs {
+		t.Errorf("MNIST intra-class spread %.3f >= CIFAR %.3f", ms, cs)
+	}
+}
+
+func TestMNISTLikeBatch(t *testing.T) {
+	d := NewMNISTLike(2)
+	batch := d.Batch(20, 0)
+	if len(batch) != 20 || batch[13].Label != 3 {
+		t.Errorf("batch labels wrong: len=%d label13=%d", len(batch), batch[13].Label)
+	}
+}
+
+func TestVideoDeterministicFrames(t *testing.T) {
+	v := NewVideo(VideoConfig{Seed: 9})
+	a := v.Frame(5)
+	b := NewVideo(VideoConfig{Seed: 9}).Frame(5)
+	if meanRGBDist(a, b) != 0 {
+		t.Error("Frame(5) not deterministic across instances")
+	}
+	if a.W != 160 || a.H != 120 {
+		t.Errorf("default dims = %dx%d", a.W, a.H)
+	}
+	if meanRGBDist(v.Frame(-1), v.Frame(0)) != 0 {
+		t.Error("negative frame index not clamped")
+	}
+}
+
+// TestVideoTemporalCorrelation is the Figure 2 premise: successive
+// frames are much closer than distant ones.
+func TestVideoTemporalCorrelation(t *testing.T) {
+	v := NewVideo(VideoConfig{Seed: 10, CutEvery: 0})
+	f0 := v.Frame(0)
+	near := meanRGBDist(f0, v.Frame(1))
+	far := meanRGBDist(f0, v.Frame(40))
+	if near >= far {
+		t.Errorf("adjacent-frame distance %.4f >= distant %.4f", near, far)
+	}
+}
+
+func TestVideoCuts(t *testing.T) {
+	v := NewVideo(VideoConfig{Seed: 11, CutEvery: 10, Noise: 0})
+	within := meanRGBDist(v.Frame(8), v.Frame(9))
+	across := meanRGBDist(v.Frame(9), v.Frame(10))
+	if across <= within*2 {
+		t.Errorf("cut distance %.4f not ≫ within-scene %.4f", across, within)
+	}
+}
+
+func TestVideoFrames(t *testing.T) {
+	v := NewVideo(VideoConfig{Seed: 12, W: 40, H: 30})
+	fs := v.Frames(3)
+	if len(fs) != 3 || fs[2].W != 40 || fs[2].H != 30 {
+		t.Errorf("Frames: len=%d dims=%dx%d", len(fs), fs[2].W, fs[2].H)
+	}
+}

@@ -1,0 +1,220 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/imaging"
+)
+
+// VideoConfig parameterizes a correlated video feed.
+type VideoConfig struct {
+	// W, H are the frame dimensions (defaults 160×120).
+	W, H int
+	// Seed makes the feed deterministic.
+	Seed int64
+	// PanPerFrame is the camera translation per frame in scene pixels
+	// (default 2). Successive frames are "slightly distorted versions of
+	// one another by some translation and/or scaling factor" (§2.2).
+	PanPerFrame float64
+	// ZoomPerFrame is the multiplicative zoom drift per frame
+	// (default 1.002).
+	ZoomPerFrame float64
+	// Noise is the per-frame sensor noise sigma (default 0.01).
+	Noise float64
+	// CutEvery switches to a completely new scene every CutEvery frames
+	// (0 = never): the paper's "the scene rarely changes completely
+	// within a short interval" — except at cuts.
+	CutEvery int
+	// Objects is the number of foreground shapes per scene (default 6).
+	Objects int
+}
+
+func (c VideoConfig) withDefaults() VideoConfig {
+	if c.W <= 0 {
+		c.W = 160
+	}
+	if c.H <= 0 {
+		c.H = 120
+	}
+	if c.PanPerFrame == 0 {
+		c.PanPerFrame = 2
+	}
+	if c.ZoomPerFrame == 0 {
+		c.ZoomPerFrame = 1.002
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.01
+	}
+	if c.Objects <= 0 {
+		c.Objects = 6
+	}
+	return c
+}
+
+// Video is a deterministic synthetic camera feed: a virtual camera pans
+// and zooms over a static procedural scene, with occasional hard cuts.
+// Frame(i) is pure — the same index always yields the same frame — so
+// experiments can sample frames in any order ("different applications
+// simply take a subset of the frames as needed", §2.2).
+type Video struct {
+	cfg    VideoConfig
+	scenes map[int]*imaging.RGB // lazily built per cut segment
+}
+
+// NewVideo returns a feed for the given configuration.
+func NewVideo(cfg VideoConfig) *Video {
+	return &Video{cfg: cfg.withDefaults(), scenes: make(map[int]*imaging.RGB)}
+}
+
+// sceneIndex maps a frame to its cut segment.
+func (v *Video) sceneIndex(frame int) int {
+	if v.cfg.CutEvery <= 0 {
+		return 0
+	}
+	return frame / v.cfg.CutEvery
+}
+
+// scene lazily renders the static scene for a cut segment. Scenes are
+// 3× the frame size so the camera can roam.
+func (v *Video) scene(si int) *imaging.RGB {
+	if s, ok := v.scenes[si]; ok {
+		return s
+	}
+	rng := rand.New(rand.NewSource(v.cfg.Seed ^ int64(si)*999983))
+	w, h := v.cfg.W*3, v.cfg.H*3
+	m := imaging.NewRGB(w, h)
+	// Sky-over-ground backdrop.
+	skyHue := 0.55 + 0.1*rng.Float64()
+	r0, g0, b0 := hsv(skyHue, 0.5, 0.9)
+	r1, g1, b1 := hsv(skyHue, 0.3, 0.6)
+	verticalGradient(m, r0, g0, b0, r1, g1, b1)
+	gr, gg, gb := hsv(0.25+0.1*rng.Float64(), 0.5, 0.45)
+	fillRect(m, 0, h*2/3, w, h, gr, gg, gb)
+	// Surface texture: smooth value noise so the scene has the pixel-level
+	// richness of real footage. Without it, raw-pixel distance between
+	// shifted frames is unrealistically small (real camera frames
+	// decorrelate quickly under panning, which is what Figure 2's "raw
+	// input" curve shows).
+	applyTexture(m, rng, 0.25, 12)
+	// Foreground objects.
+	for i := 0; i < v.cfg.Objects; i++ {
+		cr, cg, cb := hsv(rng.Float64(), 0.7, 0.8)
+		cx := rng.Float64() * float64(w)
+		cy := float64(h)*0.4 + rng.Float64()*float64(h)*0.5
+		size := float64(h) * (0.05 + 0.1*rng.Float64())
+		switch i % 4 {
+		case 0:
+			fillCircle(m, cx, cy, size, cr, cg, cb)
+		case 1:
+			fillRect(m, int(cx-size), int(cy-size*1.6), int(cx+size), int(cy+size*1.6), cr, cg, cb)
+		case 2:
+			fillTriangle(m, cx, int(cy-size*1.4), int(cy+size), size*1.2, cr, cg, cb)
+		case 3:
+			drawRing(m, cx, cy, size*0.5, size, cr, cg, cb)
+		}
+	}
+	v.scenes[si] = m
+	return m
+}
+
+// Frame renders frame i of the feed.
+func (v *Video) Frame(i int) *imaging.RGB {
+	if i < 0 {
+		i = 0
+	}
+	si := v.sceneIndex(i)
+	local := i
+	if v.cfg.CutEvery > 0 {
+		local = i % v.cfg.CutEvery
+	}
+	scene := v.scene(si)
+	// Camera path: diagonal pan with sinusoidal sway plus zoom drift.
+	t := float64(local)
+	zoom := math.Pow(v.cfg.ZoomPerFrame, t)
+	cw := float64(v.cfg.W) / zoom
+	ch := float64(v.cfg.H) / zoom
+	maxX := float64(scene.W) - cw - 1
+	maxY := float64(scene.H) - ch - 1
+	x := math.Mod(t*v.cfg.PanPerFrame, maxX)
+	if x < 0 {
+		x = 0
+	}
+	// Vertical sway scales with the pan speed so slow cameras are
+	// genuinely slow in both axes.
+	y := maxY*0.2 + math.Sin(t*0.12)*v.cfg.PanPerFrame*2
+	if y < 0 {
+		y = 0
+	}
+	if y > maxY {
+		y = maxY
+	}
+	// Crop + resize = translation & scaling distortion between frames.
+	frame := cropResize(scene, x, y, cw, ch, v.cfg.W, v.cfg.H)
+	if v.cfg.Noise > 0 {
+		rng := rand.New(rand.NewSource(v.cfg.Seed ^ int64(i)*131071 + 17))
+		frame = imaging.AddNoiseRGB(frame, v.cfg.Noise, rng)
+	}
+	return frame
+}
+
+// Frames renders frames [0, n).
+func (v *Video) Frames(n int) []*imaging.RGB {
+	out := make([]*imaging.RGB, n)
+	for i := range out {
+		out[i] = v.Frame(i)
+	}
+	return out
+}
+
+// applyTexture multiplies the image by smooth value noise: random gains
+// on a coarse grid (one knot per `cell` pixels), bilinearly interpolated.
+func applyTexture(m *imaging.RGB, rng *rand.Rand, amplitude float64, cell int) {
+	gw := m.W/cell + 2
+	gh := m.H/cell + 2
+	knots := make([]float64, gw*gh)
+	for i := range knots {
+		knots[i] = 1 + (rng.Float64()*2-1)*amplitude
+	}
+	for y := 0; y < m.H; y++ {
+		fy := float64(y) / float64(cell)
+		y0 := int(fy)
+		dy := fy - float64(y0)
+		for x := 0; x < m.W; x++ {
+			fx := float64(x) / float64(cell)
+			x0 := int(fx)
+			dx := fx - float64(x0)
+			g := knots[y0*gw+x0]*(1-dx)*(1-dy) +
+				knots[y0*gw+x0+1]*dx*(1-dy) +
+				knots[(y0+1)*gw+x0]*(1-dx)*dy +
+				knots[(y0+1)*gw+x0+1]*dx*dy
+			i := 3 * (y*m.W + x)
+			m.Pix[i] = imaging.Clamp01(m.Pix[i] * g)
+			m.Pix[i+1] = imaging.Clamp01(m.Pix[i+1] * g)
+			m.Pix[i+2] = imaging.Clamp01(m.Pix[i+2] * g)
+		}
+	}
+}
+
+// cropResize samples the rectangle (x, y, w, h) of src into a dw×dh
+// frame with bilinear interpolation.
+func cropResize(src *imaging.RGB, x, y, w, h float64, dw, dh int) *imaging.RGB {
+	out := imaging.NewRGB(dw, dh)
+	for oy := 0; oy < dh; oy++ {
+		for ox := 0; ox < dw; ox++ {
+			sx := x + (float64(ox)+0.5)/float64(dw)*w - 0.5
+			sy := y + (float64(oy)+0.5)/float64(dh)*h - 0.5
+			x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
+			fx, fy := sx-float64(x0), sy-float64(y0)
+			r00, g00, b00 := src.At(x0, y0)
+			r10, g10, b10 := src.At(x0+1, y0)
+			r01, g01, b01 := src.At(x0, y0+1)
+			r11, g11, b11 := src.At(x0+1, y0+1)
+			out.Set(ox, oy,
+				r00*(1-fx)*(1-fy)+r10*fx*(1-fy)+r01*(1-fx)*fy+r11*fx*fy,
+				g00*(1-fx)*(1-fy)+g10*fx*(1-fy)+g01*(1-fx)*fy+g11*fx*fy,
+				b00*(1-fx)*(1-fy)+b10*fx*(1-fy)+b01*(1-fx)*fy+b11*fx*fy)
+		}
+	}
+	return out
+}

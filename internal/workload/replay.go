@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// ReplayResult summarizes a request-sequence replay (§5.3's metric: "the
+// portion of the total computation time required due to cache misses").
+type ReplayResult struct {
+	Requests int
+	Hits     int
+	// ComputeTime is the time spent computing misses.
+	ComputeTime time.Duration
+	// TotalCost is the time the sequence would cost with no cache at all.
+	TotalCost time.Duration
+}
+
+// MissRatio returns ComputeTime / TotalCost, Figure 8's y-axis.
+func (r ReplayResult) MissRatio() float64 {
+	if r.TotalCost == 0 {
+		return 0
+	}
+	return float64(r.ComputeTime) / float64(r.TotalCost)
+}
+
+// Replay submits the request sequence to a fresh cache configured with
+// the given eviction policy and capacity (in entries) and accounts
+// computation time on a virtual clock. Workload keys are exact (each
+// workload is a distinct computation), isolating the replacement-policy
+// comparison from approximate matching, as in §5.3.
+func Replay(specs []Spec, seq []int, policy core.PolicyKind, capacity int, device Device) (ReplayResult, error) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	cache := core.New(core.Config{
+		Clock:          clk,
+		MaxEntries:     capacity,
+		DisableDropout: true,
+		// Long TTL: §5.3 studies replacement, not expiry.
+		DefaultTTL: 365 * 24 * time.Hour,
+		Policy:     policy,
+		Tuner:      core.TunerConfig{WarmupZ: 1},
+		Seed:       1,
+	})
+	const fn = "workload"
+	if err := cache.RegisterFunction(fn, core.KeyTypeSpec{Name: "id", Index: "hash"}); err != nil {
+		return ReplayResult{}, err
+	}
+	var res ReplayResult
+	for _, id := range seq {
+		if id < 0 || id >= len(specs) {
+			return ReplayResult{}, fmt.Errorf("workload: request id %d out of range", id)
+		}
+		spec := specs[id]
+		cost := device.CostOn(spec.Cost)
+		res.Requests++
+		res.TotalCost += cost
+		key := vec.Vector{float64(id)}
+		lr, err := cache.Lookup(fn, "id", key)
+		if err != nil {
+			return ReplayResult{}, err
+		}
+		if lr.Hit {
+			res.Hits++
+			continue
+		}
+		// Compute natively: advance the virtual clock by the cost.
+		clk.Advance(cost)
+		res.ComputeTime += cost
+		if _, err := cache.Put(fn, core.PutRequest{
+			Keys:     map[string]vec.Vector{"id": key},
+			Value:    spec.ID,
+			MissedAt: lr.MissedAt,
+			Size:     spec.Size,
+		}); err != nil {
+			return ReplayResult{}, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+// Package workload generates the request workloads of the paper's
+// evaluation: named computations with costs spanning 1 ms to 10 s
+// (§5.3), request sequences whose popularity follows uniform or
+// exponential distributions, and device cost profiles (the Nexus 5
+// "mobile" versus the "PC", §5.1). Experiments replay these sequences
+// against a cache on a virtual clock.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Spec describes one deduplicable computation: its identity, how long it
+// takes to compute natively, and the result it produces.
+type Spec struct {
+	ID int
+	// Cost is the native computation time on the reference (mobile)
+	// device.
+	Cost time.Duration
+	// Size is the result footprint in bytes.
+	Size int
+}
+
+// Specs builds n workloads with costs log-spaced over [minCost,
+// maxCost], the paper's "100 different workloads, each of which takes a
+// different amount of computation time ranging from 1 ms to 10 s".
+func Specs(n int, minCost, maxCost time.Duration) []Spec {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Spec, n)
+	lmin := math.Log(float64(minCost))
+	lmax := math.Log(float64(maxCost))
+	for i := range out {
+		t := 0.0
+		if n > 1 {
+			t = float64(i) / float64(n-1)
+		}
+		out[i] = Spec{
+			ID:   i,
+			Cost: time.Duration(math.Exp(lmin + (lmax-lmin)*t)),
+			Size: 64,
+		}
+	}
+	return out
+}
+
+// Distribution names a request-popularity distribution (§5.3: "The
+// number of cache hits ... can be modeled by a uniform distribution or
+// an exponential distribution").
+type Distribution string
+
+// The two §5.3 request patterns plus a Zipf extra.
+const (
+	Uniform     Distribution = "uniform"
+	Exponential Distribution = "exponential"
+	Zipf        Distribution = "zipf"
+)
+
+// Sequence draws a request sequence of length n over the workload ids
+// [0, k) following the distribution. Popularity rank is decoupled from
+// workload id by a seeded permutation, so a workload's cost and its
+// popularity are independent, as in the paper's setup (the 100 workloads
+// have distinct costs; which ones recur is a property of the request
+// pattern, not the cost). Deterministic for a given rng.
+func Sequence(dist Distribution, k, n int, rng *rand.Rand) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	perm := rng.Perm(k)
+	out := make([]int, n)
+	switch dist {
+	case Exponential:
+		// Relative popularity decays exponentially with rank [17];
+		// rate chosen so the head ~20 workloads dominate.
+		rate := 10.0 / float64(k)
+		for i := range out {
+			v := int(rng.ExpFloat64() / rate)
+			if v >= k {
+				v = k - 1
+			}
+			out[i] = perm[v]
+		}
+	case Zipf:
+		z := rand.NewZipf(rng, 1.2, 1, uint64(k-1))
+		for i := range out {
+			out[i] = perm[z.Uint64()]
+		}
+	default: // Uniform
+		for i := range out {
+			out[i] = perm[rng.Intn(k)]
+		}
+	}
+	return out
+}
+
+// WorkingSet returns the distinct workload ids appearing in seq, in
+// first-appearance order.
+func WorkingSet(seq []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, id := range seq {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Device scales computation costs: the paper's PC "is around an order of
+// magnitude faster than the phone" (§5.1).
+type Device struct {
+	Name string
+	// Speed divides the reference cost; 1 = the mobile baseline.
+	Speed float64
+}
+
+// The two evaluation devices.
+var (
+	Mobile = Device{Name: "mobile", Speed: 1}
+	PC     = Device{Name: "pc", Speed: 10}
+)
+
+// CostOn converts a reference (mobile) cost to this device.
+func (d Device) CostOn(ref time.Duration) time.Duration {
+	if d.Speed <= 0 {
+		return ref
+	}
+	return time.Duration(float64(ref) / d.Speed)
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestSpecsLogSpaced(t *testing.T) {
+	specs := Specs(100, time.Millisecond, 10*time.Second)
+	if len(specs) != 100 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	if d := specs[0].Cost - time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("first cost = %v", specs[0].Cost)
+	}
+	if d := specs[99].Cost - 10*time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("last cost = %v", specs[99].Cost)
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Cost <= specs[i-1].Cost {
+			t.Fatalf("costs not increasing at %d", i)
+		}
+	}
+	if Specs(0, time.Millisecond, time.Second) != nil {
+		t.Error("Specs(0) != nil")
+	}
+}
+
+func TestSequenceDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const k, n = 100, 10000
+	uni := Sequence(Uniform, k, n, rng)
+	exp := Sequence(Exponential, k, n, rand.New(rand.NewSource(2)))
+	zipf := Sequence(Zipf, k, n, rand.New(rand.NewSource(3)))
+	if len(uni) != n || len(exp) != n || len(zipf) != n {
+		t.Fatal("wrong sequence lengths")
+	}
+	count := func(seq []int) []int {
+		c := make([]int, k)
+		for _, id := range seq {
+			if id < 0 || id >= k {
+				t.Fatalf("id %d out of range", id)
+			}
+			c[id]++
+		}
+		return c
+	}
+	cu, ce := count(uni), count(exp)
+	// Uniform: every workload roughly n/k = 100 occurrences.
+	for id, c := range cu {
+		if c < 50 || c > 200 {
+			t.Errorf("uniform workload %d count %d far from 100", id, c)
+		}
+	}
+	// Exponential: the 10 most popular workloads dominate the bottom 50
+	// (popularity rank is permuted over ids, so sort the counts).
+	sorted := append([]int(nil), ce...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	head, tail := 0, 0
+	for i, c := range sorted {
+		if i < 10 {
+			head += c
+		} else if i >= 50 {
+			tail += c
+		}
+	}
+	if head < 5*tail {
+		t.Errorf("exponential head %d not ≫ tail %d", head, tail)
+	}
+	if Sequence(Uniform, 0, 5, rng) != nil || Sequence(Uniform, 5, 0, rng) != nil {
+		t.Error("degenerate Sequence not nil")
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	ws := WorkingSet([]int{3, 1, 3, 2, 1})
+	if len(ws) != 3 || ws[0] != 3 || ws[1] != 1 || ws[2] != 2 {
+		t.Errorf("WorkingSet = %v", ws)
+	}
+}
+
+func TestDeviceCost(t *testing.T) {
+	if got := Mobile.CostOn(time.Second); got != time.Second {
+		t.Errorf("mobile cost = %v", got)
+	}
+	if got := PC.CostOn(time.Second); got != 100*time.Millisecond {
+		t.Errorf("pc cost = %v", got)
+	}
+	broken := Device{Speed: 0}
+	if got := broken.CostOn(time.Second); got != time.Second {
+		t.Errorf("zero-speed device cost = %v", got)
+	}
+}
+
+func TestReplayUnlimitedCacheComputesEachOnce(t *testing.T) {
+	specs := Specs(10, time.Millisecond, time.Second)
+	seq := []int{0, 1, 0, 1, 2, 0}
+	res, err := Replay(specs, seq, core.PolicyImportance, 0, Mobile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 6 || res.Hits != 3 {
+		t.Errorf("result = %+v", res)
+	}
+	want := specs[0].Cost + specs[1].Cost + specs[2].Cost
+	if res.ComputeTime != want {
+		t.Errorf("ComputeTime = %v, want %v", res.ComputeTime, want)
+	}
+	if res.MissRatio() >= 1 {
+		t.Errorf("MissRatio = %v", res.MissRatio())
+	}
+}
+
+func TestReplayOutOfRangeRequest(t *testing.T) {
+	specs := Specs(2, time.Millisecond, time.Second)
+	if _, err := Replay(specs, []int{5}, core.PolicyImportance, 0, Mobile); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+// TestReplayImportanceBeatsLRU reproduces Figure 8's core claim on a
+// small instance: with a constrained cache and skewed, cost-varying
+// workloads, importance-based eviction saves more computation than LRU
+// and random.
+func TestReplayImportanceBeatsLRU(t *testing.T) {
+	specs := Specs(100, time.Millisecond, 10*time.Second)
+	seq := Sequence(Exponential, 100, 5000, rand.New(rand.NewSource(42)))
+	capacity := 20 // 20% of the working set
+	ratios := make(map[core.PolicyKind]float64)
+	for _, pol := range []core.PolicyKind{core.PolicyImportance, core.PolicyLRU, core.PolicyRandom} {
+		res, err := Replay(specs, seq, pol, capacity, Mobile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios[pol] = res.MissRatio()
+	}
+	t.Logf("miss ratios: %v", ratios)
+	if ratios[core.PolicyImportance] >= ratios[core.PolicyLRU] {
+		t.Errorf("importance %.3f >= LRU %.3f", ratios[core.PolicyImportance], ratios[core.PolicyLRU])
+	}
+	if ratios[core.PolicyImportance] >= ratios[core.PolicyRandom] {
+		t.Errorf("importance %.3f >= random %.3f", ratios[core.PolicyImportance], ratios[core.PolicyRandom])
+	}
+}
+
+func TestMissRatioZeroTotal(t *testing.T) {
+	var r ReplayResult
+	if r.MissRatio() != 0 {
+		t.Error("MissRatio of empty replay != 0")
+	}
+}

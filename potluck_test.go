@@ -1,0 +1,123 @@
+package potluck_test
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	potluck "repro"
+)
+
+// TestPublicAPIQuickstart walks the documented in-process flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cache := potluck.New(potluck.Config{
+		DisableDropout: true,
+		Tuner:          potluck.TunerConfig{WarmupZ: 1},
+	})
+	err := cache.RegisterFunction("f",
+		potluck.KeyTypeSpec{Name: "k", Index: potluck.IndexKDTree, Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := potluck.Vector{1, 2}
+	res, err := cache.Lookup("f", "k", key)
+	if err != nil || res.Hit {
+		t.Fatalf("first lookup: %+v, %v", res, err)
+	}
+	if _, err := cache.Put("f", potluck.PutRequest{
+		Keys:     map[string]potluck.Vector{"k": key},
+		Value:    "v",
+		MissedAt: res.MissedAt,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = cache.Lookup("f", "k", key)
+	if err != nil || !res.Hit || res.Value != "v" {
+		t.Fatalf("second lookup: %+v, %v", res, err)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPublicAPIService exercises the server/client pair end to end.
+func TestPublicAPIService(t *testing.T) {
+	srv := potluck.NewServer(potluck.New(potluck.Config{
+		DisableDropout: true,
+		Tuner:          potluck.TunerConfig{WarmupZ: 1},
+	}))
+	sock := filepath.Join(t.TempDir(), "p.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l) }()
+	defer func() {
+		cancel()
+		srv.Close()
+		<-done
+	}()
+
+	cl, err := potluck.Dial("unix", sock, "test-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("f", potluck.KeyTypeDef{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("f", map[string]potluck.Vector{"k": {3}}, []byte("x"),
+		potluck.PutOptions{Cost: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Lookup("f", "k", potluck.Vector{3})
+	if err != nil || !res.Hit || string(res.Value) != "x" {
+		t.Fatalf("lookup over IPC: %+v, %v", res, err)
+	}
+}
+
+// TestFeatureLibrary checks the §3.2 key-generation library surface.
+func TestFeatureLibrary(t *testing.T) {
+	names := potluck.FeatureNames()
+	if len(names) < 7 {
+		t.Fatalf("library too small: %v", names)
+	}
+	for _, n := range names {
+		if _, err := potluck.FeatureExtractor(n); err != nil {
+			t.Errorf("FeatureExtractor(%q): %v", n, err)
+		}
+	}
+	if _, err := potluck.FeatureExtractor("bogus"); err == nil {
+		t.Error("bogus extractor accepted")
+	}
+}
+
+// TestMetricsExported checks the built-in metric set.
+func TestMetricsExported(t *testing.T) {
+	a, b := potluck.Vector{0, 0}, potluck.Vector{3, 4}
+	if potluck.Euclidean.Distance(a, b) != 5 {
+		t.Error("euclidean broken")
+	}
+	if potluck.Manhattan.Distance(a, b) != 7 {
+		t.Error("manhattan broken")
+	}
+	if potluck.Cosine.Distance(potluck.Vector{1, 0}, potluck.Vector{1, 0}) != 0 {
+		t.Error("cosine broken")
+	}
+}
+
+// TestEvictionPolicyConstants verifies the policy kinds resolve.
+func TestEvictionPolicyConstants(t *testing.T) {
+	for _, p := range []potluck.PolicyKind{
+		potluck.PolicyImportance, potluck.PolicyLRU, potluck.PolicyRandom, potluck.PolicyFIFO,
+	} {
+		cache := potluck.New(potluck.Config{Policy: p, DisableDropout: true})
+		if cache == nil {
+			t.Fatalf("New with policy %s returned nil", p)
+		}
+	}
+}
