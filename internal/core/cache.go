@@ -4,15 +4,53 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/index"
 	"repro/internal/vec"
 )
+
+// Concurrency model (see also DESIGN.md §"Concurrency model").
+//
+// The cache is a shared service hit by many applications at once
+// (§4.2), so the read path must not serialize on writer state. State is
+// split into independently locked pieces with a strict acquisition
+// order:
+//
+//	1. Cache.funcsMu   (RWMutex) — the function table (the funcs map).
+//	                   functionCache values are immutable copy-on-write
+//	                   snapshots. Write-locked only by RegisterFunction.
+//	2. Cache.admitMu   (Mutex) — the admission/eviction lock: the expiry
+//	                   heap, its stale count, and the eviction loop.
+//	                   Writers only; lookups never touch it.
+//	3. keyIndex.mu     (RWMutex, one per key type) — that key type's
+//	                   index structure and member map. Lookups on
+//	                   different functions (or different key types)
+//	                   touch different locks and proceed in parallel.
+//	Leaf locks (never held while acquiring any of the above):
+//	   Tuner.mu, Reputation.mu, Cache.rngMu.
+//
+// A later lock may be acquired while holding an earlier one, never the
+// reverse. The entry table itself is a sync.Map with lock-free reads,
+// and bytes/entry-count accounting, Stats counters, per-entry hit
+// counters, and the next-expiry deadline are all atomics — so a lookup
+// takes only funcsMu.RLock (to resolve the key index) and that key
+// index's RLock. Crucially there is no cache-wide RWMutex on the hot
+// path: a pending writer on such a lock blocks every arriving reader,
+// which measurably re-serializes the whole cache at 10% put traffic.
+//
+// A lookup resolves its index hit to an entry via the entry table
+// after releasing the index lock. Between the two steps the entry may
+// be evicted (the lookup then reports a miss) or a racing put may not
+// have published the entry yet (also a miss) — both are benign.
+// Removal is exactly-once via the entry table's LoadAndDelete, which
+// keeps the atomic accounting consistent under racing removers.
 
 // Common errors returned by the cache.
 var (
@@ -25,6 +63,10 @@ var (
 	// ErrNoKey is returned by Put when no key could be produced for any
 	// of the function's key types.
 	ErrNoKey = errors.New("core: no key available for any registered key type")
+	// ErrEmptyKey is returned by Put when a supplied or extracted key
+	// vector has zero dimensions. Zero-dimension keys cannot be indexed
+	// (a KD-tree has no axis to split on) and are rejected up front.
+	ErrEmptyKey = errors.New("core: empty key vector")
 	// ErrAppBarred is returned by Put when the reputation system has
 	// barred the calling application for polluting the cache.
 	ErrAppBarred = errors.New("core: application barred by reputation system")
@@ -80,17 +122,26 @@ type Config struct {
 	// Clock supplies time; defaults to the real clock. Experiments
 	// inject a virtual clock.
 	Clock clock.Clock
-	// MaxEntries bounds the number of cached values (0 = unlimited).
+	// MaxEntries bounds the number of cached values (0 = unlimited;
+	// negative values are treated as 0).
 	MaxEntries int
-	// MaxBytes bounds the total entry size in bytes (0 = unlimited).
+	// MaxBytes bounds the total entry size in bytes (0 = unlimited;
+	// negative values are treated as 0).
 	MaxBytes int64
 	// DefaultTTL is the validity period applied when a Put does not
 	// specify one. Defaults to one hour.
 	DefaultTTL time.Duration
 	// DropoutRate is the probability that a lookup skips the cache
-	// (§3.4). Defaults to 0.1; set DisableDropout for exactly zero.
+	// (§3.4). Values above 1 are clamped to 1 (every lookup drops out).
+	//
+	// Footgun: any value <= 0 — including explicit zero and negative
+	// values — means "unset" and is replaced by the default 0.1. To
+	// actually turn dropout off, set DisableDropout; a DropoutRate of 0
+	// alone silently re-enables the 0.1 default.
 	DropoutRate float64
 	// DisableDropout turns off the random-dropout mechanism entirely.
+	// This is the only way to get a dropout probability of exactly
+	// zero; see the DropoutRate footgun above.
 	DisableDropout bool
 	// Policy selects the replacement strategy; defaults to importance.
 	Policy PolicyKind
@@ -106,49 +157,17 @@ type Config struct {
 	// entry — the paper's choice ("this value provides the fastest
 	// lookup time without sacrificing quality"). With k > 1, the
 	// within-threshold neighbours vote by value equality and the
-	// majority's closest representative is returned.
+	// majority's closest representative is returned. Negative values
+	// are treated as the default.
 	LookupK int
 	// Reputation enables the Credence-style reputation defence against
 	// cache pollution (§3.5); nil disables it.
 	Reputation *ReputationConfig
 }
 
-// Cache is the Potluck deduplication cache. Entries are organized first
-// by function, then by key type, then by key (§4.2, Figure 5). Cache is
-// safe for concurrent use.
-type Cache struct {
-	mu     sync.Mutex
-	cfg    Config
-	clk    clock.Clock
-	policy Policy
-	rng    *rand.Rand
-	equal  func(a, b any) bool
-
-	nextID  ID
-	entries map[ID]*Entry
-	funcs   map[string]*functionCache
-	expiry  expiryHeap
-	bytes   int64
-	stats   Stats
-	rep     *Reputation
-}
-
-type functionCache struct {
-	name     string
-	keyTypes map[string]*keyIndex
-	order    []string // registration order, for deterministic iteration
-}
-
-type keyIndex struct {
-	spec    KeyTypeSpec
-	idx     index.Index
-	tuner   *Tuner
-	members map[ID]vec.Vector
-}
-
-// New constructs a cache from cfg. Invalid policy kinds panic; use
-// NewPolicy to validate user input first.
-func New(cfg Config) *Cache {
+// normalized returns cfg with defaults applied and out-of-range values
+// clamped, so the rest of the cache never sees a nonsensical setting.
+func (cfg Config) normalized() Config {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
@@ -158,25 +177,154 @@ func New(cfg Config) *Cache {
 	if cfg.DropoutRate <= 0 && !cfg.DisableDropout {
 		cfg.DropoutRate = DefaultDropoutRate
 	}
+	if cfg.DropoutRate > 1 {
+		cfg.DropoutRate = 1
+	}
 	if cfg.DisableDropout {
 		cfg.DropoutRate = 0
+	}
+	if cfg.MaxEntries < 0 {
+		cfg.MaxEntries = 0
+	}
+	if cfg.MaxBytes < 0 {
+		cfg.MaxBytes = 0
+	}
+	if cfg.LookupK < 0 {
+		cfg.LookupK = 0
 	}
 	if cfg.Equal == nil {
 		cfg.Equal = func(a, b any) bool { return reflect.DeepEqual(a, b) }
 	}
+	return cfg
+}
+
+// counters holds the cache's activity counters as atomics, so Stats()
+// and HitRate() never contend with the data path.
+type counters struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	dropouts      atomic.Int64
+	puts          atomic.Int64
+	rejectedPuts  atomic.Int64
+	evictions     atomic.Int64
+	expirations   atomic.Int64
+	invalidations atomic.Int64
+	savedCompute  atomic.Int64 // nanoseconds
+}
+
+// Cache is the Potluck deduplication cache. Entries are organized first
+// by function, then by key type, then by key (§4.2, Figure 5). Cache is
+// safe for concurrent use; see the concurrency-model comment above for
+// the lock hierarchy.
+type Cache struct {
+	cfg    Config
+	clk    clock.Clock
+	policy Policy
+	equal  func(a, b any) bool
+	rep    *Reputation
+
+	// rngMu guards rng (dropout draws, random eviction). Leaf lock.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// funcsMu guards the funcs map. First in the lock order. Each
+	// functionCache is immutable once published (registration swaps in
+	// a copy), and keyIndex pointers are stable forever, so read paths
+	// resolve a snapshot under RLock, release, and iterate freely.
+	funcsMu sync.RWMutex
+	funcs   map[string]*functionCache
+
+	// entries is the entry table (ID → *entry). Reads are lock-free;
+	// removal is exactly-once via LoadAndDelete, which anchors the
+	// atomic bytes/count accounting.
+	entries entryTable
+	count   atomic.Int64
+	bytes   atomic.Int64
+
+	// admitMu is the admission/eviction lock (second in the lock
+	// order): it guards expiry, staleExpiry, and the eviction loop.
+	// Only mutating operations take it; lookups check nextExpiry
+	// instead.
+	admitMu sync.Mutex
+	expiry  expiryHeap
+	// staleExpiry counts heap items whose entry has already been
+	// removed (evicted or invalidated before its deadline). The heap is
+	// compacted when stale items outnumber live entries, so
+	// eviction-heavy workloads with long TTLs cannot grow it unboundedly.
+	staleExpiry int
+	// nextExpiry is the UnixNano deadline of the heap head (MaxInt64
+	// when empty), letting every operation test "anything expired?"
+	// with one atomic load instead of a shared lock.
+	nextExpiry atomic.Int64
+
+	nextID atomic.Uint64
+	ctr    counters
+}
+
+// entryTable wraps sync.Map with the entry types spelled out.
+type entryTable struct{ m sync.Map }
+
+func (t *entryTable) load(id ID) *entry {
+	if v, ok := t.m.Load(id); ok {
+		return v.(*entry)
+	}
+	return nil
+}
+
+func (t *entryTable) store(e *entry) { t.m.Store(e.id, e) }
+
+func (t *entryTable) loadAndDelete(id ID) *entry {
+	if v, ok := t.m.LoadAndDelete(id); ok {
+		return v.(*entry)
+	}
+	return nil
+}
+
+func (t *entryTable) forEach(f func(e *entry) bool) {
+	t.m.Range(func(_, v any) bool { return f(v.(*entry)) })
+}
+
+// functionCache is an immutable snapshot of one function's key types.
+// RegisterFunction publishes a fresh copy under Cache.funcsMu
+// (copy-on-write) instead of mutating in place, so any *functionCache
+// resolved under the read lock stays consistent after the lock is
+// released — hot paths iterate it without copying or re-locking.
+type functionCache struct {
+	name     string
+	keyTypes map[string]*keyIndex // read-only after publication
+	order    []string             // registration order, for deterministic iteration
+	kis      []*keyIndex          // parallel to order
+}
+
+type keyIndex struct {
+	spec KeyTypeSpec
+	// tuner synchronizes itself (its own mutex is the single point of
+	// coordination); it is never called with any cache lock held.
+	tuner *Tuner
+
+	// mu guards idx and members. Third in the lock order.
+	mu      sync.RWMutex
+	idx     index.Index
+	members map[ID]vec.Vector
+}
+
+// New constructs a cache from cfg. Invalid policy kinds panic; use
+// NewPolicy to validate user input first.
+func New(cfg Config) *Cache {
+	cfg = cfg.normalized()
 	pol, err := NewPolicy(cfg.Policy)
 	if err != nil {
 		panic(err)
 	}
 	c := &Cache{
-		cfg:     cfg,
-		clk:     cfg.Clock,
-		policy:  pol,
-		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
-		equal:   cfg.Equal,
-		entries: make(map[ID]*Entry),
-		funcs:   make(map[string]*functionCache),
+		cfg:    cfg,
+		clk:    cfg.Clock,
+		policy: pol,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+		equal:  cfg.Equal,
+		funcs:  make(map[string]*functionCache),
 	}
+	c.nextExpiry.Store(math.MaxInt64)
 	if cfg.Reputation != nil {
 		c.rep = NewReputation(*cfg.Reputation)
 	}
@@ -188,6 +336,10 @@ func New(cfg Config) *Cache {
 // new key types and resets the thresholds of all its tuners, matching
 // register()'s contract ("It also resets the input similarity
 // threshold", §4.3). At least one key type is required.
+//
+// Registration is atomic: every spec is validated and its index built
+// before any shared state changes, so a failed call leaves no partial
+// function, no partial key-type set, and untouched tuners.
 func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 	if fn == "" {
 		return errors.New("core: empty function name")
@@ -195,34 +347,56 @@ func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 	if len(keyTypes) == 0 {
 		return errors.New("core: at least one key type is required")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fc := c.funcs[fn]
-	if fc == nil {
-		fc = &functionCache{name: fn, keyTypes: make(map[string]*keyIndex)}
-		c.funcs[fn] = fc
-	}
+	specs := make([]KeyTypeSpec, 0, len(keyTypes))
+	seen := make(map[string]struct{}, len(keyTypes))
 	for _, spec := range keyTypes {
 		spec = spec.withDefaults()
 		if spec.Name == "" {
 			return errors.New("core: key type with empty name")
 		}
-		if _, exists := fc.keyTypes[spec.Name]; exists {
-			continue
+		if _, dup := seen[spec.Name]; dup {
+			continue // first spec wins, like re-registration
 		}
+		seen[spec.Name] = struct{}{}
+		specs = append(specs, spec)
+	}
+	built := make([]*keyIndex, len(specs))
+	for i, spec := range specs {
 		idx, err := index.New(spec.Index, spec.Metric, spec.Dim)
 		if err != nil {
 			return fmt.Errorf("core: key type %q: %w", spec.Name, err)
 		}
-		fc.keyTypes[spec.Name] = &keyIndex{
+		built[i] = &keyIndex{
 			spec:    spec,
 			idx:     idx,
 			tuner:   NewTuner(c.cfg.Tuner),
 			members: make(map[ID]vec.Vector),
 		}
-		fc.order = append(fc.order, spec.Name)
 	}
-	for _, ki := range fc.keyTypes {
+
+	c.funcsMu.Lock()
+	old := c.funcs[fn]
+	fc := &functionCache{name: fn, keyTypes: make(map[string]*keyIndex)}
+	if old != nil {
+		// Copy-on-write: never mutate a published functionCache.
+		for name, ki := range old.keyTypes {
+			fc.keyTypes[name] = ki
+		}
+		fc.order = append(fc.order, old.order...)
+		fc.kis = append(fc.kis, old.kis...)
+	}
+	for i, spec := range specs {
+		if _, exists := fc.keyTypes[spec.Name]; exists {
+			continue
+		}
+		fc.keyTypes[spec.Name] = built[i]
+		fc.order = append(fc.order, spec.Name)
+		fc.kis = append(fc.kis, built[i])
+	}
+	c.funcs[fn] = fc
+	c.funcsMu.Unlock()
+
+	for _, ki := range fc.kis {
 		ki.tuner.Reset()
 	}
 	return nil
@@ -230,13 +404,67 @@ func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 
 // Functions returns the registered function names.
 func (c *Cache) Functions() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.funcsMu.RLock()
+	defer c.funcsMu.RUnlock()
 	out := make([]string, 0, len(c.funcs))
 	for fn := range c.funcs {
 		out = append(out, fn)
 	}
 	return out
+}
+
+// keyIndexFor resolves (fn, keyType) to its index.
+func (c *Cache) keyIndexFor(fn, keyType string) (*keyIndex, error) {
+	c.funcsMu.RLock()
+	defer c.funcsMu.RUnlock()
+	fc := c.funcs[fn]
+	if fc == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	ki := fc.keyTypes[keyType]
+	if ki == nil {
+		return nil, fmt.Errorf("%w: %q for function %q", ErrUnknownKeyType, keyType, fn)
+	}
+	return ki, nil
+}
+
+// functionIndexes resolves a function's immutable key-type snapshot.
+// The returned functionCache is safe to iterate without any lock
+// (copy-on-write registration); its keyIndex pointers stay valid
+// forever (key types are never removed).
+func (c *Cache) functionIndexes(fn string) (*functionCache, error) {
+	c.funcsMu.RLock()
+	fc := c.funcs[fn]
+	c.funcsMu.RUnlock()
+	if fc == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	return fc, nil
+}
+
+// EffectiveConfig returns the configuration actually in force — the
+// constructor's input with defaults applied and out-of-range values
+// clamped (see Config field docs). Useful for diagnostics: what a
+// daemon logs at startup should be what the cache does, not what the
+// operator wrote.
+func (c *Cache) EffectiveConfig() Config {
+	return c.cfg
+}
+
+// entryByID resolves a live entry; lock-free.
+func (c *Cache) entryByID(id ID) *entry {
+	return c.entries.load(id)
+}
+
+// dropout draws the random-dropout coin (§3.4).
+func (c *Cache) dropout() bool {
+	if c.cfg.DropoutRate <= 0 {
+		return false
+	}
+	c.rngMu.Lock()
+	d := c.rng.Float64() < c.cfg.DropoutRate
+	c.rngMu.Unlock()
+	return d
 }
 
 // LookupResult reports the outcome of a cache lookup.
@@ -267,37 +495,57 @@ type LookupResult struct {
 // importance — is updated. Lookup errors only for unregistered
 // functions or key types.
 func (c *Cache) Lookup(fn, keyType string, key vec.Vector) (LookupResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	res, _, err := c.lookup(fn, keyType, key)
+	return res, err
+}
+
+// lookup is the shared read path behind Lookup and LookupRefined. On a
+// hit it also returns the key the entry was found under (for
+// refinement). It holds no lock while returning.
+//
+// Lookups purge on demand: expired entries are filtered at read time,
+// and only when the query actually observes one does the lookup take
+// the admission lock, purge, and re-run the query (an expired nearest
+// neighbour must not mask a live, slightly farther one). The common
+// nothing-expired read therefore never touches the admission lock;
+// routine reclamation is left to puts and the janitor.
+func (c *Cache) lookup(fn, keyType string, key vec.Vector) (LookupResult, vec.Vector, error) {
 	now := c.clk.Now()
-	c.purgeExpiredLocked(now)
-	ki, err := c.keyIndexLocked(fn, keyType)
+	ki, err := c.keyIndexFor(fn, keyType)
 	if err != nil {
-		return LookupResult{}, err
+		return LookupResult{}, nil, err
 	}
 	res := LookupResult{Distance: -1, Threshold: ki.tuner.Threshold(), MissedAt: now}
-	if c.cfg.DropoutRate > 0 && c.rng.Float64() < c.cfg.DropoutRate {
-		c.stats.Dropouts++
-		c.stats.Misses++
+	if c.dropout() {
+		c.ctr.dropouts.Add(1)
+		c.ctr.misses.Add(1)
 		res.Dropout = true
-		return res, nil
+		return res, nil, nil
 	}
 	// Threshold-restricted k-nearest-neighbour query; k defaults to 1,
 	// the paper's choice (§3.4).
-	e, _, dist, ok := c.selectHitLocked(ki, key, res.Threshold)
+	e, hitKey, dist, ok, sawExpired := c.selectHit(ki, key, res.Threshold, now)
+	if sawExpired {
+		// The query ran into an expired entry still in the index; purge
+		// and requery so staleness cannot mask a live neighbour. After
+		// the purge nothing expiring at or before now remains, so one
+		// retry is deterministic.
+		c.maybePurgeExpired(now)
+		e, hitKey, dist, ok, _ = c.selectHit(ki, key, res.Threshold, now)
+	}
 	res.Distance = dist
 	if !ok {
-		c.stats.Misses++
-		return res, nil
+		c.ctr.misses.Add(1)
+		return res, nil, nil
 	}
-	e.accessCount++
-	e.lastAccess = now
-	c.stats.Hits++
-	c.stats.SavedCompute += e.cost
+	e.accessCount.Add(1)
+	e.lastAccess.Store(now.UnixNano())
+	c.ctr.hits.Add(1)
+	c.ctr.savedCompute.Add(int64(e.cost))
 	res.Hit = true
 	res.Value = e.value
 	res.Entry = e.snapshot()
-	return res, nil
+	return res, hitKey, nil
 }
 
 // PutRequest describes an entry to insert.
@@ -329,36 +577,53 @@ type PutRequest struct {
 // threshold tuner (§3.6 "Inserting and indexing cache entries"). It
 // returns the new entry's id.
 func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.clk.Now()
-	c.purgeExpiredLocked(now)
-	fc := c.funcs[fn]
-	if fc == nil {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	c.maybePurgeExpired(now)
+	fc, err := c.functionIndexes(fn)
+	if err != nil {
+		return 0, err
 	}
+	kis := fc.kis
 	if c.rep != nil && c.rep.Barred(req.App) {
-		c.stats.RejectedPuts++
+		c.ctr.rejectedPuts.Add(1)
 		return 0, fmt.Errorf("%w: %q", ErrAppBarred, req.App)
 	}
 
-	// Resolve one key per key type.
-	keys := make(map[string]vec.Vector, len(fc.keyTypes))
-	for _, name := range fc.order {
-		ki := fc.keyTypes[name]
-		if k, ok := req.Keys[name]; ok {
-			keys[name] = k
+	// Resolve one key per key type (parallel to kis; nil = skipped).
+	// Extractors are application code and run with no lock held. All
+	// keys are validated before any state — index, tuner, or entry
+	// table — is touched. The fixed-size buffer keeps the common case
+	// (a handful of key types) off the heap.
+	var keysBuf [4]vec.Vector
+	var keys []vec.Vector
+	if len(kis) > len(keysBuf) {
+		keys = make([]vec.Vector, len(kis))
+	} else {
+		keys = keysBuf[:len(kis)]
+	}
+	resolved := 0
+	for i, ki := range kis {
+		if k, ok := req.Keys[fc.order[i]]; ok {
+			if len(k) == 0 {
+				return 0, fmt.Errorf("%w: key type %q", ErrEmptyKey, fc.order[i])
+			}
+			keys[i] = k
+			resolved++
 			continue
 		}
 		if ki.spec.Extract != nil && req.Raw != nil {
 			k, err := ki.spec.Extract(req.Raw)
 			if err != nil {
-				return 0, fmt.Errorf("core: extracting %q key: %w", name, err)
+				return 0, fmt.Errorf("core: extracting %q key: %w", fc.order[i], err)
 			}
-			keys[name] = k
+			if len(k) == 0 {
+				return 0, fmt.Errorf("%w: key type %q (extracted)", ErrEmptyKey, fc.order[i])
+			}
+			keys[i] = k
+			resolved++
 		}
 	}
-	if len(keys) == 0 {
+	if resolved == 0 {
 		return 0, ErrNoKey
 	}
 
@@ -382,110 +647,160 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	}
 
 	// Feed Algorithm 1 per key index with the pre-insertion nearest
-	// neighbour, then insert.
-	c.nextID++
-	id := c.nextID
-	for name, key := range keys {
-		ki := fc.keyTypes[name]
-		if n, ok := ki.idx.Nearest(key); ok {
-			neighbor := c.entries[ID(n.ID)]
-			same := neighbor != nil && c.equal(neighbor.value, req.Value)
-			within := n.Dist <= ki.tuner.Threshold()
-			ki.tuner.ObservePut(n.Dist, same, true)
-			if c.rep != nil && neighbor != nil {
-				c.rep.Observe(neighbor.app, within, same)
-				if c.rep.Barred(neighbor.app) {
-					c.removeAppEntriesLocked(neighbor.app)
-				}
-			}
-		} else {
+	// neighbour. Tuner and reputation table synchronize themselves; the
+	// value comparison (user code) runs with no lock held.
+	for i, ki := range kis {
+		if keys[i] == nil {
+			continue
+		}
+		ki.mu.RLock()
+		n, ok := ki.idx.Nearest(keys[i])
+		ki.mu.RUnlock()
+		if !ok {
 			ki.tuner.ObservePut(0, false, false)
+			continue
+		}
+		neighbor := c.entryByID(ID(n.ID))
+		same := neighbor != nil && c.equal(neighbor.value, req.Value)
+		within := n.Dist <= ki.tuner.Threshold()
+		ki.tuner.ObservePut(n.Dist, same, true)
+		if c.rep != nil && neighbor != nil {
+			c.rep.Observe(neighbor.app, within, same)
+			if c.rep.Barred(neighbor.app) {
+				c.removeAppEntries(neighbor.app)
+			}
 		}
 	}
 
-	e := &Entry{
+	id := ID(c.nextID.Add(1))
+	owners := make([]*keyIndex, 0, resolved)
+	for i, ki := range kis {
+		if keys[i] != nil {
+			owners = append(owners, ki)
+		}
+	}
+	e := &entry{
 		id:         id,
 		value:      req.Value,
 		cost:       cost,
 		size:       size,
 		app:        req.App,
 		insertedAt: now,
-		lastAccess: now,
 		expiresAt:  now.Add(ttl),
-		// §3.3: "the access frequency is initialized to 1".
-		accessCount: 1,
+		owners:     owners,
 	}
-	c.entries[id] = e
-	c.bytes += int64(size)
+	// §3.3: "the access frequency is initialized to 1".
+	e.accessCount.Store(1)
+	e.lastAccess.Store(now.UnixNano())
+
+	// Insert into the key indices first and publish to the entry table
+	// after: a racing lookup that sees the index entry but not the entry
+	// record treats it as a miss, which is safe. The reverse order would
+	// let eviction unlink the entry while its index insertions are still
+	// in flight, leaking index nodes.
+	for i, ki := range kis {
+		if keys[i] == nil {
+			continue
+		}
+		ki.mu.Lock()
+		if err := ki.idx.Insert(index.ID(id), keys[i]); err == nil {
+			ki.members[id] = keys[i]
+		}
+		ki.mu.Unlock()
+	}
+	c.entries.store(e)
+	c.count.Add(1)
+	c.bytes.Add(int64(size))
+	c.admitMu.Lock()
 	heap.Push(&c.expiry, expiryItem{at: e.expiresAt, id: id})
-	for name, key := range keys {
-		ki := fc.keyTypes[name]
-		ki.idx.Insert(index.ID(id), key)
-		ki.members[id] = key
-		e.refs++
-	}
-	c.stats.Puts++
+	c.updateNextExpiryLocked()
 	c.evictLocked(now, id)
+	c.admitMu.Unlock()
+	c.ctr.puts.Add(1)
 	return id, nil
 }
 
-// selectHitLocked runs the threshold-restricted kNN query and picks the
-// hit entry. It returns the nearest-neighbour distance (-1 if the index
-// is empty) and ok=false on a miss. With LookupK > 1, within-threshold
-// neighbours vote by value equality and the largest group's closest
-// member wins (ties break toward the closer group).
-func (c *Cache) selectHitLocked(ki *keyIndex, key vec.Vector, threshold float64) (*Entry, vec.Vector, float64, bool) {
+// selectHit runs the threshold-restricted kNN query and picks the hit
+// entry. It returns the nearest-neighbour distance (-1 if the index is
+// empty) and ok=false on a miss. Entries past their expiration time are
+// treated as absent; sawExpired reports that at least one was
+// encountered so the caller can purge and retry. With LookupK > 1,
+// within-threshold neighbours vote by value equality and the largest
+// group's closest member wins (ties break toward the closer group).
+func (c *Cache) selectHit(ki *keyIndex, key vec.Vector, threshold float64, now time.Time) (_ *entry, _ vec.Vector, dist float64, ok, sawExpired bool) {
 	k := c.cfg.LookupK
 	if k <= 1 {
+		ki.mu.RLock()
 		n, ok := ki.idx.Nearest(key)
+		ki.mu.RUnlock()
 		if !ok {
-			return nil, nil, -1, false
+			return nil, nil, -1, false, false
 		}
 		if n.Dist > threshold {
-			return nil, nil, n.Dist, false
+			return nil, nil, n.Dist, false, false
 		}
-		e := c.entries[ID(n.ID)]
+		e := c.entryByID(ID(n.ID))
 		if e == nil {
-			// The index briefly referenced a freed entry; treat as a miss.
-			return nil, nil, n.Dist, false
+			// The index briefly referenced a freed (or not yet
+			// published) entry; treat as a miss.
+			return nil, nil, n.Dist, false, false
 		}
-		return e, n.Key, n.Dist, true
+		if !e.expiresAt.After(now) {
+			return nil, nil, n.Dist, false, true
+		}
+		return e, n.Key, n.Dist, true, false
 	}
+	ki.mu.RLock()
 	ns := ki.idx.KNearest(key, k)
+	ki.mu.RUnlock()
 	if len(ns) == 0 {
-		return nil, nil, -1, false
+		return nil, nil, -1, false, false
 	}
 	nearest := ns[0].Dist
-	// Group within-threshold candidates by value equality.
+	// Resolve within-threshold candidates (lock-free entry loads), then
+	// group by value equality — Equal is user code and runs unlocked.
+	type cand struct {
+		e    *entry
+		key  vec.Vector
+		dist float64
+	}
+	cands := make([]cand, 0, len(ns))
+	for _, n := range ns {
+		if n.Dist > threshold {
+			continue
+		}
+		if e := c.entries.load(ID(n.ID)); e != nil {
+			if !e.expiresAt.After(now) {
+				// An expired entry occupies a slot in the k-set and may
+				// displace live neighbours; have the caller purge+retry.
+				sawExpired = true
+				continue
+			}
+			cands = append(cands, cand{e, n.Key, n.Dist})
+		}
+	}
 	type group struct {
-		rep    *Entry
+		rep    *entry
 		repKey vec.Vector
 		dist   float64
 		votes  int
 	}
 	var groups []group
-	for _, n := range ns {
-		if n.Dist > threshold {
-			continue
-		}
-		e := c.entries[ID(n.ID)]
-		if e == nil {
-			continue
-		}
+	for _, cd := range cands {
 		placed := false
 		for gi := range groups {
-			if c.equal(groups[gi].rep.value, e.value) {
+			if c.equal(groups[gi].rep.value, cd.e.value) {
 				groups[gi].votes++
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			groups = append(groups, group{rep: e, repKey: n.Key, dist: n.Dist, votes: 1})
+			groups = append(groups, group{rep: cd.e, repKey: cd.key, dist: cd.dist, votes: 1})
 		}
 	}
 	if len(groups) == 0 {
-		return nil, nil, nearest, false
+		return nil, nil, nearest, false, sawExpired
 	}
 	best := 0
 	for gi := 1; gi < len(groups); gi++ {
@@ -494,140 +809,209 @@ func (c *Cache) selectHitLocked(ki *keyIndex, key vec.Vector, threshold float64)
 			best = gi
 		}
 	}
-	return groups[best].rep, groups[best].repKey, nearest, true
-}
-
-// keyIndexLocked resolves (fn, keyType) to its index.
-func (c *Cache) keyIndexLocked(fn, keyType string) (*keyIndex, error) {
-	fc := c.funcs[fn]
-	if fc == nil {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
-	}
-	ki := fc.keyTypes[keyType]
-	if ki == nil {
-		return nil, fmt.Errorf("%w: %q for function %q", ErrUnknownKeyType, keyType, fn)
-	}
-	return ki, nil
+	return groups[best].rep, groups[best].repKey, nearest, true, sawExpired
 }
 
 // evictLocked enforces the capacity bounds, excluding the just-inserted
 // entry (the paper replaces the victim WITH the new entry, §3.6).
+// Caller holds admitMu, which serializes evictions so two racing puts
+// cannot both evict for the same overflow.
 func (c *Cache) evictLocked(now time.Time, exclude ID) {
 	over := func() bool {
-		if c.cfg.MaxEntries > 0 && len(c.entries) > c.cfg.MaxEntries {
+		if c.cfg.MaxEntries > 0 && c.count.Load() > int64(c.cfg.MaxEntries) {
 			return true
 		}
-		return c.cfg.MaxBytes > 0 && c.bytes > c.cfg.MaxBytes
+		return c.cfg.MaxBytes > 0 && c.bytes.Load() > c.cfg.MaxBytes
 	}
 	for over() {
-		cands := make([]*Entry, 0, len(c.entries))
-		for id, e := range c.entries {
-			if id == exclude {
-				continue
+		cands := make([]*entry, 0, c.count.Load())
+		c.entries.forEach(func(e *entry) bool {
+			if e.id != exclude {
+				cands = append(cands, e)
 			}
-			cands = append(cands, e)
-		}
+			return true
+		})
 		if len(cands) == 0 {
 			return
 		}
+		c.rngMu.Lock()
 		victim := c.policy.Victim(cands, now, c.rng)
-		c.removeEntryLocked(victim)
-		c.stats.Evictions++
+		c.rngMu.Unlock()
+		if !c.removeEntryLocked(victim) {
+			return
+		}
+		c.ctr.evictions.Add(1)
 	}
 }
 
-// removeEntryLocked removes an entry from every index and frees its
-// value.
-func (c *Cache) removeEntryLocked(id ID) {
-	e := c.entries[id]
+// unlinkEntry detaches an already-claimed entry from its owner indices
+// and settles the accounting. The caller must have won the entry via
+// loadAndDelete, which makes the unlink exactly-once. Takes each
+// owner's index lock (after admitMu in the documented order, when the
+// caller holds it).
+func (c *Cache) unlinkEntry(e *entry) {
+	for _, ki := range e.owners {
+		ki.mu.Lock()
+		if _, ok := ki.members[e.id]; ok {
+			ki.idx.Remove(index.ID(e.id))
+			delete(ki.members, e.id)
+		}
+		ki.mu.Unlock()
+	}
+	c.bytes.Add(-int64(e.size))
+	c.count.Add(-1)
+}
+
+// removeEntryLocked removes a live entry whose expiry-heap item is
+// still queued: the item becomes stale and is reclaimed either by
+// compaction or when its deadline passes. Returns whether this caller
+// actually removed the entry. Caller holds admitMu.
+func (c *Cache) removeEntryLocked(id ID) bool {
+	e := c.entries.loadAndDelete(id)
 	if e == nil {
+		return false
+	}
+	c.unlinkEntry(e)
+	c.staleExpiry++
+	c.maybeCompactExpiryLocked()
+	return true
+}
+
+// expiryCompactMin keeps tiny heaps from being rebuilt on every
+// removal; compaction only kicks in past this many stale items.
+const expiryCompactMin = 8
+
+// maybeCompactExpiryLocked rebuilds the expiry heap from the live
+// entries once stale items outnumber them, bounding the heap at
+// O(live entries) regardless of eviction churn. Caller holds admitMu.
+func (c *Cache) maybeCompactExpiryLocked() {
+	live := int(c.count.Load())
+	if c.staleExpiry < expiryCompactMin || c.staleExpiry <= live {
 		return
 	}
-	for _, fc := range c.funcs {
-		for _, ki := range fc.keyTypes {
-			if _, ok := ki.members[id]; ok {
-				ki.idx.Remove(index.ID(id))
-				delete(ki.members, id)
-				e.refs--
-			}
-		}
-	}
-	c.bytes -= int64(e.size)
-	delete(c.entries, id)
+	h := make(expiryHeap, 0, live)
+	c.entries.forEach(func(e *entry) bool {
+		h = append(h, expiryItem{at: e.expiresAt, id: e.id})
+		return true
+	})
+	heap.Init(&h)
+	c.expiry = h
+	c.staleExpiry = 0
+	c.updateNextExpiryLocked()
 }
 
-// removeAppEntriesLocked purges every entry inserted by app (used when
-// the reputation system bars an application).
-func (c *Cache) removeAppEntriesLocked(app string) {
-	for id, e := range c.entries {
+// updateNextExpiryLocked republishes the heap head's deadline for the
+// lock-free expiry check. Caller holds admitMu.
+func (c *Cache) updateNextExpiryLocked() {
+	if len(c.expiry) == 0 {
+		c.nextExpiry.Store(math.MaxInt64)
+		return
+	}
+	c.nextExpiry.Store(c.expiry[0].at.UnixNano())
+}
+
+// removeAppEntries purges every entry inserted by app (used when the
+// reputation system bars an application).
+func (c *Cache) removeAppEntries(app string) {
+	var ids []ID
+	c.entries.forEach(func(e *entry) bool {
 		if e.app == app {
-			c.removeEntryLocked(id)
-			c.stats.Evictions++
+			ids = append(ids, e.id)
+		}
+		return true
+	})
+	c.admitMu.Lock()
+	defer c.admitMu.Unlock()
+	for _, id := range ids {
+		if c.removeEntryLocked(id) {
+			c.ctr.evictions.Add(1)
 		}
 	}
+}
+
+// maybePurgeExpired clears expired entries if any are pending. The
+// common nothing-expired case is a single atomic load. Called from
+// write paths (Put, snapshot capture) — lookups never purge and instead
+// filter expired entries at read time.
+func (c *Cache) maybePurgeExpired(now time.Time) {
+	if now.UnixNano() < c.nextExpiry.Load() {
+		return
+	}
+	c.admitMu.Lock()
+	c.purgeExpiredLocked(now)
+	c.admitMu.Unlock()
 }
 
 // purgeExpiredLocked clears all entries whose validity period has passed
 // (§3.6: the management thread "clears all (at the same time) expired
 // entries"). It is invoked lazily on every operation and explicitly by
-// the janitor.
-func (c *Cache) purgeExpiredLocked(now time.Time) {
+// the janitor. Caller holds admitMu. Returns the number of expirations.
+func (c *Cache) purgeExpiredLocked(now time.Time) int {
+	purged := 0
 	for len(c.expiry) > 0 && !c.expiry[0].at.After(now) {
 		item := heap.Pop(&c.expiry).(expiryItem)
-		e := c.entries[item.id]
-		if e == nil || e.expiresAt.After(now) {
-			continue // already removed, or TTL extended
+		e := c.entries.loadAndDelete(item.id)
+		if e == nil {
+			// Stale heap item: its entry was evicted or invalidated
+			// earlier. Popping it retires one stale slot.
+			if c.staleExpiry > 0 {
+				c.staleExpiry--
+			}
+			continue
 		}
-		c.removeEntryLocked(item.id)
-		c.stats.Expirations++
+		c.unlinkEntry(e)
+		c.ctr.expirations.Add(1)
+		purged++
 	}
+	c.updateNextExpiryLocked()
+	return purged
 }
 
 // PurgeExpired removes expired entries immediately and reports how many
 // were cleared.
 func (c *Cache) PurgeExpired() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	before := c.stats.Expirations
-	c.purgeExpiredLocked(c.clk.Now())
-	return int(c.stats.Expirations - before)
+	now := c.clk.Now()
+	c.admitMu.Lock()
+	defer c.admitMu.Unlock()
+	return c.purgeExpiredLocked(now)
 }
 
 // NextExpiry returns the earliest pending expiration time, used by the
 // janitor to schedule its wake-up ("sets the next wake-up time according
 // to the expiration time of the new head item", §4.2).
 func (c *Cache) NextExpiry() (time.Time, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.admitMu.Lock()
+	defer c.admitMu.Unlock()
 	for len(c.expiry) > 0 {
 		head := c.expiry[0]
-		if e := c.entries[head.id]; e != nil && e.expiresAt.Equal(head.at) {
+		if e := c.entries.load(head.id); e != nil {
 			return head.at, true
 		}
 		heap.Pop(&c.expiry) // stale
+		if c.staleExpiry > 0 {
+			c.staleExpiry--
+		}
 	}
+	c.updateNextExpiryLocked()
 	return time.Time{}, false
 }
 
 // Len returns the number of live entries.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *Cache) Len() int { return int(c.count.Load()) }
 
 // Bytes returns the total size of live entries.
-func (c *Cache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
+
+// expiryLen reports the expiry heap's current length (tests only).
+func (c *Cache) expiryLen() int {
+	c.admitMu.Lock()
+	defer c.admitMu.Unlock()
+	return len(c.expiry)
 }
 
 // TunerStats returns the threshold tuner's state for (fn, keyType).
 func (c *Cache) TunerStats(fn, keyType string) (TunerStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ki, err := c.keyIndexLocked(fn, keyType)
+	ki, err := c.keyIndexFor(fn, keyType)
 	if err != nil {
 		return TunerStats{}, err
 	}
@@ -637,9 +1021,7 @@ func (c *Cache) TunerStats(fn, keyType string) (TunerStats, error) {
 // ForceThreshold activates (fn, keyType)'s tuner at a fixed threshold,
 // used by experiments that sweep thresholds (Figure 9).
 func (c *Cache) ForceThreshold(fn, keyType string, threshold float64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ki, err := c.keyIndexLocked(fn, keyType)
+	ki, err := c.keyIndexFor(fn, keyType)
 	if err != nil {
 		return err
 	}
@@ -650,13 +1032,22 @@ func (c *Cache) ForceThreshold(fn, keyType string, threshold float64) error {
 // Reputation returns the reputation table, or nil when disabled.
 func (c *Cache) Reputation() *Reputation { return c.rep }
 
-// Stats returns a snapshot of cache counters.
+// Stats returns a snapshot of cache counters. Every field is read from
+// an atomic; Stats never blocks the data path.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	s.Bytes = c.bytes
+	s := Stats{
+		Hits:          c.ctr.hits.Load(),
+		Misses:        c.ctr.misses.Load(),
+		Dropouts:      c.ctr.dropouts.Load(),
+		Puts:          c.ctr.puts.Load(),
+		RejectedPuts:  c.ctr.rejectedPuts.Load(),
+		Evictions:     c.ctr.evictions.Load(),
+		Expirations:   c.ctr.expirations.Load(),
+		Invalidations: c.ctr.invalidations.Load(),
+		SavedCompute:  time.Duration(c.ctr.savedCompute.Load()),
+	}
+	s.Entries = int(c.count.Load())
+	s.Bytes = c.bytes.Load()
 	return s
 }
 

@@ -8,13 +8,18 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 )
 
-// Entry is one cached computation result. Fields are maintained by the
-// cache under its lock; the snapshot accessors are safe to use on copies
-// returned by the cache.
-type Entry struct {
+// entry is one live cached computation result. Identity fields (id,
+// value, cost, size, app, timestamps, owners) are immutable after the
+// entry is published to the cache's entry table; the hot counters
+// (accessCount, lastAccess) are atomics so lookup hits on the same
+// entry never contend on a lock. Membership state (which indices hold
+// the entry) lives in the per-key-index member maps, guarded by the
+// key-index locks.
+type entry struct {
 	id ID
 	// value is the cached computation result. The cache stores it once;
 	// indices hold references by id (§4.2: "the final 'values' stored
@@ -26,30 +31,78 @@ type Entry struct {
 	// size is the entry's footprint in bytes, the denominator of the
 	// importance metric.
 	size int
-	// accessCount is incremented by every lookup hit; it starts at 1 on
-	// put (§3.3: "access frequency is initialized to 1").
-	accessCount int64
-	insertedAt  time.Time
-	expiresAt   time.Time
-	lastAccess  time.Time
 	// app is the application that inserted the entry, used by the
 	// reputation system (§3.5 security discussion).
-	app string
-	// refs counts how many key indices currently reference this entry.
-	// When it reaches zero the value is freed (§3.7: "cleared via
-	// garbage collection when no indices have references to it").
-	refs int
+	app        string
+	insertedAt time.Time
+	expiresAt  time.Time
+	// owners lists the key indices that reference this entry, fixed at
+	// insertion time. Removal walks exactly these indices instead of
+	// scanning every registered function (§3.7: the value is "cleared
+	// via garbage collection when no indices have references to it" —
+	// here, when it has been unlinked from every owner).
+	owners []*keyIndex
+
+	// accessCount is incremented by every lookup hit; it starts at 1 on
+	// put (§3.3: "access frequency is initialized to 1").
+	accessCount atomic.Int64
+	// lastAccess is the UnixNano time of the most recent hit (or the
+	// insertion time), read by the LRU eviction policy.
+	lastAccess atomic.Int64
 }
 
 // ID identifies an entry. It matches index.ID numerically.
 type ID uint64
 
-// Importance is the paper's cache-entry usefulness metric:
+// importance is the paper's cache-entry usefulness metric:
 //
 //	importance = computation overhead × access frequency / entry size
 //
 // (§3.3). It determines eviction order only; lookups never consult it.
-func (e *Entry) Importance() float64 {
+func (e *entry) importance() float64 {
+	size := e.size
+	if size <= 0 {
+		size = 1
+	}
+	return e.cost.Seconds() * float64(e.accessCount.Load()) / float64(size)
+}
+
+// snapshot returns an immutable copy for safe external consumption.
+func (e *entry) snapshot() Entry {
+	return Entry{
+		id:          e.id,
+		value:       e.value,
+		cost:        e.cost,
+		size:        e.size,
+		app:         e.app,
+		insertedAt:  e.insertedAt,
+		expiresAt:   e.expiresAt,
+		accessCount: e.accessCount.Load(),
+		lastAccess:  time.Unix(0, e.lastAccess.Load()),
+	}
+}
+
+// Entry is a point-in-time snapshot of a cached entry, as returned in
+// LookupResult. It is a plain value: safe to copy and to read from any
+// goroutine.
+type Entry struct {
+	id          ID
+	value       any
+	cost        time.Duration
+	size        int
+	accessCount int64
+	insertedAt  time.Time
+	expiresAt   time.Time
+	lastAccess  time.Time
+	app         string
+}
+
+// Importance is the paper's cache-entry usefulness metric:
+//
+//	importance = computation overhead × access frequency / entry size
+//
+// (§3.3), evaluated at snapshot time.
+func (e Entry) Importance() float64 {
 	size := e.size
 	if size <= 0 {
 		size = 1
@@ -58,23 +111,20 @@ func (e *Entry) Importance() float64 {
 }
 
 // Value returns the cached result.
-func (e *Entry) Value() any { return e.value }
+func (e Entry) Value() any { return e.value }
 
 // Cost returns the computation overhead recorded for this entry.
-func (e *Entry) Cost() time.Duration { return e.cost }
+func (e Entry) Cost() time.Duration { return e.cost }
 
 // Size returns the entry's size in bytes.
-func (e *Entry) Size() int { return e.size }
+func (e Entry) Size() int { return e.size }
 
-// AccessCount returns the number of times the entry has been returned by
-// lookups, plus one for the initial put.
-func (e *Entry) AccessCount() int64 { return e.accessCount }
+// AccessCount returns the number of times the entry had been returned by
+// lookups at snapshot time, plus one for the initial put.
+func (e Entry) AccessCount() int64 { return e.accessCount }
 
 // App returns the name of the application that inserted the entry.
-func (e *Entry) App() string { return e.app }
+func (e Entry) App() string { return e.app }
 
 // ExpiresAt returns the entry's validity deadline.
-func (e *Entry) ExpiresAt() time.Time { return e.expiresAt }
-
-// snapshot returns a copy for safe external consumption.
-func (e *Entry) snapshot() Entry { return *e }
+func (e Entry) ExpiresAt() time.Time { return e.expiresAt }

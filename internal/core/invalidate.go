@@ -14,23 +14,29 @@ import (
 // rearranged room), it can clear the affected key region at once instead
 // of waiting for dropout-driven tightening to age the stale results out.
 // The removal is propagated to all of the function's indices, like
-// eviction.
+// eviction. Only entries actually removed are counted: an entry already
+// evicted by a racing operation is not double-counted.
 func (c *Cache) InvalidateRadius(fn, keyType string, key vec.Vector, r float64) (int, error) {
 	if r < 0 {
 		return 0, fmt.Errorf("core: negative invalidation radius %v", r)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ki, err := c.keyIndexLocked(fn, keyType)
+	ki, err := c.keyIndexFor(fn, keyType)
 	if err != nil {
 		return 0, err
 	}
+	ki.mu.RLock()
 	hits := index.Radius(ki.idx, key, r)
+	ki.mu.RUnlock()
+	removed := 0
+	c.admitMu.Lock()
 	for _, n := range hits {
-		c.removeEntryLocked(ID(n.ID))
+		if c.removeEntryLocked(ID(n.ID)) {
+			removed++
+		}
 	}
-	c.stats.Invalidations += int64(len(hits))
-	return len(hits), nil
+	c.admitMu.Unlock()
+	c.ctr.invalidations.Add(int64(removed))
+	return removed, nil
 }
 
 // InvalidateFunction drops every entry of a function across all its key
@@ -38,22 +44,30 @@ func (c *Cache) InvalidateRadius(fn, keyType string, key vec.Vector, r float64) 
 // response to "everything this function computed is now stale" (e.g. a
 // model update changed the function's semantics).
 func (c *Cache) InvalidateFunction(fn string) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fc := c.funcs[fn]
-	if fc == nil {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	fc, err := c.functionIndexes(fn)
+	if err != nil {
+		return 0, err
 	}
+	kis := fc.kis
 	ids := make(map[ID]struct{})
-	for _, ki := range fc.keyTypes {
+	for _, ki := range kis {
+		ki.mu.RLock()
 		for id := range ki.members {
 			ids[id] = struct{}{}
 		}
+		ki.mu.RUnlock()
+	}
+	removed := 0
+	c.admitMu.Lock()
+	for id := range ids {
+		if c.removeEntryLocked(id) {
+			removed++
+		}
+	}
+	c.admitMu.Unlock()
+	for _, ki := range kis {
 		ki.tuner.Reset()
 	}
-	for id := range ids {
-		c.removeEntryLocked(id)
-	}
-	c.stats.Invalidations += int64(len(ids))
-	return len(ids), nil
+	c.ctr.invalidations.Add(int64(removed))
+	return removed, nil
 }

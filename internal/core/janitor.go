@@ -10,8 +10,15 @@ import (
 // cache entries by their expiration times ... will be waken up when the
 // current head item in the queue reaches its expiration time" (§4.2).
 //
-// The cache also purges lazily on every operation, so the janitor is an
-// optimization for idle periods, not a correctness requirement.
+// The cache also purges lazily on every put, and lookups filter expired
+// entries at read time, so the janitor is an optimization that reclaims
+// memory during idle or read-only periods, not a correctness
+// requirement.
+//
+// NextExpiry and PurgeExpired take only the cache's admission/eviction
+// lock (never the function table), which lookups never touch: reads
+// filter expired entries lazily, and physical removal is left to puts
+// and this janitor.
 type Janitor struct {
 	cache *Cache
 	// Poll bounds how long the janitor sleeps when no expiry is pending.

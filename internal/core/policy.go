@@ -19,11 +19,15 @@ const (
 	PolicyFIFO       PolicyKind = "fifo"       // insertion order (extra baseline)
 )
 
-// A Policy selects the victim entry when the cache is full.
+// A Policy selects the victim entry when the cache is full. Victim is
+// always invoked under the cache's admission/eviction lock, so it sees
+// a stable candidate set; the per-entry access counters it reads are
+// atomics and may be concurrently bumped by lookups, which is harmless
+// for victim selection.
 type Policy interface {
 	// Victim returns the id of the entry to evict. entries is non-empty;
 	// implementations must return the id of one of its elements.
-	Victim(entries []*Entry, now time.Time, rng *rand.Rand) ID
+	Victim(entries []*entry, now time.Time, rng *rand.Rand) ID
 	// Name returns the policy's kind.
 	Name() PolicyKind
 }
@@ -47,11 +51,11 @@ func NewPolicy(kind PolicyKind) (Policy, error) {
 // (§3.6: "the least important entry will be evicted").
 type importancePolicy struct{}
 
-func (importancePolicy) Victim(entries []*Entry, _ time.Time, _ *rand.Rand) ID {
+func (importancePolicy) Victim(entries []*entry, _ time.Time, _ *rand.Rand) ID {
 	best := entries[0]
-	bestImp := best.Importance()
+	bestImp := best.importance()
 	for _, e := range entries[1:] {
-		if imp := e.Importance(); imp < bestImp || (imp == bestImp && e.id < best.id) {
+		if imp := e.importance(); imp < bestImp || (imp == bestImp && e.id < best.id) {
 			best, bestImp = e, imp
 		}
 	}
@@ -63,12 +67,13 @@ func (importancePolicy) Name() PolicyKind { return PolicyImportance }
 // lruPolicy evicts the least recently used entry.
 type lruPolicy struct{}
 
-func (lruPolicy) Victim(entries []*Entry, _ time.Time, _ *rand.Rand) ID {
+func (lruPolicy) Victim(entries []*entry, _ time.Time, _ *rand.Rand) ID {
 	best := entries[0]
+	bestLast := best.lastAccess.Load()
 	for _, e := range entries[1:] {
-		if e.lastAccess.Before(best.lastAccess) ||
-			(e.lastAccess.Equal(best.lastAccess) && e.id < best.id) {
-			best = e
+		if last := e.lastAccess.Load(); last < bestLast ||
+			(last == bestLast && e.id < best.id) {
+			best, bestLast = e, last
 		}
 	}
 	return best.id
@@ -79,7 +84,7 @@ func (lruPolicy) Name() PolicyKind { return PolicyLRU }
 // randomPolicy evicts a uniformly random entry.
 type randomPolicy struct{}
 
-func (randomPolicy) Victim(entries []*Entry, _ time.Time, rng *rand.Rand) ID {
+func (randomPolicy) Victim(entries []*entry, _ time.Time, rng *rand.Rand) ID {
 	return entries[rng.Intn(len(entries))].id
 }
 
@@ -88,7 +93,7 @@ func (randomPolicy) Name() PolicyKind { return PolicyRandom }
 // fifoPolicy evicts the oldest entry by insertion time.
 type fifoPolicy struct{}
 
-func (fifoPolicy) Victim(entries []*Entry, _ time.Time, _ *rand.Rand) ID {
+func (fifoPolicy) Victim(entries []*entry, _ time.Time, _ *rand.Rand) ID {
 	best := entries[0]
 	for _, e := range entries[1:] {
 		if e.insertedAt.Before(best.insertedAt) ||

@@ -7,11 +7,11 @@ import (
 	"time"
 )
 
-func mkEntry(id ID, cost time.Duration, accesses int64, size int, last, inserted time.Time) *Entry {
-	return &Entry{
-		id: id, cost: cost, accessCount: accesses, size: size,
-		lastAccess: last, insertedAt: inserted,
-	}
+func mkEntry(id ID, cost time.Duration, accesses int64, size int, last, inserted time.Time) *entry {
+	e := &entry{id: id, cost: cost, size: size, insertedAt: inserted}
+	e.accessCount.Store(accesses)
+	e.lastAccess.Store(last.UnixNano())
+	return e
 }
 
 func TestNewPolicy(t *testing.T) {
@@ -35,7 +35,7 @@ func TestNewPolicy(t *testing.T) {
 func TestImportanceVictim(t *testing.T) {
 	now := time.Unix(100, 0)
 	p, _ := NewPolicy(PolicyImportance)
-	entries := []*Entry{
+	entries := []*entry{
 		mkEntry(1, time.Second, 10, 10, now, now),      // imp = 1.0
 		mkEntry(2, time.Second, 1, 100, now, now),      // imp = 0.01 ← victim
 		mkEntry(3, 10*time.Second, 100, 10, now, now),  // imp = 100
@@ -50,7 +50,7 @@ func TestImportanceVictim(t *testing.T) {
 func TestImportanceTieBreaksByID(t *testing.T) {
 	now := time.Unix(0, 0)
 	p, _ := NewPolicy(PolicyImportance)
-	entries := []*Entry{
+	entries := []*entry{
 		mkEntry(7, time.Second, 1, 10, now, now),
 		mkEntry(3, time.Second, 1, 10, now, now),
 	}
@@ -62,7 +62,7 @@ func TestImportanceTieBreaksByID(t *testing.T) {
 func TestLRUVictim(t *testing.T) {
 	base := time.Unix(100, 0)
 	p, _ := NewPolicy(PolicyLRU)
-	entries := []*Entry{
+	entries := []*entry{
 		mkEntry(1, time.Second, 1, 1, base.Add(3*time.Second), base),
 		mkEntry(2, time.Second, 1, 1, base.Add(1*time.Second), base), // ← victim
 		mkEntry(3, time.Second, 1, 1, base.Add(2*time.Second), base),
@@ -75,7 +75,7 @@ func TestLRUVictim(t *testing.T) {
 func TestFIFOVictim(t *testing.T) {
 	base := time.Unix(100, 0)
 	p, _ := NewPolicy(PolicyFIFO)
-	entries := []*Entry{
+	entries := []*entry{
 		mkEntry(1, time.Second, 1, 1, base, base.Add(2*time.Second)),
 		mkEntry(2, time.Second, 1, 1, base, base.Add(1*time.Second)), // ← victim
 	}
@@ -88,7 +88,7 @@ func TestRandomVictimIsMember(t *testing.T) {
 	now := time.Unix(0, 0)
 	p, _ := NewPolicy(PolicyRandom)
 	rng := rand.New(rand.NewSource(1))
-	entries := []*Entry{
+	entries := []*entry{
 		mkEntry(10, time.Second, 1, 1, now, now),
 		mkEntry(20, time.Second, 1, 1, now, now),
 		mkEntry(30, time.Second, 1, 1, now, now),
@@ -114,7 +114,7 @@ func TestImportanceVictimMinimalProperty(t *testing.T) {
 		if len(costs) == 0 {
 			return true
 		}
-		entries := make([]*Entry, len(costs))
+		entries := make([]*entry, len(costs))
 		for i := range costs {
 			acc := int64(1)
 			if i < len(accesses) {
@@ -126,11 +126,11 @@ func TestImportanceVictimMinimalProperty(t *testing.T) {
 		var vImp float64
 		for _, e := range entries {
 			if e.id == victim {
-				vImp = e.Importance()
+				vImp = e.importance()
 			}
 		}
 		for _, e := range entries {
-			if e.Importance() < vImp {
+			if e.importance() < vImp {
 				return false
 			}
 		}
@@ -143,7 +143,7 @@ func TestImportanceVictimMinimalProperty(t *testing.T) {
 
 func TestEntryImportanceZeroSize(t *testing.T) {
 	e := mkEntry(1, time.Second, 2, 0, time.Time{}, time.Time{})
-	if got := e.Importance(); got != 2 {
+	if got := e.snapshot().Importance(); got != 2 {
 		t.Errorf("Importance with size 0 = %v, want cost*freq/1 = 2", got)
 	}
 }

@@ -21,43 +21,15 @@ type Refiner func(cachedValue any, cachedKey, queryKey vec.Vector) any
 // exact input. The cache entry itself is not modified; refinement output
 // is per-lookup.
 func (c *Cache) LookupRefined(fn, keyType string, key vec.Vector, refine Refiner) (LookupResult, error) {
-	c.mu.Lock()
-	now := c.clk.Now()
-	c.purgeExpiredLocked(now)
-	ki, err := c.keyIndexLocked(fn, keyType)
-	if err != nil {
-		c.mu.Unlock()
-		return LookupResult{}, err
+	res, hitKey, err := c.lookup(fn, keyType, key)
+	if err != nil || !res.Hit {
+		return res, err
 	}
-	res := LookupResult{Distance: -1, Threshold: ki.tuner.Threshold(), MissedAt: now}
-	if c.cfg.DropoutRate > 0 && c.rng.Float64() < c.cfg.DropoutRate {
-		c.stats.Dropouts++
-		c.stats.Misses++
-		res.Dropout = true
-		c.mu.Unlock()
-		return res, nil
-	}
-	e, hitKey, dist, ok := c.selectHitLocked(ki, key, res.Threshold)
-	res.Distance = dist
-	if !ok {
-		c.stats.Misses++
-		c.mu.Unlock()
-		return res, nil
-	}
-	e.accessCount++
-	e.lastAccess = now
-	c.stats.Hits++
-	c.stats.SavedCompute += e.cost
-	res.Hit = true
-	res.Value = e.value
-	res.Entry = e.snapshot()
-	cachedKey := hitKey.Clone()
-	c.mu.Unlock()
-
-	// Refinement runs outside the lock: it may be arbitrarily expensive
+	// Refinement runs with no lock held: it may be arbitrarily expensive
 	// application logic (warping an image, adjusting coordinates, ...).
+	// The hit key is cloned so the refiner cannot alias index memory.
 	if refine != nil {
-		res.Value = refine(res.Value, cachedKey, key)
+		res.Value = refine(res.Value, hitKey.Clone(), key)
 	}
 	return res, nil
 }

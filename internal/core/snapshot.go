@@ -82,15 +82,20 @@ func serializableValue(v any) bool {
 	return false
 }
 
-// WriteSnapshot serializes the cache state to w.
+// WriteSnapshot serializes the cache state to w. It captures a
+// consistent view by holding the function-table and admission read
+// locks (plus each key index's read lock while walking its members),
+// following the documented lock order; concurrent lookups proceed,
+// writes wait.
 func (c *Cache) WriteSnapshot(w io.Writer) (SnapshotStats, error) {
-	c.mu.Lock()
 	now := c.clk.Now()
-	c.purgeExpiredLocked(now)
+	c.maybePurgeExpired(now)
 	file := snapFile{Version: 1, Now: now.UnixNano()}
+
+	c.funcsMu.RLock()
 	// entryKeys[id][keyType] for each function the entry belongs to.
-	entryFuncs := make(map[ID]string, len(c.entries))
-	entryKeys := make(map[ID]map[string]vec.Vector, len(c.entries))
+	entryFuncs := make(map[ID]string)
+	entryKeys := make(map[ID]map[string]vec.Vector)
 	for fnName, fc := range c.funcs {
 		sf := snapFunction{Name: fnName}
 		for _, ktName := range fc.order {
@@ -104,6 +109,7 @@ func (c *Cache) WriteSnapshot(w io.Writer) (SnapshotStats, error) {
 				Threshold: ts.Threshold,
 				Active:    ts.Active,
 			})
+			ki.mu.RLock()
 			for id, key := range ki.members {
 				entryFuncs[id] = fnName
 				if entryKeys[id] == nil {
@@ -111,29 +117,32 @@ func (c *Cache) WriteSnapshot(w io.Writer) (SnapshotStats, error) {
 				}
 				entryKeys[id][ktName] = key
 			}
+			ki.mu.RUnlock()
 		}
 		file.Functions = append(file.Functions, sf)
 	}
 	var stats SnapshotStats
 	stats.Functions = len(file.Functions)
-	for id, e := range c.entries {
+	c.entries.forEach(func(e *entry) bool {
 		if !serializableValue(e.value) {
 			stats.Skipped++
-			continue
+			return true
 		}
 		file.Entries = append(file.Entries, snapEntry{
-			Function:    entryFuncs[id],
-			Keys:        entryKeys[id],
+			Function:    entryFuncs[e.id],
+			Keys:        entryKeys[e.id],
 			Value:       e.value,
 			CostNanos:   int64(e.cost),
 			Size:        e.size,
-			AccessCount: e.accessCount,
+			AccessCount: e.accessCount.Load(),
 			ExpiresAt:   e.expiresAt.UnixNano(),
 			App:         e.app,
 		})
 		stats.Entries++
-	}
-	c.mu.Unlock()
+		return true
+	})
+	c.funcsMu.RUnlock()
+
 	if err := gob.NewEncoder(w).Encode(&file); err != nil {
 		return stats, fmt.Errorf("core: encoding snapshot: %w", err)
 	}
@@ -144,6 +153,8 @@ func (c *Cache) WriteSnapshot(w io.Writer) (SnapshotStats, error) {
 // key types are registered (with named built-in metrics and no
 // extractors), tuner thresholds restored, and unexpired entries
 // re-inserted with their recorded cost, access count, and remaining TTL.
+// Entries are adopted one at a time with the same insert-then-publish
+// ordering as Put, so a restore can overlap live traffic.
 func (c *Cache) ReadSnapshot(r io.Reader) (SnapshotStats, error) {
 	var file snapFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
@@ -180,8 +191,6 @@ func (c *Cache) ReadSnapshot(r io.Reader) (SnapshotStats, error) {
 		stats.Functions++
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.clk.Now()
 	snapNow := time.Unix(0, file.Now)
 	for _, se := range file.Entries {
@@ -190,44 +199,64 @@ func (c *Cache) ReadSnapshot(r io.Reader) (SnapshotStats, error) {
 			stats.Skipped++
 			continue
 		}
+		c.funcsMu.RLock()
 		fc := c.funcs[se.Function]
+		var names []string
+		var kis []*keyIndex
+		if fc != nil {
+			for ktName := range se.Keys {
+				if ki := fc.keyTypes[ktName]; ki != nil {
+					names = append(names, ktName)
+					kis = append(kis, ki)
+				}
+			}
+		}
+		c.funcsMu.RUnlock()
 		if fc == nil {
 			stats.Skipped++
 			continue
 		}
-		c.nextID++
-		id := c.nextID
-		e := &Entry{
-			id:          id,
-			value:       se.Value,
-			cost:        time.Duration(se.CostNanos),
-			size:        se.Size,
-			accessCount: se.AccessCount,
-			app:         se.App,
-			insertedAt:  now,
-			lastAccess:  now,
-			expiresAt:   now.Add(remaining),
+		id := ID(c.nextID.Add(1))
+		e := &entry{
+			id:         id,
+			value:      se.Value,
+			cost:       time.Duration(se.CostNanos),
+			size:       se.Size,
+			app:        se.App,
+			insertedAt: now,
+			expiresAt:  now.Add(remaining),
 		}
+		e.accessCount.Store(se.AccessCount)
+		e.lastAccess.Store(now.UnixNano())
 		inserted := false
-		for ktName, key := range se.Keys {
-			ki := fc.keyTypes[ktName]
-			if ki == nil {
+		for i, ki := range kis {
+			key := se.Keys[names[i]]
+			if len(key) == 0 {
 				continue
 			}
-			ki.idx.Insert(index.ID(id), key)
-			ki.members[id] = key
-			e.refs++
-			inserted = true
+			ki.mu.Lock()
+			if err := ki.idx.Insert(index.ID(id), key); err == nil {
+				ki.members[id] = key
+				e.owners = append(e.owners, ki)
+				inserted = true
+			}
+			ki.mu.Unlock()
 		}
 		if !inserted {
 			stats.Skipped++
 			continue
 		}
-		c.entries[id] = e
-		c.bytes += int64(e.size)
+		c.entries.store(e)
+		c.count.Add(1)
+		c.bytes.Add(int64(e.size))
+		c.admitMu.Lock()
 		heap.Push(&c.expiry, expiryItem{at: e.expiresAt, id: id})
+		c.updateNextExpiryLocked()
+		c.admitMu.Unlock()
 		stats.Entries++
 	}
+	c.admitMu.Lock()
 	c.evictLocked(now, 0)
+	c.admitMu.Unlock()
 	return stats, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -13,10 +14,13 @@ import (
 
 // TestConcurrentChaos hammers one cache from many goroutines mixing
 // every public operation — lookups, puts, invalidations, snapshots,
-// stats, purges — under capacity pressure and TTL churn. It asserts
-// only invariants (no panics, no negative accounting, byte/entry
-// consistency); run with -race for the full value.
+// registrations, stats, purges — under capacity pressure and TTL churn.
+// It asserts only invariants (no panics, no negative accounting,
+// byte/entry consistency); run with -race for the full value.
 func TestConcurrentChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped with -short")
+	}
 	clk := clock.NewVirtual(time.Unix(0, 0))
 	c := New(Config{
 		Clock:       clk,
@@ -53,6 +57,17 @@ func TestConcurrentChaos(t *testing.T) {
 				case 3:
 					c.Stats()
 					c.PurgeExpired()
+					// Concurrent registration: a fresh side function
+					// (copy-on-write of the table) and a re-registration
+					// of "f" adding nothing but resetting its tuners.
+					if err := c.RegisterFunction(fmt.Sprintf("side-%d", g), KeyTypeSpec{Name: "a", Dim: 2}); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := c.RegisterFunction("f", KeyTypeSpec{Name: "a", Dim: 2}); err != nil {
+						t.Error(err)
+						return
+					}
 				case 4, 5, 6:
 					if _, err := c.Lookup("f", "a", key); err != nil {
 						t.Error(err)

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // TunerConfig parameterizes the NN-based threshold tuning algorithm
@@ -43,10 +45,18 @@ func (c TunerConfig) withDefaults() TunerConfig {
 // is tightened aggressively (θ/K) when a neighbour within the threshold
 // turns out to have a different value — a condition surfaced by the
 // random-dropout mechanism (§3.4).
+//
+// The tuner's own mutex is its sole synchronization: it is a leaf in
+// the cache's lock hierarchy, always called with no cache lock held, so
+// tuner updates never serialize lookups or puts on other key types.
+// The current threshold is additionally mirrored in an atomic so that
+// Threshold() — called on every cache lookup — is a single atomic load
+// rather than a lock acquisition.
 type Tuner struct {
 	mu        sync.Mutex
 	cfg       TunerConfig
-	threshold float64
+	threshold float64       // guarded by mu (read-modify-write)
+	thr       atomic.Uint64 // Float64bits mirror of threshold, for lock-free reads
 	puts      int
 	active    bool
 	// warmupSame and warmupDiff record the NN distances seen during
@@ -67,11 +77,16 @@ func NewTuner(cfg TunerConfig) *Tuner {
 }
 
 // Threshold returns the current similarity threshold. It is zero until
-// warm-up completes.
+// warm-up completes. Lock-free: safe to call from any lookup.
 func (t *Tuner) Threshold() float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.threshold
+	return math.Float64frombits(t.thr.Load())
+}
+
+// setThresholdLocked updates the threshold and its atomic mirror;
+// caller holds t.mu.
+func (t *Tuner) setThresholdLocked(v float64) {
+	t.threshold = v
+	t.thr.Store(math.Float64bits(v))
 }
 
 // Active reports whether warm-up has completed.
@@ -86,7 +101,7 @@ func (t *Tuner) Active() bool {
 func (t *Tuner) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.threshold = 0
+	t.setThresholdLocked(0)
 	t.puts = 0
 	t.active = false
 	t.warmupSame = nil
@@ -124,11 +139,11 @@ func (t *Tuner) ObservePut(dist float64, sameValue, haveNeighbor bool) {
 	switch {
 	case dist <= t.threshold && !sameValue:
 		// Line 7-8: threshold too loose; tighten aggressively.
-		t.threshold /= t.cfg.K
+		t.setThresholdLocked(t.threshold / t.cfg.K)
 		t.tightenings++
 	case dist > t.threshold && sameValue:
 		// Line 9-10: threshold too tight; loosen with an EWMA.
-		t.threshold = (1-t.cfg.Gamma)*dist + t.cfg.Gamma*t.threshold
+		t.setThresholdLocked((1-t.cfg.Gamma)*dist + t.cfg.Gamma*t.threshold)
 		t.loosenings++
 	}
 }
@@ -137,7 +152,7 @@ func (t *Tuner) ObservePut(dist float64, sameValue, haveNeighbor bool) {
 // observations via WarmupThreshold and discards the recorded samples.
 func (t *Tuner) activateLocked() {
 	t.active = true
-	t.threshold = WarmupThreshold(t.warmupSame, t.warmupDiff)
+	t.setThresholdLocked(WarmupThreshold(t.warmupSame, t.warmupDiff))
 	t.warmupSame = nil
 	t.warmupDiff = nil
 }
@@ -186,7 +201,7 @@ func (t *Tuner) ForceActivate(threshold float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.active = true
-	t.threshold = threshold
+	t.setThresholdLocked(threshold)
 }
 
 // Stats reports counters for observability and experiment output.

@@ -1,0 +1,35 @@
+package index
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestInsertRejectsEmptyKey: every index kind must refuse a
+// zero-dimension key with the typed sentinel. The KD-tree used to crash
+// on it (split-axis selection divides by the key length); the other
+// kinds silently indexed an unmatchable vector.
+func TestInsertRejectsEmptyKey(t *testing.T) {
+	for _, kind := range []Kind{KindLinear, KindKDTree, KindLSH, KindTreeMap, KindHash} {
+		t.Run(string(kind), func(t *testing.T) {
+			idx, err := New(kind, vec.EuclideanMetric{}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Insert(1, vec.Vector{}); !errors.Is(err, ErrEmptyKey) {
+				t.Errorf("Insert(empty) = %v, want ErrEmptyKey", err)
+			}
+			if got := idx.Len(); got != 0 {
+				t.Errorf("Len = %d after rejected insert, want 0", got)
+			}
+			if err := idx.Insert(1, vec.Vector{1, 2}); err != nil {
+				t.Errorf("Insert(valid) = %v", err)
+			}
+			if got := idx.Len(); got != 1 {
+				t.Errorf("Len = %d after valid insert, want 1", got)
+			}
+		})
+	}
+}

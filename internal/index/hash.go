@@ -45,7 +45,10 @@ func signature(key vec.Vector) string {
 }
 
 // Insert implements Index.
-func (h *Hash) Insert(id ID, key vec.Vector) {
+func (h *Hash) Insert(id ID, key vec.Vector) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
 	if _, ok := h.keys[id]; ok {
 		h.Remove(id)
 	}
@@ -54,6 +57,7 @@ func (h *Hash) Insert(id ID, key vec.Vector) {
 	h.keys[id] = key
 	h.sig[id] = s
 	h.buckets[s] = append(h.buckets[s], id)
+	return nil
 }
 
 // Remove implements Index.

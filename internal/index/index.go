@@ -7,10 +7,17 @@
 package index
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/vec"
 )
+
+// ErrEmptyKey is returned by Insert when the key vector has zero
+// dimensions. Zero-dimension keys cannot be indexed — a KD-tree, for
+// instance, has no axis to split on — so all implementations reject
+// them up front instead of corrupting their structure or panicking.
+var ErrEmptyKey = errors.New("index: empty key vector")
 
 // ID identifies a cache entry within an index. IDs are assigned by the
 // cache core and are stable for the lifetime of the entry.
@@ -25,11 +32,12 @@ type Neighbor struct {
 
 // Index stores (ID, key-vector) pairs and answers nearest-neighbour
 // queries under the index's metric. Implementations are NOT safe for
-// concurrent use; the cache core serializes access.
+// concurrent use; the cache core guards each index with a per-key-type
+// RWMutex (reads under RLock, mutations under Lock).
 type Index interface {
 	// Insert adds a key under id. Inserting an existing id replaces its
-	// key.
-	Insert(id ID, key vec.Vector)
+	// key. Empty keys are rejected with ErrEmptyKey.
+	Insert(id ID, key vec.Vector) error
 	// Remove deletes the entry with the given id. Removing an absent id
 	// is a no-op.
 	Remove(id ID)

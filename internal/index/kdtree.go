@@ -19,6 +19,7 @@ import (
 type KDTree struct {
 	metric   vec.Metric
 	prunable bool
+	euclid   bool // metric is Euclidean: Nearest searches in squared space
 	root     *kdNode
 	size     int // live entries
 	dead     int // tombstoned entries
@@ -35,16 +36,23 @@ type kdNode struct {
 
 // NewKDTree returns an empty KD-tree using metric m.
 func NewKDTree(m vec.Metric) *KDTree {
-	var prunable bool
+	var prunable, euclid bool
 	switch m.(type) {
-	case vec.EuclideanMetric, vec.ManhattanMetric, vec.ChebyshevMetric:
+	case vec.EuclideanMetric:
+		prunable, euclid = true, true
+	case vec.ManhattanMetric, vec.ChebyshevMetric:
 		prunable = true
 	}
-	return &KDTree{metric: m, prunable: prunable, byID: make(map[ID]*kdNode)}
+	return &KDTree{metric: m, prunable: prunable, euclid: euclid, byID: make(map[ID]*kdNode)}
 }
 
-// Insert implements Index.
-func (t *KDTree) Insert(id ID, key vec.Vector) {
+// Insert implements Index. Empty keys are rejected: the descent below
+// picks the next split axis as (axis+1) mod len(key), which would
+// divide by zero for a zero-dimension key.
+func (t *KDTree) Insert(id ID, key vec.Vector) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
 	if old, ok := t.byID[id]; ok && !old.deleted {
 		old.deleted = true
 		t.dead++
@@ -56,7 +64,7 @@ func (t *KDTree) Insert(id ID, key vec.Vector) {
 	t.size++
 	if t.root == nil {
 		t.root = n
-		return
+		return nil
 	}
 	cur := t.root
 	for {
@@ -64,13 +72,13 @@ func (t *KDTree) Insert(id ID, key vec.Vector) {
 		if axisLess(key, cur.key, cur.axis) {
 			if cur.left == nil {
 				cur.left = n
-				return
+				return nil
 			}
 			cur = cur.left
 		} else {
 			if cur.right == nil {
 				cur.right = n
-				return
+				return nil
 			}
 			cur = cur.right
 		}
@@ -171,13 +179,79 @@ func partition(nodes []*kdNode, lo, hi, axis int) int {
 	return i
 }
 
-// Nearest implements Index.
+// Nearest implements Index. It is a dedicated allocation-free search:
+// Nearest runs on every cache lookup AND every put (the tuner's
+// pre-insert neighbour probe), and going through KNearest(1) would
+// allocate a candidate heap and result slice per call — enough garbage
+// at high concurrency that GC mark assists, a global bottleneck,
+// dominate the runtime.
 func (t *KDTree) Nearest(key vec.Vector) (Neighbor, bool) {
-	res := t.KNearest(key, 1)
-	if len(res) == 0 {
+	if t.size == 0 {
 		return Neighbor{}, false
 	}
-	return res[0], true
+	best := Neighbor{Dist: math.Inf(1)}
+	if t.euclid {
+		// For the default Euclidean metric, search in squared-distance
+		// space: ordering is preserved (sqrt is monotone), so the same
+		// node wins, but the square root is taken once at the end
+		// instead of at every visited node, and the concrete distance
+		// routine is called directly instead of through the Metric
+		// interface.
+		t.nearestSq(t.root, key, &best)
+		best.Dist = math.Sqrt(best.Dist)
+	} else {
+		t.nearest1(t.root, key, &best)
+	}
+	return best, true
+}
+
+// nearestSq is nearest1 specialized to squared Euclidean distance;
+// best.Dist holds the squared distance during the descent.
+func (t *KDTree) nearestSq(n *kdNode, key vec.Vector, best *Neighbor) {
+	if n == nil {
+		return
+	}
+	if !n.deleted {
+		d := vec.SquaredEuclidean(key, n.key)
+		if d < best.Dist || (d == best.Dist && n.id < best.ID) {
+			*best = Neighbor{ID: n.id, Key: n.key, Dist: d}
+		}
+	}
+	first, second := n.left, n.right
+	if !axisLess(key, n.key, n.axis) {
+		first, second = n.right, n.left
+	}
+	t.nearestSq(first, key, best)
+	if second != nil {
+		ax := axisAbsDiff(key, n.key, n.axis)
+		if ax*ax <= best.Dist {
+			t.nearestSq(second, key, best)
+		}
+	}
+}
+
+// nearest1 tracks the single best candidate in place, mirroring
+// search()'s traversal order, pruning, and min-ID tie-break.
+func (t *KDTree) nearest1(n *kdNode, key vec.Vector, best *Neighbor) {
+	if n == nil {
+		return
+	}
+	if !n.deleted {
+		d := t.metric.Distance(key, n.key)
+		if d < best.Dist || (d == best.Dist && n.id < best.ID) {
+			*best = Neighbor{ID: n.id, Key: n.key, Dist: d}
+		}
+	}
+	first, second := n.left, n.right
+	if !axisLess(key, n.key, n.axis) {
+		first, second = n.right, n.left
+	}
+	t.nearest1(first, key, best)
+	if second != nil {
+		if !t.prunable || axisAbsDiff(key, n.key, n.axis) <= best.Dist {
+			t.nearest1(second, key, best)
+		}
+	}
 }
 
 // KNearest implements Index.

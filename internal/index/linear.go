@@ -20,7 +20,13 @@ func NewLinear(m vec.Metric) *Linear {
 }
 
 // Insert implements Index.
-func (l *Linear) Insert(id ID, key vec.Vector) { l.keys[id] = key.Clone() }
+func (l *Linear) Insert(id ID, key vec.Vector) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	l.keys[id] = key.Clone()
+	return nil
+}
 
 // Remove implements Index.
 func (l *Linear) Remove(id ID) { delete(l.keys, id) }

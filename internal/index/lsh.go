@@ -116,7 +116,10 @@ func (l *LSH) bucketKey(table int, key vec.Vector) string {
 }
 
 // Insert implements Index.
-func (l *LSH) Insert(id ID, key vec.Vector) {
+func (l *LSH) Insert(id ID, key vec.Vector) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
 	if _, ok := l.keys[id]; ok {
 		l.Remove(id)
 	}
@@ -132,6 +135,7 @@ func (l *LSH) Insert(id ID, key vec.Vector) {
 		l.tables[t][bk] = append(l.tables[t][bk], id)
 	}
 	l.buckets[id] = bks
+	return nil
 }
 
 // Remove implements Index.

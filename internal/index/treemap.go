@@ -155,7 +155,10 @@ func remove(root *avlNode, id ID, key vec.Vector) *avlNode {
 }
 
 // Insert implements Index.
-func (t *TreeMap) Insert(id ID, key vec.Vector) {
+func (t *TreeMap) Insert(id ID, key vec.Vector) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
 	if old, ok := t.byID[id]; ok {
 		t.root = remove(t.root, id, old)
 		t.size--
@@ -164,6 +167,7 @@ func (t *TreeMap) Insert(id ID, key vec.Vector) {
 	t.byID[id] = key
 	t.root = insert(t.root, &avlNode{id: id, key: key})
 	t.size++
+	return nil
 }
 
 // Remove implements Index.

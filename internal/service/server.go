@@ -59,9 +59,17 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		core.NewJanitor(s.cache).Run(jctx)
 	}()
 
+	// The watcher must exit when Serve returns for any reason (Close,
+	// accept error), not only on ctx cancellation — a bare <-ctx.Done()
+	// would leak one goroutine per Serve call under a long-lived ctx.
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		<-ctx.Done()
-		l.Close()
+		select {
+		case <-ctx.Done():
+			l.Close()
+		case <-done:
+		}
 	}()
 
 	for {

@@ -50,15 +50,17 @@ func (s *SpillStore) Put(value []byte) (uint64, error) {
 		s.mu.Unlock()
 		return id, nil
 	}
-	path := filepath.Join(s.dir, fmt.Sprintf("entry-%d.bin", id))
-	s.onDisk[id] = path
 	s.mu.Unlock()
+	// Write the file before publishing its path: a concurrent Get that
+	// saw the handle early would read a missing or partially written
+	// file. The id is already reserved, so racing Puts cannot collide.
+	path := filepath.Join(s.dir, fmt.Sprintf("entry-%d.bin", id))
 	if err := os.WriteFile(path, value, 0o644); err != nil {
-		s.mu.Lock()
-		delete(s.onDisk, id)
-		s.mu.Unlock()
 		return 0, fmt.Errorf("service: spill write: %w", err)
 	}
+	s.mu.Lock()
+	s.onDisk[id] = path
+	s.mu.Unlock()
 	return id, nil
 }
 

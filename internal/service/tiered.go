@@ -58,16 +58,16 @@ func (t *Tiered) Lookup(function, keyType string, key vec.Vector) (TieredResult,
 		return TieredResult{MissedAt: res.MissedAt}, err
 	}
 	// Adopt the peer's result locally (§2.4: dedup works as long as the
-	// previous results are still cached — now across devices).
-	_, err = t.Local.Put(function, core.PutRequest{
+	// previous results are still cached — now across devices). Adoption
+	// is an optimization: if the local put is refused (the app is
+	// barred, say), the remote hit is still a valid answer — failing
+	// the whole lookup would turn a success into an outage.
+	t.Local.Put(function, core.PutRequest{
 		Keys:  map[string]vec.Vector{keyType: key},
 		Value: rres.Value,
 		TTL:   t.AdoptTTL,
 		App:   "remote-adopt",
 	})
-	if err != nil {
-		return TieredResult{}, err
-	}
 	return TieredResult{Hit: true, RemoteHit: true, Value: rres.Value, MissedAt: res.MissedAt}, nil
 }
 

@@ -176,6 +176,21 @@ func (EuclideanMetric) Distance(a, b Vector) float64 {
 // Name implements Metric.
 func (EuclideanMetric) Name() string { return "euclidean" }
 
+// SquaredEuclidean is the squared L2 distance (no square root), for hot
+// paths that only need distance ordering; like Distance it returns +Inf
+// on dimension mismatch.
+func SquaredEuclidean(a, b Vector) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
 // ManhattanMetric is the L1 distance.
 type ManhattanMetric struct{}
 
