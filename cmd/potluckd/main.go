@@ -9,6 +9,8 @@
 //	potluckd [-network unix|tcp] [-addr /run/potluck.sock]
 //	         [-max-entries N] [-max-bytes N] [-ttl 1h]
 //	         [-dropout 0.1] [-policy importance|lru|random|fifo]
+//	         [-max-conns N] [-max-handlers N] [-idle-timeout 2m]
+//	         [-read-timeout 10s] [-write-timeout 10s] [-drain-timeout 5s]
 package main
 
 import (
@@ -39,6 +41,13 @@ func main() {
 		gamma      = flag.Float64("gamma", 0.8, "threshold loosening EWMA weight (γ)")
 		reputation = flag.Bool("reputation", false, "enable the cache-pollution reputation defence")
 		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at boot if present, written at shutdown")
+
+		maxConns     = flag.Int("max-conns", 0, "connection cap (0 = default 1024, -1 = unlimited)")
+		maxHandlers  = flag.Int("max-handlers", 0, "concurrent request handler cap, the AppListener threadpool width (0 = default 256, -1 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "per-connection idle/next-request deadline (0 = default 2m, -1ns = none)")
+		readTimeout  = flag.Duration("read-timeout", 0, "per-request body read deadline (0 = default 10s, -1ns = none)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-reply write deadline (0 = default 10s, -1ns = none)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "graceful-shutdown drain budget for in-flight requests (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -78,16 +87,25 @@ func main() {
 			}
 		}
 	}
-	srv := service.NewServer(cache)
+	srv := service.NewServerConfig(cache, service.ServerConfig{
+		IdleTimeout:  *idleTimeout,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxConns:     *maxConns,
+		MaxHandlers:  *maxHandlers,
+		DrainTimeout: *drainTimeout,
+	})
 	srv.Logf = log.Printf
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("potluckd: listening on %s %s (policy=%s ttl=%s dropout=%.2f)",
-		*network, *addr, *policy, *ttl, *dropout)
+	scfg := srv.Config()
+	log.Printf("potluckd: listening on %s %s (policy=%s ttl=%s dropout=%.2f max-conns=%d max-handlers=%d idle=%s)",
+		*network, *addr, *policy, *ttl, *dropout, scfg.MaxConns, scfg.MaxHandlers, scfg.IdleTimeout)
 	if err := srv.ListenAndServe(ctx, *network, *addr); err != nil {
 		log.Fatalf("potluckd: %v", err)
 	}
+	srv.Close() // drain in-flight requests before snapshotting
 	if *snapshot != "" {
 		f, err := os.Create(*snapshot)
 		if err != nil {

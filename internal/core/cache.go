@@ -495,7 +495,19 @@ type LookupResult struct {
 // importance — is updated. Lookup errors only for unregistered
 // functions or key types.
 func (c *Cache) Lookup(fn, keyType string, key vec.Vector) (LookupResult, error) {
-	res, _, err := c.lookup(fn, keyType, key)
+	res, _, err := c.lookup(fn, keyType, key, nil)
+	return res, err
+}
+
+// LookupAccept behaves like Lookup but consults accept before committing
+// to a hit: if accept returns false for the candidate value, the lookup
+// is recorded and reported as a miss, and the entry's access frequency —
+// and therefore its importance — is left untouched. Callers that can
+// only consume certain value representations (the wire service can only
+// ship []byte) use this so an entry the caller never receives does not
+// earn hit credit. A nil accept behaves exactly like Lookup.
+func (c *Cache) LookupAccept(fn, keyType string, key vec.Vector, accept func(value any) bool) (LookupResult, error) {
+	res, _, err := c.lookup(fn, keyType, key, accept)
 	return res, err
 }
 
@@ -509,7 +521,7 @@ func (c *Cache) Lookup(fn, keyType string, key vec.Vector) (LookupResult, error)
 // neighbour must not mask a live, slightly farther one). The common
 // nothing-expired read therefore never touches the admission lock;
 // routine reclamation is left to puts and the janitor.
-func (c *Cache) lookup(fn, keyType string, key vec.Vector) (LookupResult, vec.Vector, error) {
+func (c *Cache) lookup(fn, keyType string, key vec.Vector, accept func(value any) bool) (LookupResult, vec.Vector, error) {
 	now := c.clk.Now()
 	ki, err := c.keyIndexFor(fn, keyType)
 	if err != nil {
@@ -535,6 +547,13 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector) (LookupResult, vec.Ve
 	}
 	res.Distance = dist
 	if !ok {
+		c.ctr.misses.Add(1)
+		return res, nil, nil
+	}
+	if accept != nil && !accept(e.value) {
+		// The nearest in-threshold entry exists but the caller cannot
+		// consume it; report a miss and record no access, so an invisible
+		// hit does not inflate the entry's frequency or the hit counters.
 		c.ctr.misses.Add(1)
 		return res, nil, nil
 	}

@@ -501,3 +501,52 @@ func TestFunctionsList(t *testing.T) {
 		t.Errorf("Functions = %v", got)
 	}
 }
+
+// TestLookupAcceptRejectedHitRecordsNoAccess covers the consume-or-don't-
+// count contract: when the accept predicate refuses the candidate value
+// (e.g. the wire service cannot ship a non-[]byte entry), the lookup must
+// count as a miss and must not bump the entry's access frequency, hit
+// counter, or saved-compute total.
+func TestLookupAcceptRejectedHitRecordsNoAccess(t *testing.T) {
+	c, _ := newTestCache(t)
+	registerScalar(t, c, "f")
+	key := vec.Vector{1}
+	if _, err := c.Put("f", PutRequest{
+		Keys:  map[string]vec.Vector{"scalar": key},
+		Value: 42, // not a []byte: invisible to byte-only consumers
+		Cost:  time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.LookupAccept("f", "scalar", key, func(v any) bool {
+		_, ok := v.([]byte)
+		return ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatalf("rejected value reported as hit: %+v", res)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 || st.SavedCompute != 0 {
+		t.Errorf("stats after rejected hit = %+v, want 0 hits / 1 miss / 0 saved", st)
+	}
+
+	// The plain lookup still hits, and the rejected probe contributed no
+	// access credit: this is the entry's first recorded access.
+	full, err := c.Lookup("f", "scalar", key)
+	if err != nil || !full.Hit {
+		t.Fatalf("unrestricted lookup: %+v, %v", full, err)
+	}
+	if got := full.Entry.AccessCount(); got != 2 { // 1 for the put + this hit
+		t.Errorf("access count = %d, want 2 (rejected probe must not count)", got)
+	}
+
+	// nil accept is exactly Lookup.
+	res, err = c.LookupAccept("f", "scalar", key, nil)
+	if err != nil || !res.Hit {
+		t.Errorf("nil-accept lookup: %+v, %v", res, err)
+	}
+}

@@ -21,7 +21,7 @@ type Refiner func(cachedValue any, cachedKey, queryKey vec.Vector) any
 // exact input. The cache entry itself is not modified; refinement output
 // is per-lookup.
 func (c *Cache) LookupRefined(fn, keyType string, key vec.Vector, refine Refiner) (LookupResult, error) {
-	res, hitKey, err := c.lookup(fn, keyType, key)
+	res, hitKey, err := c.lookup(fn, keyType, key, nil)
 	if err != nil || !res.Hit {
 		return res, err
 	}

@@ -1,11 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/audio"
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/vec"
 )
 
@@ -79,7 +85,10 @@ func runCrossDevice(w io.Writer) error {
 			}
 		}
 		out.computed++
-		value := fmt.Sprintf("env-%d", truth)
+		// Byte values, so the same hub can later serve remote lookups over
+		// the wire in the fault-injection phase (non-byte entries are
+		// invisible to remote callers by design).
+		value := []byte(fmt.Sprintf("env-%d", truth))
 		if _, err := d.local.Put("ambient", core.PutRequest{
 			Keys:  map[string]vec.Vector{"mfcc": key},
 			Value: value,
@@ -127,5 +136,119 @@ func runCrossDevice(w io.Writer) error {
 	fmt.Fprintf(w, "\nshape check (B computes less than A, and shifts from hub to local): %v\n",
 		bFirst.computed+bRevisit.computed < aDay.computed &&
 			bRevisit.local > bFirst.local)
+
+	return runCrossDeviceFaults(w, hub, newCache, gen)
+}
+
+// runCrossDeviceFaults replays the cross-device path over a real socket
+// and then blackholes the hub: a third device keeps working against the
+// warmed hub cache through service.Tiered, the hub is replaced by a peer
+// that accepts but never replies, and we report lookup tail latency in
+// both phases. The breaker should trip after a handful of timed-out
+// lookups, after which requests degrade to local-only at local speed.
+func runCrossDeviceFaults(w io.Writer, hub *core.Cache, newCache func(int64) *core.Cache, gen *audio.AmbientScene) error {
+	dir, err := os.MkdirTemp("", "potluck-crossdevice")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "hub.sock")
+
+	// The warmed hub cache from the simulation, now behind the service.
+	srv := service.NewServer(hub)
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		return err
+	}
+	srvDone := make(chan error, 1)
+	go func() { srvDone <- srv.Serve(context.Background(), l) }()
+
+	remote, err := service.DialConfig("unix", sock, "phone-c", service.ClientConfig{
+		RequestTimeout: 50 * time.Millisecond, // the remote-peer timeout
+		MaxAttempts:    1,                     // a hub hop is latency-sensitive: no retries
+	})
+	if err != nil {
+		return err
+	}
+	defer remote.Close()
+	tr := &service.Tiered{
+		Local:            newCache(4),
+		Remote:           remote,
+		FailureThreshold: 3,
+		Cooldown:         10 * time.Second,
+	}
+
+	const classes = 6
+	putErrs := 0
+	phase := func(base int, n int) ([]time.Duration, error) {
+		samples := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			clip, truth := gen.Sample((i/3)%classes, base+i)
+			key := audio.MFCC(clip, audio.MFCCConfig{})
+			start := time.Now()
+			res, err := tr.Lookup("ambient", "mfcc", key)
+			samples = append(samples, time.Since(start))
+			if err != nil {
+				return nil, err
+			}
+			if !res.Hit {
+				// A failed hub write-through is surfaced by Tiered.Put but
+				// non-fatal here: the local write already landed, which is
+				// the degraded mode under test.
+				if err := tr.Put("ambient", "mfcc", key,
+					[]byte(fmt.Sprintf("env-%d", truth)), 10*time.Millisecond); err != nil {
+					putErrs++
+				}
+			}
+		}
+		return samples, nil
+	}
+
+	alive, err := phase(1100, 30)
+	if err != nil {
+		return err
+	}
+
+	// Blackhole the hub: tear the real service down and put a peer that
+	// accepts connections but never replies on the same socket.
+	srv.Close()
+	<-srvDone
+	bl, err := net.Listen("unix", sock)
+	if err != nil {
+		return err
+	}
+	defer bl.Close()
+	go func() {
+		for {
+			conn, err := bl.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	dead, err := phase(1200, 30)
+	if err != nil {
+		return err
+	}
+
+	table(w, []string{"hub state", "lookups", "avg ms", "p50 ms", "p99 ms", "max ms"}, [][]string{
+		summarize(alive).row("alive"),
+		summarize(dead).row("blackholed"),
+	})
+	fmt.Fprintf(w, "\nbreaker after blackhole: %s (remote errors absorbed: %d, failed hub write-throughs: %d)\n",
+		tr.BreakerState(), tr.RemoteErrors(), putErrs)
+	fmt.Fprintf(w, "only the first %d remote calls pay the %s peer timeout; once the breaker "+
+		"trips, misses skip the hub entirely and lookups stay at local speed\n",
+		3, 50*time.Millisecond)
 	return nil
 }

@@ -171,3 +171,26 @@ func TestHelpers(t *testing.T) {
 		t.Error("accuracy")
 	}
 }
+
+// TestCrossDeviceFaultPhase runs the crossdevice experiment end to end,
+// including the wire-level blackholed-hub phase, and asserts the breaker
+// tripped and the degraded mode was exercised.
+func TestCrossDeviceFaultPhase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crossdevice pays a few real remote timeouts")
+	}
+	e, err := ByID("crossdevice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shape check", "breaker after blackhole: open", "blackholed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crossdevice output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -17,15 +19,56 @@ import (
 func init() {
 	register(Experiment{
 		ID:    "ipc",
-		Title: "IPC round-trip latency (§5.4)",
+		Title: "IPC round-trip latency (§5.4), healthy and under injected faults",
 		Paper: "average end-to-end latency of ~0.36 ms per request over Binder/AIDL",
 		Run:   runIPC,
 	})
 }
 
-// runIPC measures the §5.4 micro-benchmark: 500 sequential requests over
-// the service transport, total time divided by 500. Our transport is a
-// Unix domain socket, the Linux analogue of a local Binder hop.
+// latencyStats summarizes a latency sample: mean plus tail percentiles,
+// since a service for millions of users is judged by its p99, not its
+// average.
+type latencyStats struct {
+	n                   int
+	avg, p50, p99, pMax time.Duration
+}
+
+func summarize(samples []time.Duration) latencyStats {
+	if len(samples) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pick := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return latencyStats{
+		n:    len(sorted),
+		avg:  sum / time.Duration(len(sorted)),
+		p50:  pick(0.50),
+		p99:  pick(0.99),
+		pMax: sorted[len(sorted)-1],
+	}
+}
+
+func (s latencyStats) row(label string) []string {
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+	}
+	return []string{label, fmt.Sprintf("%d", s.n), ms(s.avg), ms(s.p50), ms(s.p99), ms(s.pMax)}
+}
+
+// runIPC measures the §5.4 micro-benchmark — sequential requests over
+// the service transport (a Unix domain socket, the Linux analogue of a
+// local Binder hop) — first on a healthy service, then with injected
+// faults: slow-loris and garbage-writing peers attacking the same
+// server, and a full server kill/restart mid-run that the client must
+// survive via its reconnect path.
 func runIPC(w io.Writer) error {
 	dir, err := os.MkdirTemp("", "potluck-ipc")
 	if err != nil {
@@ -35,21 +78,40 @@ func runIPC(w io.Writer) error {
 	sock := filepath.Join(dir, "potluck.sock")
 
 	cache := core.New(core.Config{DisableDropout: true, Tuner: core.TunerConfig{WarmupZ: 1}})
-	srv := service.NewServer(cache)
-	l, err := net.Listen("unix", sock)
+	// Tight deadlines so hostile peers are evicted quickly instead of
+	// holding connection slots through the measurement.
+	scfg := service.ServerConfig{
+		IdleTimeout: 500 * time.Millisecond,
+		ReadTimeout: 200 * time.Millisecond,
+	}
+	startServer := func() (*service.Server, chan error, error) {
+		srv := service.NewServerConfig(cache, scfg)
+		l, err := net.Listen("unix", sock)
+		if err != nil {
+			return nil, nil, err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(context.Background(), l) }()
+		return srv, done, nil
+	}
+
+	srv, done, err := startServer()
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ctx, l) }()
-	defer func() {
-		srv.Close()
-		<-done
-	}()
+	stop := func() {
+		if srv != nil {
+			srv.Close()
+			<-done
+			srv = nil
+		}
+	}
+	defer stop()
 
-	cl, err := service.Dial("unix", sock, "bench")
+	cl, err := service.DialConfig("unix", sock, "bench", service.ClientConfig{
+		RequestTimeout: 2 * time.Second,
+		BackoffBase:    5 * time.Millisecond,
+	})
 	if err != nil {
 		return err
 	}
@@ -63,15 +125,96 @@ func runIPC(w io.Writer) error {
 	}
 
 	const requests = 500
-	start := time.Now()
-	for i := 0; i < requests; i++ {
-		if _, err := cl.Lookup("f", "k", key); err != nil {
-			return err
+	measure := func(n int) ([]time.Duration, int, error) {
+		samples := make([]time.Duration, 0, n)
+		errs := 0
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if _, err := cl.Lookup("f", "k", key); err != nil {
+				errs++
+				continue
+			}
+			samples = append(samples, time.Since(start))
+		}
+		return samples, errs, nil
+	}
+
+	// Phase 1: healthy service.
+	healthy, healthyErrs, err := measure(requests)
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: the same measurement while hostile peers attack the
+	// server. Each attacker reconnects in a loop so the pressure is
+	// sustained for the whole phase.
+	attackCtx, stopAttack := context.WithCancel(context.Background())
+	defer stopAttack()
+	slowLoris := func() {
+		for attackCtx.Err() == nil {
+			conn, err := net.Dial("unix", sock)
+			if err != nil {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			conn.Write([]byte{0}) // partial header, then hold the socket
+			select {
+			case <-attackCtx.Done():
+			case <-time.After(time.Second):
+			}
+			conn.Close()
 		}
 	}
-	avg := time.Since(start) / requests
-	fmt.Fprintf(w, "requests: %d\naverage round-trip: %.3f ms\n",
-		requests, float64(avg)/float64(time.Millisecond))
-	fmt.Fprintf(w, "paper (Binder/AIDL on Nexus 5): 0.36 ms\n")
+	garbage := func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, 512)
+		for attackCtx.Err() == nil {
+			conn, err := net.Dial("unix", sock)
+			if err != nil {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			for attackCtx.Err() == nil {
+				rng.Read(buf)
+				if _, err := conn.Write(buf); err != nil {
+					break
+				}
+			}
+			conn.Close()
+		}
+	}
+	go slowLoris()
+	go slowLoris()
+	go garbage(1)
+	go garbage(2)
+
+	underAttack, attackErrs, err := measure(requests / 2)
+	if err != nil {
+		return err
+	}
+
+	// Mid-phase: kill the server and restart it on the same socket. The
+	// client's next request rides the poisoned-connection retry path and
+	// must transparently reconnect (the cache object survives, so no
+	// re-registration is needed).
+	stop()
+	srv, done, err = startServer()
+	if err != nil {
+		return err
+	}
+	afterRestart, restartErrs, err := measure(requests / 2)
+	if err != nil {
+		return err
+	}
+	stopAttack()
+
+	table(w, []string{"phase", "ok", "avg ms", "p50 ms", "p99 ms", "max ms"}, [][]string{
+		summarize(healthy).row("healthy"),
+		summarize(underAttack).row("slow-loris + garbage peers"),
+		summarize(afterRestart).row("after server kill/restart"),
+	})
+	fmt.Fprintf(w, "\nrequest errors: healthy=%d under-attack=%d across-restart=%d (reconnect is transparent)\n",
+		healthyErrs, attackErrs, restartErrs)
+	fmt.Fprintf(w, "paper (Binder/AIDL on Nexus 5, healthy): 0.36 ms average\n")
 	return nil
 }

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker state names, as reported by Breaker.State.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is a minimal circuit breaker guarding calls to a remote peer.
+// It is closed (calls flow) until Threshold consecutive failures, then
+// open (calls are refused outright) for Cooldown, then half-open: one
+// probe call is admitted, and its outcome either closes the breaker or
+// re-opens it for another Cooldown. Refusing calls while open is the
+// point — a dead peer costs its timeout on every request otherwise.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 defaults to 3
+// consecutive failures, cooldown <= 0 to 5s, and a nil now to time.Now
+// (injectable for tests).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed. Every admitted call must be
+// followed by a Report of its outcome; in the half-open state only one
+// probe is admitted at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return true
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Report records the outcome of an admitted call.
+func (b *Breaker) Report(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// State names the breaker's current state for diagnostics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.failures < b.threshold:
+		return BreakerClosed
+	case b.now().Before(b.openUntil):
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
+}

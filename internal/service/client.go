@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -10,58 +11,291 @@ import (
 	"repro/internal/vec"
 )
 
+// ErrConnBroken marks a connection that suffered an I/O failure mid
+// round trip. The request/reply framing on such a connection can no
+// longer be trusted — a late reply to the failed request could be read
+// as the answer to the next one — so the connection is poisoned and
+// never reused; the next request redials (or fails fast when the client
+// wraps a connection it cannot redial).
+var ErrConnBroken = errors.New("service: connection broken")
+
+// ErrClientClosed is returned by requests issued after (or interrupted
+// by) Close.
+var ErrClientClosed = errors.New("service: client closed")
+
+// ClientConfig tunes the client's robustness behaviour. The zero value
+// selects production defaults; negative durations disable the
+// corresponding limit.
+type ClientConfig struct {
+	// RequestTimeout bounds one round trip (request write + reply read).
+	// A request that overruns it fails and poisons the connection.
+	// 0 = 30s; < 0 = no limit.
+	RequestTimeout time.Duration
+	// DialTimeout bounds each (re)connect attempt. 0 = 5s; < 0 = no limit.
+	DialTimeout time.Duration
+	// MaxAttempts is the number of tries a request gets across
+	// reconnects, the first included. It only applies to connection
+	// failures: errors the server itself replies with are never retried.
+	// 0 = 3; values < 1 mean one attempt.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; it doubles per
+	// attempt up to BackoffMax, with ±50% jitter so a fleet of clients
+	// does not redial a recovering server in lockstep. Defaults 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.MaxAttempts < 1 {
+		if cfg.MaxAttempts == 0 {
+			cfg.MaxAttempts = 3
+		} else {
+			cfg.MaxAttempts = 1
+		}
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	return cfg
+}
+
 // Client is an application's handle to the Potluck service, wrapping the
 // register()/lookup()/put() API of §4.3 over the wire protocol. It is
 // safe for concurrent use; requests are serialized over one connection,
 // matching Binder's synchronous transaction model.
+//
+// The client survives service restarts: a failed round trip poisons the
+// current connection and the next request transparently redials with
+// capped exponential backoff. Close is always prompt, even while a
+// request is blocked on a dead server.
 type Client struct {
-	app  string
-	mu   sync.Mutex
-	conn net.Conn
+	app     string
+	cfg     ClientConfig
+	network string
+	addr    string // empty when wrapping a caller-supplied conn (no redial)
+
+	// reqMu serializes round trips. Close deliberately does not take it:
+	// a roundtrip stuck on a dead server holds reqMu indefinitely, and
+	// Close must still be able to cut the connection out from under it.
+	reqMu sync.Mutex
+
+	// stateMu guards the connection and its lifecycle flags. It is never
+	// held across network I/O.
+	stateMu sync.Mutex
+	conn    net.Conn
+	broken  bool
+	closed  bool
 }
 
-// Dial connects to a Potluck service. app names the calling application
-// for reputation tracking and diagnostics.
+// Dial connects to a Potluck service with default robustness settings.
+// app names the calling application for reputation tracking and
+// diagnostics.
 func Dial(network, addr, app string) (*Client, error) {
-	conn, err := net.Dial(network, addr)
+	return DialConfig(network, addr, app, ClientConfig{})
+}
+
+// DialConfig connects to a Potluck service with explicit robustness
+// settings.
+func DialConfig(network, addr, app string, cfg ClientConfig) (*Client, error) {
+	c := &Client{app: app, cfg: cfg.withDefaults(), network: network, addr: addr}
+	conn, err := c.dial()
 	if err != nil {
-		return nil, fmt.Errorf("service: dial %s/%s: %w", network, addr, err)
+		return nil, err
 	}
-	return &Client{app: app, conn: conn}, nil
+	c.conn = conn
+	return c, nil
 }
 
 // NewClientConn wraps an existing connection (e.g. a net.Pipe in tests).
+// Such a client cannot redial: once the connection is poisoned, requests
+// fail with ErrConnBroken.
 func NewClientConn(conn net.Conn, app string) *Client {
-	return &Client{app: app, conn: conn}
+	return &Client{app: app, cfg: ClientConfig{}.withDefaults(), conn: conn}
 }
 
-// Close releases the connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
-}
-
-// roundTrip sends one request and reads one reply.
-func (c *Client) roundTrip(req *Request) (*Reply, error) {
-	req.App = c.app
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, EncodeRequest(req)); err != nil {
-		return nil, err
+func (c *Client) dial() (net.Conn, error) {
+	var (
+		conn net.Conn
+		err  error
+	)
+	if c.cfg.DialTimeout > 0 {
+		conn, err = net.DialTimeout(c.network, c.addr, c.cfg.DialTimeout)
+	} else {
+		conn, err = net.Dial(c.network, c.addr)
 	}
-	payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s/%s: %w", c.network, c.addr, err)
+	}
+	return conn, nil
+}
+
+// Close releases the connection. It never waits for an in-flight round
+// trip: closing the underlying connection is what unblocks one stuck on
+// a dead server.
+func (c *Client) Close() error {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.stateMu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}
+
+// acquireConn returns a healthy connection, redialing if the previous
+// one was poisoned. Dialing happens with no lock held so Close stays
+// prompt; only the reqMu holder calls this, so the conn slot cannot be
+// raced by another request.
+func (c *Client) acquireConn() (net.Conn, error) {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.conn != nil && !c.broken {
+		conn := c.conn
+		c.stateMu.Unlock()
+		return conn, nil
+	}
+	if c.network == "" {
+		c.stateMu.Unlock()
+		return nil, ErrConnBroken
+	}
+	old := c.conn
+	c.conn = nil
+	c.broken = false
+	c.stateMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+
+	conn, err := c.dial()
 	if err != nil {
 		return nil, err
+	}
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		conn.Close()
+		return nil, ErrClientClosed
+	}
+	c.conn = conn
+	c.stateMu.Unlock()
+	return conn, nil
+}
+
+// poison marks conn unusable and closes it. Subsequent requests redial
+// instead of reading a stale reply off a desynchronized stream.
+func (c *Client) poison(conn net.Conn) {
+	c.stateMu.Lock()
+	if c.conn == conn {
+		c.broken = true
+	}
+	c.stateMu.Unlock()
+	conn.Close()
+}
+
+// exchange performs one framed request/reply on conn. Any I/O or framing
+// failure poisons the connection and is wrapped in ErrConnBroken; an
+// error the server replied with leaves the connection healthy.
+func (c *Client) exchange(conn net.Conn, frame []byte) (*Reply, error) {
+	if c.cfg.RequestTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := WriteFrame(conn, frame); err != nil {
+		c.poison(conn)
+		return nil, fmt.Errorf("%w: write: %w", ErrConnBroken, err)
+	}
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		c.poison(conn)
+		return nil, fmt.Errorf("%w: read: %w", ErrConnBroken, err)
 	}
 	reply, err := DecodeReply(payload)
 	if err != nil {
-		return nil, err
+		// A reply we cannot parse means the stream is desynchronized.
+		c.poison(conn)
+		return nil, fmt.Errorf("%w: %w", ErrConnBroken, err)
 	}
 	if reply.Type == MsgReplyError {
 		return nil, fmt.Errorf("service: %s", reply.Error)
 	}
 	return reply, nil
+}
+
+// backoff returns the pre-retry delay for the given attempt: exponential
+// from BackoffBase, capped at BackoffMax, with ±50% jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase
+	for i := 0; i < attempt && d < c.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// roundTrip sends one request and reads one reply, redialing and
+// retrying on connection failures up to MaxAttempts.
+func (c *Client) roundTrip(req *Request) (*Reply, error) {
+	req.App = c.app
+	frame := EncodeRequest(req)
+	if len(frame) > MaxMessageSize {
+		// Reject before any bytes hit the wire (the server would cut the
+		// connection on the oversize prefix); the connection stays clean.
+		return nil, fmt.Errorf("%w: request is %d bytes", ErrMessageTooLarge, len(frame))
+	}
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt - 1))
+		}
+		conn, err := c.acquireConn()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) || errors.Is(err, ErrConnBroken) {
+				// Closed, or poisoned with no redial path: retrying
+				// cannot help.
+				return nil, err
+			}
+			lastErr = err // dial failure: back off and retry
+			continue
+		}
+		reply, err := c.exchange(conn, frame)
+		if err == nil {
+			return reply, nil
+		}
+		if !errors.Is(err, ErrConnBroken) {
+			return nil, err // the server answered; its error is final
+		}
+		lastErr = err
+		if c.network == "" {
+			return nil, err // cannot redial a wrapped connection
+		}
+	}
+	return nil, lastErr
 }
 
 // Register registers a function and its key types with the service

@@ -1,0 +1,616 @@
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// This file is the fault-injection harness for the wire boundary: slow
+// and hostile peers against the server's deadlines and caps, dead and
+// restarting servers against the client's poisoning and reconnect, and
+// a blackholed hub against the tiered breaker. Everything here runs
+// under -race in CI with a short -timeout, so a reintroduced deadlock
+// fails the job fast instead of hanging it.
+
+// startServerCfg runs a server with explicit robustness limits on a Unix
+// socket in a temp dir.
+func startServerCfg(t *testing.T, ccfg core.Config, scfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv := NewServerConfig(core.New(ccfg), scfg)
+	sock := filepath.Join(t.TempDir(), "potluck.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return srv, sock
+}
+
+// blackholeListener accepts connections and reads from them forever
+// without ever replying — a peer that is up at the TCP level but dead
+// above it.
+func blackholeListener(t *testing.T) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "blackhole.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return sock
+}
+
+// TestSlowLorisEvictedByDeadline: a client that trickles header bytes
+// must be cut by the idle deadline, not parked forever.
+func TestSlowLorisEvictedByDeadline(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{IdleTimeout: 100 * time.Millisecond})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte{0}) // one header byte, then stall
+
+	// The server must hang up within the idle deadline (plus slack); a
+	// blocking read observes the close. If instead our own 3s read
+	// deadline fires, the server never evicted the peer.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server replied to a half frame")
+	} else if errDeadline(err) != nil {
+		t.Fatalf("server did not evict slow-loris peer within deadline: %v", err)
+	}
+}
+
+// errDeadline lets the assertion above read as "the error was our own
+// read deadline, i.e. the server never hung up".
+func errDeadline(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return err
+	}
+	return nil
+}
+
+// TestHalfWrittenFrameEvictedByReadDeadline: a full header promising a
+// body that never arrives is cut by the body read deadline, and healthy
+// clients are unaffected throughout.
+func TestHalfWrittenFrameEvictedByReadDeadline(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{ReadTimeout: 100 * time.Millisecond})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	conn.Write(hdr[:])
+	conn.Write(make([]byte, 10)) // 10 of the promised 100 bytes, then stall
+
+	cl, err := Dial("unix", sock, "healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("f", KeyTypeDef{Name: "k"}); err != nil {
+		t.Fatalf("healthy client starved by half-written frame: %v", err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server replied to a half-written frame")
+	} else if errDeadline(err) != nil {
+		t.Fatalf("server did not evict half-written frame within deadline: %v", err)
+	}
+}
+
+// TestClientCloseDuringBlockedRoundTrip is the Close-deadlock
+// regression: Close must return promptly while a round trip is parked on
+// a server that never replies, and the round trip must fail rather than
+// hang.
+func TestClientCloseDuringBlockedRoundTrip(t *testing.T) {
+	sock := blackholeListener(t)
+	cl, err := DialConfig("unix", sock, "app", ClientConfig{
+		RequestTimeout: -1, // block indefinitely: only Close can free it
+		MaxAttempts:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripErr := make(chan error, 1)
+	go func() {
+		_, err := cl.Lookup("f", "k", vec.Vector{1})
+		tripErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the round trip block on the read
+
+	closed := make(chan struct{})
+	go func() {
+		cl.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind a stuck round trip (deadlock regression)")
+	}
+	select {
+	case err := <-tripErr:
+		if err == nil {
+			t.Fatal("blocked round trip reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("round trip still blocked after Close")
+	}
+	// The client is now closed: further requests fail fast and typed.
+	if _, err := cl.Stats(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("post-Close request error = %v, want ErrClientClosed", err)
+	}
+}
+
+// TestClientReconnectAfterServerRestart: a killed-and-restarted server
+// is transparently redialed; the requests in between fail instead of
+// desyncing.
+func TestClientReconnectAfterServerRestart(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "potluck.sock")
+	start := func() (*Server, chan error) {
+		srv := NewServer(core.New(testConfig()))
+		l, err := net.Listen("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(context.Background(), l) }()
+		return srv, done
+	}
+
+	srv1, done1 := start()
+	cl, err := DialConfig("unix", sock, "app", ClientConfig{
+		RequestTimeout: time.Second,
+		BackoffBase:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("f", KeyTypeDef{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("f", map[string]vec.Vector{"k": {1}}, []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server mid-session and restart it on the same socket.
+	srv1.Close()
+	<-done1
+	srv2, done2 := start()
+	defer func() {
+		srv2.Close()
+		<-done2
+	}()
+	if err := srv2.Cache().RegisterFunction("f", core.KeyTypeSpec{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The very next request rides the poisoned-conn retry path: attempt
+	// one fails on the dead connection, the redial lands on the new
+	// server.
+	res, err := cl.Lookup("f", "k", vec.Vector{1})
+	if err != nil {
+		t.Fatalf("lookup after restart not transparently reconnected: %v", err)
+	}
+	if res.Hit {
+		t.Fatal("fresh cache reported a hit") // sanity: this really is the new server
+	}
+}
+
+// TestPoisonedConnNeverDesyncs is the framing-desync regression: after a
+// round trip fails mid-flight, a late reply to it must never be read as
+// the answer to the next request. A client without a redial path must
+// fail fast with ErrConnBroken instead.
+func TestPoisonedConnNeverDesyncs(t *testing.T) {
+	cconn, sconn := net.Pipe()
+	defer sconn.Close()
+	cl := NewClientConn(cconn, "app")
+	cl.cfg.RequestTimeout = 50 * time.Millisecond
+
+	// The "server" reads the first request but replies only much later —
+	// after the client has timed out and moved on.
+	staleSent := make(chan struct{})
+	go func() {
+		defer close(staleSent)
+		if _, err := ReadFrame(sconn); err != nil {
+			return
+		}
+		time.Sleep(150 * time.Millisecond)
+		// The stale reply for request 1: a hit with a poisoned value. If
+		// request 2 ever reads this, the desync bug is back.
+		WriteFrame(sconn, EncodeReply(&Reply{Type: MsgReplyLookup, Hit: true, Value: []byte("stale")}))
+	}()
+
+	if _, err := cl.Lookup("f", "k", vec.Vector{1}); err == nil {
+		t.Fatal("first lookup succeeded against a stalled server")
+	}
+	<-staleSent // the stale reply is now sitting in the pipe... or dropped by poison-close
+
+	res, err := cl.Lookup("f", "k", vec.Vector{2})
+	if err == nil {
+		t.Fatalf("second lookup returned %+v off a poisoned connection", res)
+	}
+	if !errors.Is(err, ErrConnBroken) {
+		t.Errorf("second lookup error = %v, want ErrConnBroken", err)
+	}
+	cl.Close()
+}
+
+// TestOversizeRequestRejectedAtWriteTime: a request over MaxMessageSize
+// fails with ErrMessageTooLarge before touching the wire, and the
+// connection remains usable.
+func TestOversizeRequestRejectedAtWriteTime(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{})
+	cl, err := Dial("unix", sock, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("f", KeyTypeDef{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, MaxMessageSize+1)
+	if _, err := cl.Put("f", map[string]vec.Vector{"k": {1}}, big, PutOptions{}); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("oversize put error = %v, want ErrMessageTooLarge", err)
+	}
+	// Nothing hit the wire: the same connection still serves.
+	if _, err := cl.Stats(); err != nil {
+		t.Fatalf("connection unusable after rejected oversize put: %v", err)
+	}
+}
+
+// TestOversizePrefixGetsErrorReply: a hostile length prefix is answered
+// with an explicit error reply before the disconnect, not a silent hangup.
+func TestOversizePrefixGetsErrorReply(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("no error reply before disconnect: %v", err)
+	}
+	reply, err := DecodeReply(payload)
+	if err != nil || reply.Type != MsgReplyError {
+		t.Fatalf("reply = %+v, %v; want MsgReplyError", reply, err)
+	}
+}
+
+// TestServerConnCap: connections beyond MaxConns are rejected outright;
+// capacity freed by a disconnect becomes available again.
+func TestServerConnCap(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{MaxConns: 1})
+	first, err := Dial("unix", sock, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if err := first.Register("f", KeyTypeDef{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+
+	over, err := DialConfig("unix", sock, "over", ClientConfig{
+		RequestTimeout: time.Second,
+		MaxAttempts:    1,
+	})
+	if err == nil {
+		defer over.Close()
+		if _, err := over.Stats(); err == nil {
+			t.Fatal("request served beyond the connection cap")
+		}
+	}
+
+	// Freeing the slot re-admits new clients (the server needs a moment
+	// to observe the disconnect).
+	first.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		cl, err := DialConfig("unix", sock, "second", ClientConfig{RequestTimeout: time.Second, MaxAttempts: 1})
+		if err == nil {
+			if _, err = cl.Stats(); err == nil {
+				cl.Close()
+				break
+			}
+			cl.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed after disconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHandlerPoolBounded: MaxHandlers caps concurrently executing
+// requests no matter how many connections push work.
+func TestHandlerPoolBounded(t *testing.T) {
+	srv, sock := startServerCfg(t, testConfig(), ServerConfig{MaxHandlers: 2})
+	var inFlight, peak atomic.Int64
+	srv.testHookDispatch = func(*Request) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		inFlight.Add(-1)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial("unix", sock, "app")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			if _, err := cl.Stats(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent handlers = %d, want ≤ 2", p)
+	}
+}
+
+// TestGracefulDrainCompletesInflight: Close lets a request already
+// executing finish and deliver its reply instead of cutting it off.
+func TestGracefulDrainCompletesInflight(t *testing.T) {
+	srv, sock := startServerCfg(t, testConfig(), ServerConfig{DrainTimeout: 5 * time.Second})
+	entered := make(chan struct{})
+	srv.testHookDispatch = func(req *Request) {
+		if req.Type == MsgStats {
+			close(entered)
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	cl, err := Dial("unix", sock, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	reqDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Stats()
+		reqDone <- err
+	}()
+	<-entered // the request is now in flight
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-reqDone:
+		if err != nil {
+			t.Fatalf("in-flight request cut during graceful drain: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+}
+
+// TestTieredBreakerBlackholedPeer: a blackholed hub trips the breaker;
+// lookups degrade to local-only (and stay fast) instead of paying the
+// remote timeout forever, and local hits keep serving throughout.
+func TestTieredBreakerBlackholedPeer(t *testing.T) {
+	sock := blackholeListener(t)
+	remote, err := DialConfig("unix", sock, "device-b", ClientConfig{
+		RequestTimeout: 50 * time.Millisecond,
+		MaxAttempts:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	local := core.New(testConfig())
+	if err := local.RegisterFunction("f", core.KeyTypeSpec{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Tiered{Local: local, Remote: remote, FailureThreshold: 2, Cooldown: time.Minute}
+
+	// Local entries serve regardless of the hub's health.
+	if _, err := local.Put("f", core.PutRequest{
+		Keys: map[string]vec.Vector{"k": {1}}, Value: []byte("local"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tr.Lookup("f", "k", vec.Vector{1}); err != nil || !res.Hit {
+		t.Fatalf("local hit with dead hub: %+v, %v", res, err)
+	}
+
+	// Misses pay the remote timeout until the breaker trips...
+	for i := 0; i < 2; i++ {
+		res, err := tr.Lookup("f", "k", vec.Vector{100 + float64(i)})
+		if err != nil || res.Hit {
+			t.Fatalf("blackholed lookup %d: %+v, %v (want absorbed miss)", i, res, err)
+		}
+	}
+	if st := tr.BreakerState(); st != BreakerOpen {
+		t.Fatalf("breaker state after %d failures = %s, want open", 2, st)
+	}
+	if tr.RemoteErrors() != 2 {
+		t.Errorf("remote errors = %d, want 2", tr.RemoteErrors())
+	}
+
+	// ...then stop paying it entirely: with the breaker open the remote
+	// is not consulted, so the lookup is far faster than its timeout.
+	start := time.Now()
+	res, err := tr.Lookup("f", "k", vec.Vector{200})
+	if err != nil || res.Hit {
+		t.Fatalf("open-breaker lookup: %+v, %v", res, err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Errorf("open-breaker lookup took %v, should not touch the remote", d)
+	}
+	// Writes skip the dead hub too, but still land locally.
+	if err := tr.Put("f", "k", vec.Vector{3}, []byte("w"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tr.Lookup("f", "k", vec.Vector{3}); err != nil || !res.Hit {
+		t.Fatalf("local write-through with open breaker: %+v, %v", res, err)
+	}
+}
+
+// TestBreakerHalfOpenRecovery drives the trip → cooldown → probe →
+// close cycle on an injected clock.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(2, time.Second, func() time.Time { return now })
+	fail := errors.New("peer down")
+
+	if !b.Allow() {
+		t.Fatal("fresh breaker refused a call")
+	}
+	b.Report(fail)
+	if !b.Allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Report(fail)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+
+	now = now.Add(2 * time.Second) // cooldown elapses
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Report(fail) // probe fails: open again
+	if b.Allow() {
+		t.Fatal("breaker closed after a failed probe")
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Report(nil) // probe succeeds: closed
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %s, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker refused a call")
+	}
+}
+
+// TestUnknownMessageTypeOverStack: an unknown request type crosses the
+// full client/server stack as an error reply, not a disconnect.
+func TestUnknownMessageTypeOverStack(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, EncodeRequest(&Request{Type: 99})); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := DecodeReply(payload)
+	if err != nil || reply.Type != MsgReplyError {
+		t.Fatalf("reply = %+v, %v; want MsgReplyError", reply, err)
+	}
+	// The connection survives a recognizably-framed bad request.
+	if err := WriteFrame(conn, EncodeRequest(&Request{Type: MsgStats})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(conn); err != nil {
+		t.Fatalf("connection dropped after recoverable bad request: %v", err)
+	}
+}
+
+// TestZeroLengthVectorOverStack: an empty lookup key is a clean error
+// reply through the full stack, and the connection keeps serving.
+func TestZeroLengthVectorOverStack(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{})
+	cl, err := Dial("unix", sock, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("f", KeyTypeDef{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	// A zero-length lookup key is a defined clean miss (only inserts
+	// reject empty keys), and must not disturb the stream.
+	if res, err := cl.Lookup("f", "k", vec.Vector{}); err != nil || res.Hit {
+		t.Fatalf("zero-length lookup = %+v, %v; want clean miss", res, err)
+	}
+	if _, err := cl.Put("f", map[string]vec.Vector{"k": {}}, []byte("v"), PutOptions{}); err == nil {
+		t.Fatal("zero-length put key accepted")
+	}
+	if _, err := cl.Stats(); err != nil {
+		t.Fatalf("connection unusable after error replies: %v", err)
+	}
+}

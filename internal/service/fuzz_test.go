@@ -2,8 +2,13 @@ package service
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/vec"
 )
 
@@ -24,6 +29,10 @@ func FuzzDecodeRequest(f *testing.F) {
 	}))
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	// Error-path seeds: unknown message type, zero-length vectors.
+	f.Add(EncodeRequest(&Request{Type: 99, Function: "f"}))
+	f.Add(EncodeRequest(&Request{Type: MsgLookup, Function: "f", KeyType: "k", Key: vec.Vector{}}))
+	f.Add(EncodeRequest(&Request{Type: MsgPut, Function: "f", Keys: map[string]vec.Vector{"k": {}}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(data)
 		if err != nil {
@@ -72,5 +81,99 @@ func FuzzReadFrame(f *testing.F) {
 		if len(payload) > MaxMessageSize {
 			t.Fatalf("oversized payload accepted: %d", len(payload))
 		}
+	})
+}
+
+// frame prefixes a payload with its length header, bypassing WriteFrame's
+// size check so hostile prefixes can be synthesized.
+func frame(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+// FuzzServerStream drives a live connection handler with arbitrary bytes:
+// whatever arrives — truncated frames, oversize prefixes, unknown message
+// types, zero-length vectors, garbage — the handler must neither panic
+// nor hang, and every reply it does emit must decode.
+func FuzzServerStream(f *testing.F) {
+	f.Add(frame(EncodeRequest(&Request{
+		Type: MsgRegister, Function: "f",
+		KeyTypes: []KeyTypeDef{{Name: "k"}},
+	})))
+	f.Add(frame(EncodeRequest(&Request{Type: MsgStats})))
+	f.Add(frame(EncodeRequest(&Request{Type: 99})))                                               // unknown type
+	f.Add(frame(EncodeRequest(&Request{Type: MsgLookup, Function: "f", Key: vec.Vector{}})))      // zero-length vector
+	f.Add(frame(EncodeRequest(&Request{Type: MsgLookup, Function: "f", Key: vec.Vector{1}}))[:7]) // truncated frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})                                                // oversize length prefix
+	f.Add([]byte{0, 0, 0})                                                                        // short header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := NewServerConfig(core.New(core.Config{DisableDropout: true}), ServerConfig{
+			IdleTimeout: 200 * time.Millisecond,
+			ReadTimeout: 200 * time.Millisecond,
+		})
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.handleConn(server, &connState{})
+		}()
+		// Drain replies concurrently (net.Pipe is unbuffered, so an
+		// unread reply would wedge the handler) and check each decodes.
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for {
+				payload, err := ReadFrame(client)
+				if err != nil {
+					return
+				}
+				if _, err := DecodeReply(payload); err != nil {
+					t.Errorf("server emitted undecodable reply: %v", err)
+				}
+			}
+		}()
+		client.Write(data)
+		client.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("connection handler hung on hostile input")
+		}
+		<-drained
+	})
+}
+
+// FuzzClientReply drives the client's reply path with arbitrary bytes
+// standing in for the server: the round trip must fail cleanly or
+// succeed, never panic or hang, and an undecodable reply must poison the
+// connection.
+func FuzzClientReply(f *testing.F) {
+	f.Add(frame(EncodeReply(&Reply{Type: MsgReplyLookup, Hit: true, Value: []byte("v")})))
+	f.Add(frame(EncodeReply(&Reply{Type: MsgReplyError, Error: "boom"})))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cconn, sconn := net.Pipe()
+		cl := NewClientConn(cconn, "fuzz")
+		cl.cfg.RequestTimeout = 500 * time.Millisecond
+		go func() {
+			// Absorb the request, answer with the fuzzed bytes, hang up.
+			io.ReadFull(sconn, make([]byte, 4))
+			sconn.Write(data)
+			sconn.Close()
+		}()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			cl.Lookup("f", "k", vec.Vector{1})
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("client round trip hung on hostile reply")
+		}
+		cl.Close()
 	})
 }

@@ -2,8 +2,10 @@ package service
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -13,32 +15,119 @@ import (
 	"repro/internal/vec"
 )
 
+// ServerConfig tunes the service's robustness limits. The zero value
+// selects production defaults; negative values disable the
+// corresponding limit.
+type ServerConfig struct {
+	// IdleTimeout is how long a connection may take to deliver the next
+	// request's frame header, measured from the end of the previous
+	// request. It evicts both idle connections and slow-loris peers that
+	// trickle header bytes. 0 = 2m; < 0 = no limit.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading one request body once its header has
+	// arrived. 0 = 10s; < 0 = no limit.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one reply. 0 = 10s; < 0 = no limit.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; accepts beyond the
+	// cap are closed immediately. 0 = 1024; < 0 = unlimited.
+	MaxConns int
+	// MaxHandlers caps requests executing against the cache at once —
+	// the width of the paper's AppListener threadpool (§4.1). Connections
+	// beyond it queue for a slot instead of spawning unbounded work.
+	// 0 = 256; < 0 = unlimited.
+	MaxHandlers int
+	// DrainTimeout is how long Close waits for in-flight requests to
+	// finish before force-closing their connections. Idle connections are
+	// closed immediately. 0 = 5s; < 0 = wait forever.
+	DrainTimeout time.Duration
+}
+
+func (cfg ServerConfig) withDefaults() ServerConfig {
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.MaxHandlers == 0 {
+		cfg.MaxHandlers = 256
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return cfg
+}
+
 // Server is the Potluck background service: it owns the cache, accepts
 // application connections, and serves Register/Lookup/Put/Stats
 // requests. It mirrors the paper's module split (Figure 4): the accept
-// loop and per-connection handlers are the AppListener ("maintains a
+// loop and the bounded handler pool are the AppListener ("maintains a
 // threadpool, handles the requests from upper-level applications"), the
 // cache with its expiry janitor is the CacheManager, and core.Cache's
 // entry store is the DataStorage.
+//
+// Every connection carries per-request idle/read/write deadlines, the
+// connection count and concurrent handler count are capped, and Close
+// drains in-flight requests before cutting connections — the service
+// degrades under slow, dead, or hostile peers instead of accumulating
+// stuck goroutines.
 type Server struct {
 	cache *core.Cache
+	cfg   ServerConfig
 	// Logf receives diagnostic messages; nil silences them.
 	Logf func(format string, args ...any)
 
+	// sem is the handler pool: one slot per concurrently executing
+	// request; nil when unlimited.
+	sem chan struct{}
+
+	// testHookDispatch, when set, runs inside the handler slot before the
+	// request executes; fault-injection tests use it to hold requests
+	// in flight deterministically.
+	testHookDispatch func(*Request)
+
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	closed   bool
+	draining bool
 	wg       sync.WaitGroup
 }
 
-// NewServer wraps a cache in a service.
+// connState tracks whether a connection is executing a request (busy) or
+// waiting for the next one; drain closes idle connections immediately
+// and lets busy ones finish their current reply.
+type connState struct {
+	busy bool
+}
+
+// NewServer wraps a cache in a service with default limits.
 func NewServer(cache *core.Cache) *Server {
-	return &Server{cache: cache, conns: make(map[net.Conn]struct{})}
+	return NewServerConfig(cache, ServerConfig{})
+}
+
+// NewServerConfig wraps a cache in a service with explicit limits.
+func NewServerConfig(cache *core.Cache, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cache: cache, cfg: cfg, conns: make(map[net.Conn]*connState)}
+	if cfg.MaxHandlers > 0 {
+		s.sem = make(chan struct{}, cfg.MaxHandlers)
+	}
+	return s
 }
 
 // Cache returns the underlying cache (for in-process inspection).
 func (s *Server) Cache() *core.Cache { return s.cache }
+
+// Config returns the limits in force (defaults applied).
+func (s *Server) Config() ServerConfig { return s.cfg }
 
 // Serve accepts connections on l until Close or ctx cancellation. It
 // also runs the expiry janitor for the duration.
@@ -86,12 +175,19 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.logf("service: connection cap %d reached; rejecting %v", s.cfg.MaxConns, conn.RemoteAddr())
+			conn.Close()
+			continue
+		}
+		st := &connState{}
+		s.conns[conn] = st
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handleConn(conn)
+			s.handleConn(conn, st)
 		}()
 	}
 }
@@ -102,24 +198,64 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-// Close stops accepting and closes all connections.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Close stops accepting and shuts the service down gracefully: idle
+// connections are closed immediately, in-flight requests get
+// DrainTimeout to finish their reply, and whatever remains after that is
+// force-closed. Close returns once every handler has exited.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
+	s.draining = true
 	l := s.listener
-	for c := range s.conns {
-		c.Close()
+	idle := make([]net.Conn, 0, len(s.conns))
+	for c, st := range s.conns {
+		if !st.busy {
+			idle = append(idle, c)
+		}
 	}
 	s.mu.Unlock()
+
 	var err error
 	if l != nil {
 		err = l.Close()
 	}
-	s.wg.Wait()
+	for _, c := range idle {
+		c.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	if s.cfg.DrainTimeout > 0 {
+		select {
+		case <-drained:
+			return err
+		case <-time.After(s.cfg.DrainTimeout):
+			s.mu.Lock()
+			n := len(s.conns)
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			if n > 0 {
+				s.logf("service: drain timeout after %s; cut %d connections", s.cfg.DrainTimeout, n)
+			}
+		}
+	}
+	<-drained
 	return err
 }
 
@@ -129,10 +265,52 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// readRequest reads one request frame under the idle/read deadlines.
+func (s *Server) readRequest(conn net.Conn) ([]byte, error) {
+	if d := s.cfg.IdleTimeout; d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, n)
+	}
+	// The header is in; the body gets its own (typically tighter) budget
+	// so a peer cannot stretch one request to IdleTimeout per byte.
+	if d := s.cfg.ReadTimeout; d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	return buf, nil
+}
+
+// writeReply writes one reply frame under the write deadline.
+func (s *Server) writeReply(conn net.Conn, reply *Reply) error {
+	if d := s.cfg.WriteTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return WriteFrame(conn, EncodeReply(reply))
+}
+
+// setBusy flips the connection's drain classification.
+func (s *Server) setBusy(st *connState, busy bool) {
+	s.mu.Lock()
+	st.busy = busy
+	s.mu.Unlock()
+}
+
 // handleConn serves one application connection; requests on a connection
 // are processed sequentially (Binder transactions are synchronous per
-// caller thread).
-func (s *Server) handleConn(conn net.Conn) {
+// caller thread), but execute through the shared bounded handler pool.
+func (s *Server) handleConn(conn net.Conn, st *connState) {
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -140,22 +318,48 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
-		payload, err := ReadFrame(conn)
+		payload, err := s.readRequest(conn)
 		if err != nil {
-			return // disconnect or malformed frame: drop the client
+			if errors.Is(err, ErrMessageTooLarge) {
+				// Tell the peer why before hanging up; the stream past an
+				// oversize prefix is unreadable, so the connection is done
+				// either way, but the client sees a reason instead of a
+				// silent disconnect.
+				s.writeReply(conn, &Reply{Type: MsgReplyError, Error: err.Error()})
+				s.logf("service: %v: %v", conn.RemoteAddr(), err)
+			}
+			return // disconnect, timeout, or malformed frame: drop the client
 		}
+		s.setBusy(st, true)
 		req, err := DecodeRequest(payload)
 		var reply *Reply
 		if err != nil {
 			reply = &Reply{Type: MsgReplyError, Error: err.Error()}
 		} else {
-			reply = s.dispatch(req)
+			reply = s.dispatchBounded(req)
 		}
-		if err := WriteFrame(conn, EncodeReply(reply)); err != nil {
+		err = s.writeReply(conn, reply)
+		s.setBusy(st, false)
+		if err != nil {
 			s.logf("service: write reply: %v", err)
 			return
 		}
+		if s.isDraining() {
+			return
+		}
 	}
+}
+
+// dispatchBounded executes one request through the handler pool.
+func (s *Server) dispatchBounded(req *Request) *Reply {
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	if s.testHookDispatch != nil {
+		s.testHookDispatch(req)
+	}
+	return s.dispatch(req)
 }
 
 // dispatch executes one request against the cache.
@@ -198,8 +402,19 @@ func (s *Server) handleRegister(req *Request) *Reply {
 	return &Reply{Type: MsgReplyOK}
 }
 
+// isByteValue restricts remote lookups to entries they can actually
+// consume: in-process puts may store arbitrary values, which cannot
+// cross the wire.
+func isByteValue(v any) bool {
+	_, ok := v.([]byte)
+	return ok
+}
+
 func (s *Server) handleLookup(req *Request) *Reply {
-	res, err := s.cache.Lookup(req.Function, req.KeyType, req.Key)
+	// LookupAccept (not Lookup) so an entry this caller can never receive
+	// is a true miss: no hit counted, no access-frequency or importance
+	// credit for the entry.
+	res, err := s.cache.LookupAccept(req.Function, req.KeyType, req.Key, isByteValue)
 	if err != nil {
 		return &Reply{Type: MsgReplyError, Error: err.Error()}
 	}
@@ -212,14 +427,7 @@ func (s *Server) handleLookup(req *Request) *Reply {
 		MissedAt:  res.MissedAt.UnixNano(),
 	}
 	if res.Hit {
-		b, ok := res.Value.([]byte)
-		if !ok {
-			// In-process puts may store non-byte values; those entries
-			// are invisible to remote lookups rather than fatal.
-			reply.Hit = false
-			return reply
-		}
-		reply.Value = b
+		reply.Value = res.Value.([]byte)
 	}
 	return reply
 }

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -15,6 +17,15 @@ import (
 // Puts are written through to both tiers.
 //
 // Values are byte slices at this layer (they cross a device boundary).
+//
+// The remote tier is strictly best-effort: remote lookup failures
+// degrade to a local miss instead of failing the request, and a circuit
+// breaker (FailureThreshold consecutive errors → open for Cooldown →
+// one half-open probe) keeps a dead or blackholed hub from costing its
+// timeout on every lookup. The remote-peer timeout itself lives on the
+// Remote client — dial it with a ClientConfig whose RequestTimeout (and
+// MaxAttempts, usually 1 for a latency-sensitive hub hop) fits the
+// deployment.
 type Tiered struct {
 	// Local is the on-device cache.
 	Local *core.Cache
@@ -23,7 +34,34 @@ type Tiered struct {
 	// AdoptTTL bounds the validity of adopted remote results; 0 uses
 	// the local cache's default.
 	AdoptTTL time.Duration
+	// FailureThreshold is the consecutive remote-error count that trips
+	// the breaker; 0 = 3.
+	FailureThreshold int
+	// Cooldown is how long the tripped breaker refuses remote calls
+	// before admitting a probe; 0 = 5s.
+	Cooldown time.Duration
+
+	brOnce     sync.Once
+	br         *Breaker
+	remoteErrs atomic.Int64
 }
+
+// breaker lazily builds the circuit breaker so Tiered keeps working as a
+// plain struct literal.
+func (t *Tiered) breaker() *Breaker {
+	t.brOnce.Do(func() {
+		t.br = NewBreaker(t.FailureThreshold, t.Cooldown, nil)
+	})
+	return t.br
+}
+
+// BreakerState names the remote tier's breaker state ("closed", "open",
+// "half-open") for diagnostics.
+func (t *Tiered) BreakerState() string { return t.breaker().State() }
+
+// RemoteErrors counts remote-tier failures absorbed so far (lookups
+// degraded to local-only and failed write-throughs).
+func (t *Tiered) RemoteErrors() int64 { return t.remoteErrs.Load() }
 
 // TieredResult reports a tiered lookup.
 type TieredResult struct {
@@ -35,27 +73,36 @@ type TieredResult struct {
 	MissedAt time.Time
 }
 
-// Lookup queries local then remote.
+// Lookup queries local then remote. A remote failure is absorbed: the
+// breaker records it and the lookup degrades to the local outcome, so a
+// dead hub slows nothing but the requests that discover it.
 func (t *Tiered) Lookup(function, keyType string, key vec.Vector) (TieredResult, error) {
-	res, err := t.Local.Lookup(function, keyType, key)
+	// LookupAccept: a non-byte value stored through the in-process API is
+	// unavailable at this layer; it must count as a miss, not as a hit
+	// the caller never sees.
+	res, err := t.Local.LookupAccept(function, keyType, key, isByteValue)
 	if err != nil {
 		return TieredResult{}, err
 	}
 	if res.Hit {
-		if b, ok := res.Value.([]byte); ok {
-			return TieredResult{Hit: true, Value: b, MissedAt: res.MissedAt}, nil
-		}
-		// A non-byte value was stored through the in-process API; treat
-		// it as unavailable at this layer rather than failing.
+		return TieredResult{Hit: true, Value: res.Value.([]byte), MissedAt: res.MissedAt}, nil
 	}
 	if t.Remote == nil || res.Dropout {
 		// Dropout must propagate as a real miss: it is the quality
 		// control that keeps both tiers honest.
 		return TieredResult{MissedAt: res.MissedAt}, nil
 	}
+	if !t.breaker().Allow() {
+		return TieredResult{MissedAt: res.MissedAt}, nil
+	}
 	rres, err := t.Remote.Lookup(function, keyType, key)
-	if err != nil || !rres.Hit {
-		return TieredResult{MissedAt: res.MissedAt}, err
+	t.breaker().Report(err)
+	if err != nil {
+		t.remoteErrs.Add(1)
+		return TieredResult{MissedAt: res.MissedAt}, nil
+	}
+	if !rres.Hit {
+		return TieredResult{MissedAt: res.MissedAt}, nil
 	}
 	// Adopt the peer's result locally (§2.4: dedup works as long as the
 	// previous results are still cached — now across devices). Adoption
@@ -72,7 +119,9 @@ func (t *Tiered) Lookup(function, keyType string, key vec.Vector) (TieredResult,
 }
 
 // Put writes through to both tiers. A remote failure does not undo the
-// local write; the error is returned so callers can surface it.
+// local write; the error is returned so callers can surface it. While
+// the breaker is open the remote write is skipped entirely (counted in
+// RemoteErrors) — the local tier remains the source of truth.
 func (t *Tiered) Put(function, keyType string, key vec.Vector, value []byte, cost time.Duration) error {
 	if _, err := t.Local.Put(function, core.PutRequest{
 		Keys:  map[string]vec.Vector{keyType: key},
@@ -84,6 +133,14 @@ func (t *Tiered) Put(function, keyType string, key vec.Vector, value []byte, cos
 	if t.Remote == nil {
 		return nil
 	}
+	if !t.breaker().Allow() {
+		t.remoteErrs.Add(1)
+		return nil
+	}
 	_, err := t.Remote.Put(function, map[string]vec.Vector{keyType: key}, value, PutOptions{Cost: cost})
+	t.breaker().Report(err)
+	if err != nil {
+		t.remoteErrs.Add(1)
+	}
 	return err
 }
