@@ -26,6 +26,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/render"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 	"repro/internal/workload"
 )
@@ -396,85 +397,99 @@ func BenchmarkLookupParallel(b *testing.B) {
 	// locking, allocation, bookkeeping — rather than index scan cost.
 	const dim, entries = 4, 128
 	for _, nfuncs := range []int{1, 8} {
-		b.Run(fmt.Sprintf("funcs-%d", nfuncs), func(b *testing.B) {
-			cache := core.New(core.Config{
-				DisableDropout: true,
-				Tuner:          core.TunerConfig{WarmupZ: 1},
-			})
-			rng := rand.New(rand.NewSource(11))
-			keys := make([]vec.Vector, entries)
-			for i := range keys {
-				v := make(vec.Vector, dim)
-				for j := range v {
-					v[j] = rng.NormFloat64()
-				}
-				keys[i] = v
+		for _, telemetryOn := range []bool{false, true} {
+			name := fmt.Sprintf("funcs-%d/telemetry-off", nfuncs)
+			if telemetryOn {
+				name = fmt.Sprintf("funcs-%d/telemetry-on", nfuncs)
 			}
-			fns := make([]string, nfuncs)
-			for f := range fns {
-				fns[f] = fmt.Sprintf("f%d", f)
-				if err := cache.RegisterFunction(fns[f], core.KeyTypeSpec{Name: "k", Dim: dim}); err != nil {
-					b.Fatal(err)
+			b.Run(name, func(b *testing.B) {
+				cfg := core.Config{
+					DisableDropout: true,
+					Tuner:          core.TunerConfig{WarmupZ: 1},
 				}
-				for i, v := range keys {
-					if _, err := cache.Put(fns[f], core.PutRequest{
-						Keys:  map[string]vec.Vector{"k": v},
-						Value: i,
-						Cost:  time.Millisecond,
-					}); err != nil {
+				if telemetryOn {
+					// Full observability: metric series, latency
+					// histograms, and the event tracer, as potluckd
+					// runs with -admin-addr. DESIGN.md records the
+					// measured overhead vs. the telemetry-off run.
+					cfg.Telemetry = telemetry.New()
+				}
+				cache := core.New(cfg)
+				rng := rand.New(rand.NewSource(11))
+				keys := make([]vec.Vector, entries)
+				for i := range keys {
+					v := make(vec.Vector, dim)
+					for j := range v {
+						v[j] = rng.NormFloat64()
+					}
+					keys[i] = v
+				}
+				fns := make([]string, nfuncs)
+				for f := range fns {
+					fns[f] = fmt.Sprintf("f%d", f)
+					if err := cache.RegisterFunction(fns[f], core.KeyTypeSpec{Name: "k", Dim: dim}); err != nil {
+						b.Fatal(err)
+					}
+					for i, v := range keys {
+						if _, err := cache.Put(fns[f], core.PutRequest{
+							Keys:  map[string]vec.Vector{"k": v},
+							Value: i,
+							Cost:  time.Millisecond,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := cache.ForceThreshold(fns[f], "k", 1e9); err != nil {
 						b.Fatal(err)
 					}
 				}
-				if err := cache.ForceThreshold(fns[f], "k", 1e9); err != nil {
-					b.Fatal(err)
+				// Eight worker goroutines regardless of GOMAXPROCS (run
+				// with -cpu=8 to give each its own OS thread), so the
+				// contention pattern is the same across machines.
+				if gomax := runtime.GOMAXPROCS(0); gomax < 8 && 8%gomax == 0 {
+					b.SetParallelism(8 / gomax)
 				}
-			}
-			// Eight worker goroutines regardless of GOMAXPROCS (run
-			// with -cpu=8 to give each its own OS thread), so the
-			// contention pattern is the same across machines.
-			if gomax := runtime.GOMAXPROCS(0); gomax < 8 && 8%gomax == 0 {
-				b.SetParallelism(8 / gomax)
-			}
-			var worker atomic.Int64
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				g := int(worker.Add(1)) - 1
-				rng := rand.New(rand.NewSource(int64(g) + 100))
-				fn := fns[g%len(fns)]
-				// Reused across puts; the cache retains the key vectors,
-				// never the request map itself.
-				putKeys := make(map[string]vec.Vector, 1)
-				for i := 0; pb.Next(); i++ {
-					key := keys[rng.Intn(len(keys))]
-					if rng.Intn(10) == 0 {
-						// Puts use fresh keys: re-putting the preloaded
-						// keys would pile duplicate-key chains into the
-						// KD-tree and the benchmark would measure tree
-						// pathology, not locking. A short TTL lets the
-						// expiry machinery retire them so the resident
-						// set stays at steady state instead of growing
-						// with b.N.
-						nk := make(vec.Vector, dim)
-						for j := range nk {
-							nk[j] = rng.NormFloat64()
-						}
-						putKeys["k"] = nk
-						if _, err := cache.Put(fn, core.PutRequest{
-							Keys:  putKeys,
-							Value: i,
-							Cost:  time.Millisecond,
-							TTL:   5 * time.Millisecond,
-						}); err != nil {
+				var worker atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					g := int(worker.Add(1)) - 1
+					rng := rand.New(rand.NewSource(int64(g) + 100))
+					fn := fns[g%len(fns)]
+					// Reused across puts; the cache retains the key vectors,
+					// never the request map itself.
+					putKeys := make(map[string]vec.Vector, 1)
+					for i := 0; pb.Next(); i++ {
+						key := keys[rng.Intn(len(keys))]
+						if rng.Intn(10) == 0 {
+							// Puts use fresh keys: re-putting the preloaded
+							// keys would pile duplicate-key chains into the
+							// KD-tree and the benchmark would measure tree
+							// pathology, not locking. A short TTL lets the
+							// expiry machinery retire them so the resident
+							// set stays at steady state instead of growing
+							// with b.N.
+							nk := make(vec.Vector, dim)
+							for j := range nk {
+								nk[j] = rng.NormFloat64()
+							}
+							putKeys["k"] = nk
+							if _, err := cache.Put(fn, core.PutRequest{
+								Keys:  putKeys,
+								Value: i,
+								Cost:  time.Millisecond,
+								TTL:   5 * time.Millisecond,
+							}); err != nil {
+								b.Error(err)
+								return
+							}
+						} else if _, err := cache.Lookup(fn, "k", key); err != nil {
 							b.Error(err)
 							return
 						}
-					} else if _, err := cache.Lookup(fn, "k", key); err != nil {
-						b.Error(err)
-						return
 					}
-				}
+				})
 			})
-		})
+		}
 	}
 }
 

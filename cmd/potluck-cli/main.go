@@ -9,11 +9,19 @@
 //	potluck-cli lookup   <function> <keytype> <k1,k2,...>
 //	potluck-cli put      <function> <keytype> <k1,k2,...> <value> [cost]
 //	potluck-cli stats
+//	potluck-cli -admin http://127.0.0.1:9744 stats
+//
+// With -admin, stats is fetched from the daemon's HTTP observability
+// endpoint (/stats) instead of the wire protocol, and includes the
+// per-function series and latency quantiles the binary protocol does
+// not carry.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -28,11 +36,19 @@ func main() {
 		network = flag.String("network", "unix", `transport: "unix" or "tcp"`)
 		addr    = flag.String("addr", "/tmp/potluck.sock", "service address")
 		app     = flag.String("app", "cli", "application name")
+		admin   = flag.String("admin", "", "daemon admin endpoint base URL (stats command only)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	if args[0] == "stats" && *admin != "" {
+		if err := adminStats(*admin); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	cl, err := service.Dial(*network, *addr, *app)
@@ -109,6 +125,60 @@ func main() {
 	}
 }
 
+// adminStats fetches the daemon's /stats JSON and renders the global
+// counters plus the per-function series table.
+func adminStats(base string) error {
+	url := strings.TrimSuffix(base, "/") + "/stats"
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var st service.AdminStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	printAdminStats(os.Stdout, st)
+	return nil
+}
+
+func printAdminStats(w *os.File, st service.AdminStats) {
+	fmt.Fprintf(w, "uptime      %s\n", (time.Duration(st.UptimeSeconds * float64(time.Second))).Round(time.Second))
+	fmt.Fprintf(w, "entries     %d (%d bytes)\n", st.Entries, st.Bytes)
+	fmt.Fprintf(w, "lookups     %d hits / %d misses / %d dropouts (hit rate %.1f%%)\n",
+		st.Hits, st.Misses, st.Dropouts, st.HitRate*100)
+	fmt.Fprintf(w, "puts        %d accepted / %d rejected\n", st.Puts, st.RejectedPuts)
+	fmt.Fprintf(w, "removed     %d evicted / %d expired / %d invalidated\n",
+		st.Evictions, st.Expirations, st.Invalidations)
+	fmt.Fprintf(w, "saved       %s of computation\n", time.Duration(st.SavedSeconds*float64(time.Second)).Round(time.Millisecond))
+	if len(st.Functions) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-16s %-12s %-9s %8s %8s %8s %10s %9s %9s %9s\n",
+		"FUNCTION", "KEYTYPE", "INDEX", "HITS", "MISSES", "DROPOUT", "THRESHOLD", "P50", "P99", "MAX")
+	for _, fn := range st.Functions {
+		for _, kt := range fn.KeyTypes {
+			p50, p99, max := "-", "-", "-"
+			if kt.Latency != nil && kt.Latency.Count > 0 {
+				p50 = fmtLatency(kt.Latency.P50)
+				p99 = fmtLatency(kt.Latency.P99)
+				max = fmtLatency(kt.Latency.Max)
+			}
+			fmt.Fprintf(w, "%-16s %-12s %-9s %8d %8d %8d %10.4g %9s %9s %9s\n",
+				fn.Function, kt.KeyType, kt.IndexKind, kt.Hits, kt.Misses, kt.Dropouts,
+				kt.Threshold, p50, p99, max)
+		}
+	}
+}
+
+func fmtLatency(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
 func parseKey(s string) (vec.Vector, error) {
 	parts := strings.Split(s, ",")
 	key := make(vec.Vector, len(parts))
@@ -127,7 +197,7 @@ func usage() {
   register <function> <keytype>[,<keytype>...]
   lookup   <function> <keytype> <k1,k2,...>
   put      <function> <keytype> <k1,k2,...> <value> [cost]
-  stats`)
+  stats    (with -admin URL: fetch the rich JSON stats over HTTP)`)
 	os.Exit(2)
 }
 

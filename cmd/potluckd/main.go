@@ -11,6 +11,10 @@
 //	         [-dropout 0.1] [-policy importance|lru|random|fifo]
 //	         [-max-conns N] [-max-handlers N] [-idle-timeout 2m]
 //	         [-read-timeout 10s] [-write-timeout 10s] [-drain-timeout 5s]
+//	         [-admin-addr 127.0.0.1:9744]
+//
+// -admin-addr starts an HTTP observability endpoint serving /metrics
+// (Prometheus text), /stats and /trace (JSON), and /debug/pprof/.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +54,8 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 0, "per-request body read deadline (0 = default 10s, -1ns = none)")
 		writeTimeout = flag.Duration("write-timeout", 0, "per-reply write deadline (0 = default 10s, -1ns = none)")
 		drainTimeout = flag.Duration("drain-timeout", 0, "graceful-shutdown drain budget for in-flight requests (0 = default 5s)")
+
+		adminAddr = flag.String("admin-addr", "", "HTTP observability endpoint address, e.g. 127.0.0.1:9744 (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -74,6 +82,11 @@ func main() {
 		// A stale socket from an unclean shutdown blocks the listener.
 		os.Remove(*addr)
 	}
+	var tel *telemetry.Telemetry
+	if *adminAddr != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+	}
 	cache := core.New(cfg)
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
@@ -99,6 +112,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	started := time.Now()
+	var admin *http.Server
+	if tel != nil {
+		srv.Instrument(tel)
+		admin = &http.Server{
+			Addr:              *adminAddr,
+			Handler:           telemetry.AdminHandler(tel, func() any { return srv.AdminStats(started) }),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("potluckd: admin endpoint on http://%s (/metrics /stats /trace /debug/pprof/)", *adminAddr)
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("potluckd: admin endpoint: %v", err)
+			}
+		}()
+	}
 	scfg := srv.Config()
 	log.Printf("potluckd: listening on %s %s (policy=%s ttl=%s dropout=%.2f max-conns=%d max-handlers=%d idle=%s)",
 		*network, *addr, *policy, *ttl, *dropout, scfg.MaxConns, scfg.MaxHandlers, scfg.IdleTimeout)
@@ -106,6 +136,11 @@ func main() {
 		log.Fatalf("potluckd: %v", err)
 	}
 	srv.Close() // drain in-flight requests before snapshotting
+	if admin != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		admin.Shutdown(sctx)
+		scancel()
+	}
 	if *snapshot != "" {
 		f, err := os.Create(*snapshot)
 		if err != nil {

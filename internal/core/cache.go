@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/index"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -163,6 +164,14 @@ type Config struct {
 	// Reputation enables the Credence-style reputation defence against
 	// cache pollution (§3.5); nil disables it.
 	Reputation *ReputationConfig
+	// Telemetry, when non-nil, attaches the cache to a telemetry hub:
+	// per-(function, key type) metric series are exported to its
+	// registry, lookup latencies feed per-series histograms, and
+	// decision events (misses, dropouts, evictions, expirations,
+	// sampled hits) are recorded to its tracer. Nil runs the cache with
+	// its internal counters only; see telemetry.go for the overhead
+	// budget.
+	Telemetry *telemetry.Telemetry
 }
 
 // normalized returns cfg with defaults applied and out-of-range values
@@ -198,13 +207,14 @@ func (cfg Config) normalized() Config {
 	return cfg
 }
 
-// counters holds the cache's activity counters as atomics, so Stats()
-// and HitRate() never contend with the data path.
+// counters holds the cache-global activity counters as atomics, so
+// Stats() and HitRate() never contend with the data path. Lookup
+// outcomes (hits/misses/dropouts) and puts are NOT here: they live in
+// the per-(function, key type) ktCounters and per-function fnCounters
+// series (telemetry.go), and Stats() derives the global totals by
+// summing the series — the hot path pays for one set of counters, not
+// two.
 type counters struct {
-	hits          atomic.Int64
-	misses        atomic.Int64
-	dropouts      atomic.Int64
-	puts          atomic.Int64
 	rejectedPuts  atomic.Int64
 	evictions     atomic.Int64
 	expirations   atomic.Int64
@@ -222,6 +232,11 @@ type Cache struct {
 	policy Policy
 	equal  func(a, b any) bool
 	rep    *Reputation
+
+	// realClk is true when clk is the wall clock, letting hot-path
+	// latency measurements use time.Since (one monotonic read) instead
+	// of an interface call returning a full wall+monotonic timestamp.
+	realClk bool
 
 	// rngMu guards rng (dropout draws, random eviction). Leaf lock.
 	rngMu sync.Mutex
@@ -259,6 +274,11 @@ type Cache struct {
 
 	nextID atomic.Uint64
 	ctr    counters
+
+	// tel is the optional telemetry hub (nil when Config.Telemetry was
+	// nil); vecs caches the metric families registered with it.
+	tel  *telemetry.Telemetry
+	vecs *telemetryVecs
 }
 
 // entryTable wraps sync.Map with the entry types spelled out.
@@ -294,6 +314,9 @@ type functionCache struct {
 	keyTypes map[string]*keyIndex // read-only after publication
 	order    []string             // registration order, for deterministic iteration
 	kis      []*keyIndex          // parallel to order
+	// stats is the function's put-counter series, carried by pointer
+	// across copy-on-write re-registration so counts are never reset.
+	stats *fnCounters
 }
 
 type keyIndex struct {
@@ -301,8 +324,16 @@ type keyIndex struct {
 	// tuner synchronizes itself (its own mutex is the single point of
 	// coordination); it is never called with any cache lock held.
 	tuner *Tuner
+	// ctr is this series' lookup-outcome counters (always maintained).
+	ctr ktCounters
+	// lat is the lookup-latency histogram minted from the telemetry
+	// registry; nil when the cache runs without telemetry.
+	lat *telemetry.Histogram
 
-	// mu guards idx and members. Third in the lock order.
+	// mu guards idx and members. Third in the lock order. The idx
+	// POINTER is set at construction and never reassigned, so lockless
+	// reads of its atomic probe counters are safe; the index's
+	// contents still require mu.
 	mu      sync.RWMutex
 	idx     index.Index
 	members map[ID]vec.Vector
@@ -324,9 +355,14 @@ func New(cfg Config) *Cache {
 		equal:  cfg.Equal,
 		funcs:  make(map[string]*functionCache),
 	}
+	_, c.realClk = c.clk.(clock.Real)
 	c.nextExpiry.Store(math.MaxInt64)
 	if cfg.Reputation != nil {
 		c.rep = NewReputation(*cfg.Reputation)
+	}
+	if cfg.Telemetry != nil {
+		c.tel = cfg.Telemetry
+		c.initTelemetry()
 	}
 	return c
 }
@@ -376,15 +412,18 @@ func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 
 	c.funcsMu.Lock()
 	old := c.funcs[fn]
-	fc := &functionCache{name: fn, keyTypes: make(map[string]*keyIndex)}
+	fc := &functionCache{name: fn, keyTypes: make(map[string]*keyIndex), stats: &fnCounters{}}
 	if old != nil {
-		// Copy-on-write: never mutate a published functionCache.
+		// Copy-on-write: never mutate a published functionCache. The
+		// counter series rides along so re-registration never resets it.
+		fc.stats = old.stats
 		for name, ki := range old.keyTypes {
 			fc.keyTypes[name] = ki
 		}
 		fc.order = append(fc.order, old.order...)
 		fc.kis = append(fc.kis, old.kis...)
 	}
+	var added []*keyIndex
 	for i, spec := range specs {
 		if _, exists := fc.keyTypes[spec.Name]; exists {
 			continue
@@ -392,10 +431,12 @@ func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 		fc.keyTypes[spec.Name] = built[i]
 		fc.order = append(fc.order, spec.Name)
 		fc.kis = append(fc.kis, built[i])
+		added = append(added, built[i])
 	}
 	c.funcs[fn] = fc
 	c.funcsMu.Unlock()
 
+	c.wireFunctionTelemetry(fn, fc.stats, added)
 	for _, ki := range fc.kis {
 		ki.tuner.Reset()
 	}
@@ -529,9 +570,14 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector, accept func(value any
 	}
 	res := LookupResult{Distance: -1, Threshold: ki.tuner.Threshold(), MissedAt: now}
 	if c.dropout() {
-		c.ctr.dropouts.Add(1)
-		c.ctr.misses.Add(1)
+		ki.ctr.dropouts.Add(1)
 		res.Dropout = true
+		if c.tel != nil {
+			c.tel.RecordEvent(telemetry.Event{
+				At: now.UnixNano(), Kind: telemetry.EventDropout,
+				Function: fn, KeyType: keyType, Value: res.Threshold,
+			})
+		}
 		return res, nil, nil
 	}
 	// Threshold-restricted k-nearest-neighbour query; k defaults to 1,
@@ -546,21 +592,37 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector, accept func(value any
 		e, hitKey, dist, ok, _ = c.selectHit(ki, key, res.Threshold, now)
 	}
 	res.Distance = dist
-	if !ok {
-		c.ctr.misses.Add(1)
-		return res, nil, nil
-	}
-	if accept != nil && !accept(e.value) {
-		// The nearest in-threshold entry exists but the caller cannot
-		// consume it; report a miss and record no access, so an invisible
-		// hit does not inflate the entry's frequency or the hit counters.
-		c.ctr.misses.Add(1)
+	if !ok || (accept != nil && !accept(e.value)) {
+		// Either no in-threshold entry exists, or the caller cannot
+		// consume the one that does; report a miss and record no access,
+		// so an invisible hit does not inflate the entry's frequency or
+		// the hit counters.
+		n := ki.ctr.misses.Add(1)
+		if ki.lat != nil && n&latSampleMask == 0 {
+			ki.lat.Observe(c.since(now))
+		}
+		if c.tel != nil {
+			c.tel.RecordEvent(telemetry.Event{
+				At: now.UnixNano(), Kind: telemetry.EventMiss,
+				Function: fn, KeyType: keyType, Value: dist, Aux: res.Threshold,
+			})
+		}
 		return res, nil, nil
 	}
 	e.accessCount.Add(1)
 	e.lastAccess.Store(now.UnixNano())
-	c.ctr.hits.Add(1)
+	n := ki.ctr.hits.Add(1)
+	if ki.lat != nil && n&latSampleMask == 0 {
+		ki.lat.Observe(c.since(now))
+	}
 	c.ctr.savedCompute.Add(int64(e.cost))
+	if c.tel != nil && n&hitTraceSampleMask == 0 {
+		c.tel.RecordEvent(telemetry.Event{
+			At: now.UnixNano(), Kind: telemetry.EventHit,
+			Function: fn, KeyType: keyType, Detail: e.app,
+			Value: dist, Aux: res.Threshold,
+		})
+	}
 	res.Hit = true
 	res.Value = e.value
 	res.Entry = e.snapshot()
@@ -605,6 +667,12 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	kis := fc.kis
 	if c.rep != nil && c.rep.Barred(req.App) {
 		c.ctr.rejectedPuts.Add(1)
+		if c.tel != nil {
+			c.tel.RecordEvent(telemetry.Event{
+				At: now.UnixNano(), Kind: telemetry.EventBarred,
+				Function: fn, Detail: req.App,
+			})
+		}
 		return 0, fmt.Errorf("%w: %q", ErrAppBarred, req.App)
 	}
 
@@ -735,7 +803,14 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	c.updateNextExpiryLocked()
 	c.evictLocked(now, id)
 	c.admitMu.Unlock()
-	c.ctr.puts.Add(1)
+	fc.stats.puts.Add(1)
+	if c.tel != nil {
+		c.tel.RecordEvent(telemetry.Event{
+			At: now.UnixNano(), Kind: telemetry.EventPut,
+			Function: fn, Detail: req.App,
+			Value: cost.Seconds(), Aux: float64(size),
+		})
+	}
 	return id, nil
 }
 
@@ -856,10 +931,17 @@ func (c *Cache) evictLocked(now time.Time, exclude ID) {
 		c.rngMu.Lock()
 		victim := c.policy.Victim(cands, now, c.rng)
 		c.rngMu.Unlock()
-		if !c.removeEntryLocked(victim) {
+		e := c.removeEntryLocked(victim)
+		if e == nil {
 			return
 		}
 		c.ctr.evictions.Add(1)
+		if c.tel != nil {
+			c.tel.RecordEvent(telemetry.Event{
+				At: now.UnixNano(), Kind: telemetry.EventEvict,
+				Detail: e.app, Value: e.importance(), Aux: float64(e.size),
+			})
+		}
 	}
 }
 
@@ -883,17 +965,17 @@ func (c *Cache) unlinkEntry(e *entry) {
 
 // removeEntryLocked removes a live entry whose expiry-heap item is
 // still queued: the item becomes stale and is reclaimed either by
-// compaction or when its deadline passes. Returns whether this caller
-// actually removed the entry. Caller holds admitMu.
-func (c *Cache) removeEntryLocked(id ID) bool {
+// compaction or when its deadline passes. Returns the removed entry,
+// or nil when another remover won the race. Caller holds admitMu.
+func (c *Cache) removeEntryLocked(id ID) *entry {
 	e := c.entries.loadAndDelete(id)
 	if e == nil {
-		return false
+		return nil
 	}
 	c.unlinkEntry(e)
 	c.staleExpiry++
 	c.maybeCompactExpiryLocked()
-	return true
+	return e
 }
 
 // expiryCompactMin keeps tiny heaps from being rebuilt on every
@@ -942,7 +1024,7 @@ func (c *Cache) removeAppEntries(app string) {
 	c.admitMu.Lock()
 	defer c.admitMu.Unlock()
 	for _, id := range ids {
-		if c.removeEntryLocked(id) {
+		if c.removeEntryLocked(id) != nil {
 			c.ctr.evictions.Add(1)
 		}
 	}
@@ -981,6 +1063,12 @@ func (c *Cache) purgeExpiredLocked(now time.Time) int {
 		c.unlinkEntry(e)
 		c.ctr.expirations.Add(1)
 		purged++
+		if c.tel != nil {
+			c.tel.RecordEvent(telemetry.Event{
+				At: now.UnixNano(), Kind: telemetry.EventExpire,
+				Detail: e.app, Value: e.importance(), Aux: float64(e.size),
+			})
+		}
 	}
 	c.updateNextExpiryLocked()
 	return purged
@@ -1051,20 +1139,31 @@ func (c *Cache) ForceThreshold(fn, keyType string, threshold float64) error {
 // Reputation returns the reputation table, or nil when disabled.
 func (c *Cache) Reputation() *Reputation { return c.rep }
 
-// Stats returns a snapshot of cache counters. Every field is read from
-// an atomic; Stats never blocks the data path.
+// Stats returns a snapshot of cache counters. Lookup and put totals
+// are derived by summing the per-(function, key type) series under the
+// function-table read lock; every count is still read from an atomic,
+// so Stats never blocks the data path beyond a funcsMu read share.
+// Stats.Misses preserves its historical semantics: a dropout counts as
+// a miss too.
 func (c *Cache) Stats() Stats {
 	s := Stats{
-		Hits:          c.ctr.hits.Load(),
-		Misses:        c.ctr.misses.Load(),
-		Dropouts:      c.ctr.dropouts.Load(),
-		Puts:          c.ctr.puts.Load(),
 		RejectedPuts:  c.ctr.rejectedPuts.Load(),
 		Evictions:     c.ctr.evictions.Load(),
 		Expirations:   c.ctr.expirations.Load(),
 		Invalidations: c.ctr.invalidations.Load(),
 		SavedCompute:  time.Duration(c.ctr.savedCompute.Load()),
 	}
+	c.funcsMu.RLock()
+	for _, fc := range c.funcs {
+		s.Puts += fc.stats.puts.Load()
+		for _, ki := range fc.kis {
+			d := ki.ctr.dropouts.Load()
+			s.Hits += ki.ctr.hits.Load()
+			s.Misses += ki.ctr.misses.Load() + d
+			s.Dropouts += d
+		}
+	}
+	c.funcsMu.RUnlock()
 	s.Entries = int(c.count.Load())
 	s.Bytes = c.bytes.Load()
 	return s

@@ -30,7 +30,7 @@ func (c *Cache) InvalidateRadius(fn, keyType string, key vec.Vector, r float64) 
 	removed := 0
 	c.admitMu.Lock()
 	for _, n := range hits {
-		if c.removeEntryLocked(ID(n.ID)) {
+		if c.removeEntryLocked(ID(n.ID)) != nil {
 			removed++
 		}
 	}
@@ -60,7 +60,7 @@ func (c *Cache) InvalidateFunction(fn string) (int, error) {
 	removed := 0
 	c.admitMu.Lock()
 	for id := range ids {
-		if c.removeEntryLocked(id) {
+		if c.removeEntryLocked(id) != nil {
 			removed++
 		}
 	}

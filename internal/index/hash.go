@@ -17,6 +17,7 @@ import (
 // should use KDTree or LSH; Hash exists for functions whose inputs are
 // discrete (e.g. exact strings or rounded poses).
 type Hash struct {
+	probeCounter
 	metric  vec.Metric
 	buckets map[string][]ID
 	keys    map[ID]vec.Vector
@@ -89,9 +90,11 @@ func (h *Hash) Remove(id ID) {
 // if an application registers one anyway).
 func (h *Hash) Nearest(key vec.Vector) (Neighbor, bool) {
 	if ids := h.buckets[signature(key)]; len(ids) > 0 {
+		h.countQuery(len(ids))
 		id := minID(ids)
 		return Neighbor{ID: id, Key: h.keys[id], Dist: 0}, true
 	}
+	h.countQuery(len(h.keys))
 	best := Neighbor{Dist: -1}
 	for id, kv := range h.keys {
 		d := h.metric.Distance(key, kv)
@@ -120,6 +123,7 @@ func (h *Hash) KNearest(key vec.Vector, k int) []Neighbor {
 	if k <= 0 || len(h.keys) == 0 {
 		return nil
 	}
+	h.countQuery(len(h.keys))
 	ns := make([]Neighbor, 0, len(h.keys))
 	for id, kv := range h.keys {
 		ns = append(ns, Neighbor{ID: id, Key: kv, Dist: h.metric.Distance(key, kv)})

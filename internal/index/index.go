@@ -53,6 +53,11 @@ type Index interface {
 	Metric() vec.Metric
 	// Kind returns the structural kind of this index.
 	Kind() Kind
+	// ProbeStats reports cumulative query and probe counts (the scan
+	// work done answering queries). Unlike the data structure itself,
+	// the counters are atomics, safe to read while other goroutines
+	// query under the cache's read lock.
+	ProbeStats() ProbeStats
 }
 
 // Kind names an index structure, used when applications register key

@@ -17,6 +17,7 @@ import (
 // Deletions are tombstoned and the tree is rebuilt when more than half
 // the nodes are dead, giving amortized O(log N) removal.
 type KDTree struct {
+	probeCounter
 	metric   vec.Metric
 	prunable bool
 	euclid   bool // metric is Euclidean: Nearest searches in squared space
@@ -190,6 +191,7 @@ func (t *KDTree) Nearest(key vec.Vector) (Neighbor, bool) {
 		return Neighbor{}, false
 	}
 	best := Neighbor{Dist: math.Inf(1)}
+	visited := 0
 	if t.euclid {
 		// For the default Euclidean metric, search in squared-distance
 		// space: ordering is preserved (sqrt is monotone), so the same
@@ -197,20 +199,22 @@ func (t *KDTree) Nearest(key vec.Vector) (Neighbor, bool) {
 		// instead of at every visited node, and the concrete distance
 		// routine is called directly instead of through the Metric
 		// interface.
-		t.nearestSq(t.root, key, &best)
+		t.nearestSq(t.root, key, &best, &visited)
 		best.Dist = math.Sqrt(best.Dist)
 	} else {
-		t.nearest1(t.root, key, &best)
+		t.nearest1(t.root, key, &best, &visited)
 	}
+	t.countQuery(visited)
 	return best, true
 }
 
 // nearestSq is nearest1 specialized to squared Euclidean distance;
 // best.Dist holds the squared distance during the descent.
-func (t *KDTree) nearestSq(n *kdNode, key vec.Vector, best *Neighbor) {
+func (t *KDTree) nearestSq(n *kdNode, key vec.Vector, best *Neighbor, visited *int) {
 	if n == nil {
 		return
 	}
+	*visited++
 	if !n.deleted {
 		d := vec.SquaredEuclidean(key, n.key)
 		if d < best.Dist || (d == best.Dist && n.id < best.ID) {
@@ -221,21 +225,22 @@ func (t *KDTree) nearestSq(n *kdNode, key vec.Vector, best *Neighbor) {
 	if !axisLess(key, n.key, n.axis) {
 		first, second = n.right, n.left
 	}
-	t.nearestSq(first, key, best)
+	t.nearestSq(first, key, best, visited)
 	if second != nil {
 		ax := axisAbsDiff(key, n.key, n.axis)
 		if ax*ax <= best.Dist {
-			t.nearestSq(second, key, best)
+			t.nearestSq(second, key, best, visited)
 		}
 	}
 }
 
 // nearest1 tracks the single best candidate in place, mirroring
 // search()'s traversal order, pruning, and min-ID tie-break.
-func (t *KDTree) nearest1(n *kdNode, key vec.Vector, best *Neighbor) {
+func (t *KDTree) nearest1(n *kdNode, key vec.Vector, best *Neighbor, visited *int) {
 	if n == nil {
 		return
 	}
+	*visited++
 	if !n.deleted {
 		d := t.metric.Distance(key, n.key)
 		if d < best.Dist || (d == best.Dist && n.id < best.ID) {
@@ -246,10 +251,10 @@ func (t *KDTree) nearest1(n *kdNode, key vec.Vector, best *Neighbor) {
 	if !axisLess(key, n.key, n.axis) {
 		first, second = n.right, n.left
 	}
-	t.nearest1(first, key, best)
+	t.nearest1(first, key, best, visited)
 	if second != nil {
 		if !t.prunable || axisAbsDiff(key, n.key, n.axis) <= best.Dist {
-			t.nearest1(second, key, best)
+			t.nearest1(second, key, best, visited)
 		}
 	}
 }
@@ -260,7 +265,9 @@ func (t *KDTree) KNearest(key vec.Vector, k int) []Neighbor {
 		return nil
 	}
 	h := &maxDistHeap{}
-	t.search(t.root, key, k, h)
+	visited := 0
+	t.search(t.root, key, k, h, &visited)
+	t.countQuery(visited)
 	out := make([]Neighbor, h.Len())
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Neighbor)
@@ -268,10 +275,11 @@ func (t *KDTree) KNearest(key vec.Vector, k int) []Neighbor {
 	return out
 }
 
-func (t *KDTree) search(n *kdNode, key vec.Vector, k int, h *maxDistHeap) {
+func (t *KDTree) search(n *kdNode, key vec.Vector, k int, h *maxDistHeap, visited *int) {
 	if n == nil {
 		return
 	}
+	*visited++
 	if !n.deleted {
 		d := t.metric.Distance(key, n.key)
 		if h.Len() < k {
@@ -286,13 +294,13 @@ func (t *KDTree) search(n *kdNode, key vec.Vector, k int, h *maxDistHeap) {
 	if !goLeft {
 		first, second = n.right, n.left
 	}
-	t.search(first, key, k, h)
+	t.search(first, key, k, h, visited)
 	// Prune the far side when the axis distance already exceeds the
 	// current worst candidate (valid for Lp metrics).
 	if second != nil {
 		axDist := axisAbsDiff(key, n.key, n.axis)
 		if !t.prunable || h.Len() < k || axDist <= (*h)[0].Dist {
-			t.search(second, key, k, h)
+			t.search(second, key, k, h, visited)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 // keys. It is the correctness reference for the other indices and the
 // "enum" column of Table 2 in the paper.
 type Linear struct {
+	probeCounter
 	metric vec.Metric
 	keys   map[ID]vec.Vector
 }
@@ -33,6 +34,7 @@ func (l *Linear) Remove(id ID) { delete(l.keys, id) }
 
 // Nearest implements Index.
 func (l *Linear) Nearest(key vec.Vector) (Neighbor, bool) {
+	l.countQuery(len(l.keys))
 	best := Neighbor{Dist: -1}
 	for id, k := range l.keys {
 		d := l.metric.Distance(key, k)
@@ -51,6 +53,7 @@ func (l *Linear) KNearest(key vec.Vector, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
+	l.countQuery(len(l.keys))
 	all := make([]Neighbor, 0, len(l.keys))
 	for id, kv := range l.keys {
 		all = append(all, Neighbor{ID: id, Key: kv, Dist: l.metric.Distance(key, kv)})

@@ -37,6 +37,7 @@ func DefaultLSHConfig() LSHConfig {
 // bucket, LSH falls back to scanning so that the cache never misses
 // merely because of unlucky hashing.
 type LSH struct {
+	probeCounter
 	metric vec.Metric
 	cfg    LSHConfig
 	dim    int
@@ -200,6 +201,7 @@ func (l *LSH) KNearest(key vec.Vector, k int) []Neighbor {
 			cand[id] = struct{}{}
 		}
 	}
+	l.countQuery(len(cand))
 	best := make([]Neighbor, 0, len(cand))
 	for id := range cand {
 		kv := l.keys[id]
@@ -245,6 +247,7 @@ func (l *LSH) ProbeOnly(key vec.Vector, k int) []Neighbor {
 		return nil
 	}
 	cand := l.candidates(key)
+	l.countQuery(len(cand))
 	best := make([]Neighbor, 0, len(cand))
 	for id := range cand {
 		kv := l.keys[id]

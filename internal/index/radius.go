@@ -32,6 +32,7 @@ func Radius(idx Index, key vec.Vector, r float64) []Neighbor {
 
 // Radius implements RadiusSearcher for the linear index.
 func (l *Linear) Radius(key vec.Vector, r float64) []Neighbor {
+	l.countQuery(len(l.keys))
 	out := make([]Neighbor, 0, 8)
 	for id, k := range l.keys {
 		if d := l.metric.Distance(key, k); d <= r {
@@ -46,11 +47,13 @@ func (l *Linear) Radius(key vec.Vector, r float64) []Neighbor {
 // (exact for Lp metrics; full traversal otherwise).
 func (t *KDTree) Radius(key vec.Vector, r float64) []Neighbor {
 	var out []Neighbor
+	visited := 0
 	var walk func(n *kdNode)
 	walk = func(n *kdNode) {
 		if n == nil {
 			return
 		}
+		visited++
 		if !n.deleted {
 			if d := t.metric.Distance(key, n.key); d <= r {
 				out = append(out, Neighbor{ID: n.id, Key: n.key, Dist: d})
@@ -71,6 +74,7 @@ func (t *KDTree) Radius(key vec.Vector, r float64) []Neighbor {
 		}
 	}
 	walk(t.root)
+	t.countQuery(visited)
 	sortNeighbors(out)
 	return out
 }
@@ -85,6 +89,7 @@ func (l *LSH) Radius(key vec.Vector, r float64) []Neighbor {
 			cand[id] = struct{}{}
 		}
 	}
+	l.countQuery(len(cand))
 	out := make([]Neighbor, 0, len(cand))
 	for id := range cand {
 		k := l.keys[id]

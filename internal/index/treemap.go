@@ -17,6 +17,7 @@ import (
 // the cache defaults scalar key types to TreeMap and vector key types to
 // KD-tree or LSH.
 type TreeMap struct {
+	probeCounter
 	metric vec.Metric
 	root   *avlNode
 	size   int
@@ -234,6 +235,7 @@ func (t *TreeMap) KNearest(key vec.Vector, k int) []Neighbor {
 		return nil
 	}
 	cands := t.neighborsAround(key)
+	t.countQuery(len(cands))
 	ns := make([]Neighbor, 0, len(cands))
 	seen := make(map[ID]struct{}, len(cands))
 	for _, n := range cands {

@@ -27,6 +27,12 @@ type Breaker struct {
 	failures  int
 	openUntil time.Time
 	probing   bool
+	// notify, when set, receives state transitions; lastState is the
+	// state it was last told about, so passive transitions (open →
+	// half-open by cooldown expiry) are reported at the next call that
+	// observes them.
+	notify    func(from, to string)
+	lastState string
 }
 
 // NewBreaker returns a closed breaker. threshold <= 0 defaults to 3
@@ -42,47 +48,23 @@ func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Br
 	if now == nil {
 		now = time.Now
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now, lastState: BreakerClosed}
 }
 
-// Allow reports whether a call may proceed. Every admitted call must be
-// followed by a Report of its outcome; in the half-open state only one
-// probe is admitted at a time.
-func (b *Breaker) Allow() bool {
+// SetNotify registers fn to receive state transitions as (from, to)
+// state names. fn is invoked after the breaker's lock is released — it
+// may safely call back into the breaker — so under concurrency two
+// transitions can occasionally be delivered out of order. Register
+// before the breaker is shared.
+func (b *Breaker) SetNotify(fn func(from, to string)) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.failures < b.threshold {
-		return true
-	}
-	if b.now().Before(b.openUntil) {
-		return false
-	}
-	if b.probing {
-		return false
-	}
-	b.probing = true
-	return true
+	b.notify = fn
+	b.lastState = b.stateLocked()
+	b.mu.Unlock()
 }
 
-// Report records the outcome of an admitted call.
-func (b *Breaker) Report(err error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.probing = false
-	if err == nil {
-		b.failures = 0
-		return
-	}
-	b.failures++
-	if b.failures >= b.threshold {
-		b.openUntil = b.now().Add(b.cooldown)
-	}
-}
-
-// State names the breaker's current state for diagnostics.
-func (b *Breaker) State() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// stateLocked derives the current state name; callers hold b.mu.
+func (b *Breaker) stateLocked() string {
 	switch {
 	case b.failures < b.threshold:
 		return BreakerClosed
@@ -91,4 +73,70 @@ func (b *Breaker) State() string {
 	default:
 		return BreakerHalfOpen
 	}
+}
+
+// observeLocked compares the derived state against the last state
+// reported to notify and returns the notification to run after b.mu is
+// released (nil when nothing changed).
+func (b *Breaker) observeLocked() func() {
+	cur := b.stateLocked()
+	if b.notify == nil || cur == b.lastState {
+		b.lastState = cur
+		return nil
+	}
+	prev := b.lastState
+	b.lastState = cur
+	fn := b.notify
+	return func() { fn(prev, cur) }
+}
+
+// Allow reports whether a call may proceed. Every admitted call must be
+// followed by a Report of its outcome; in the half-open state only one
+// probe is admitted at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var allowed bool
+	switch {
+	case b.failures < b.threshold:
+		allowed = true
+	case b.now().Before(b.openUntil):
+		allowed = false
+	case b.probing:
+		allowed = false
+	default:
+		b.probing = true
+		allowed = true
+	}
+	note := b.observeLocked()
+	b.mu.Unlock()
+	if note != nil {
+		note()
+	}
+	return allowed
+}
+
+// Report records the outcome of an admitted call.
+func (b *Breaker) Report(err error) {
+	b.mu.Lock()
+	b.probing = false
+	if err == nil {
+		b.failures = 0
+	} else {
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openUntil = b.now().Add(b.cooldown)
+		}
+	}
+	note := b.observeLocked()
+	b.mu.Unlock()
+	if note != nil {
+		note()
+	}
+}
+
+// State names the breaker's current state for diagnostics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
 }

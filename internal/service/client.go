@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/vec"
@@ -94,6 +95,9 @@ type Client struct {
 	conn    net.Conn
 	broken  bool
 	closed  bool
+
+	// met holds the reconnect-path counters; nil until Instrument.
+	met atomic.Pointer[clientMetrics]
 }
 
 // Dial connects to a Potluck service with default robustness settings.
@@ -188,6 +192,9 @@ func (c *Client) acquireConn() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m := c.met.Load(); m != nil {
+		m.redials.Inc()
+	}
 	c.stateMu.Lock()
 	if c.closed {
 		c.stateMu.Unlock()
@@ -207,6 +214,9 @@ func (c *Client) poison(conn net.Conn) {
 		c.broken = true
 	}
 	c.stateMu.Unlock()
+	if m := c.met.Load(); m != nil {
+		m.broken.Inc()
+	}
 	conn.Close()
 }
 
@@ -271,6 +281,9 @@ func (c *Client) roundTrip(req *Request) (*Reply, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if m := c.met.Load(); m != nil {
+				m.retries.Inc()
+			}
 			time.Sleep(c.backoff(attempt - 1))
 		}
 		conn, err := c.acquireConn()

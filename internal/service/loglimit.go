@@ -1,0 +1,91 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// logLimiter rate-limits diagnostic logging with a per-key token
+// bucket. The hot error paths — oversize frames, deadline evictions,
+// connection-cap rejects — fire once per misbehaving peer action, so a
+// hostile or broken client could otherwise turn Logf into the most
+// expensive code path in the server. Each key gets a small burst and a
+// steady refill; lines over budget are dropped and counted, and the
+// next line that gets through reports how many were suppressed.
+type logLimiter struct {
+	burst  float64
+	refill float64 // tokens per second
+	now    func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*logBucket
+}
+
+type logBucket struct {
+	tokens     float64
+	last       time.Time
+	suppressed int64
+}
+
+// newLogLimiter builds a limiter allowing burst lines immediately and
+// perSec lines per second sustained, per key. A nil now uses time.Now
+// (injectable for tests).
+func newLogLimiter(burst, perSec float64, now func() time.Time) *logLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &logLimiter{
+		burst:   burst,
+		refill:  perSec,
+		now:     now,
+		buckets: make(map[string]*logBucket),
+	}
+}
+
+// allow charges one token against key. It reports whether the caller
+// may log and, when it may, how many earlier lines under the same key
+// were suppressed since the last one that got through.
+func (l *logLimiter) allow(key string) (ok bool, suppressed int64) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		b = &logBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.refill
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		b.suppressed++
+		return false, 0
+	}
+	b.tokens--
+	suppressed = b.suppressed
+	b.suppressed = 0
+	return true, suppressed
+}
+
+// logfLimited logs through Logf subject to the per-key rate limiter.
+// Suppressed lines are counted on the telemetry registry when the
+// server is instrumented.
+func (s *Server) logfLimited(key, format string, args ...any) {
+	if s.Logf == nil {
+		return
+	}
+	ok, suppressed := s.limiter.allow(key)
+	if !ok {
+		if s.met != nil {
+			s.met.suppressedLogs.Inc()
+		}
+		return
+	}
+	if suppressed > 0 {
+		format += fmt.Sprintf(" (%d similar lines suppressed)", suppressed)
+	}
+	s.Logf(format, args...)
+}

@@ -88,6 +88,14 @@ type Server struct {
 	// request; nil when unlimited.
 	sem chan struct{}
 
+	// met holds the telemetry series; nil until Instrument. It is set
+	// before Serve and read without a lock by the request path.
+	met *serverMetrics
+
+	// limiter rate-limits Logf on hot error paths (oversize frames,
+	// deadline evictions, connection-cap rejects).
+	limiter *logLimiter
+
 	// testHookDispatch, when set, runs inside the handler slot before the
 	// request executes; fault-injection tests use it to hold requests
 	// in flight deterministically.
@@ -116,7 +124,12 @@ func NewServer(cache *core.Cache) *Server {
 // NewServerConfig wraps a cache in a service with explicit limits.
 func NewServerConfig(cache *core.Cache, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cache: cache, cfg: cfg, conns: make(map[net.Conn]*connState)}
+	s := &Server{
+		cache:   cache,
+		cfg:     cfg,
+		conns:   make(map[net.Conn]*connState),
+		limiter: newLogLimiter(5, 1, nil),
+	}
 	if cfg.MaxHandlers > 0 {
 		s.sem = make(chan struct{}, cfg.MaxHandlers)
 	}
@@ -177,7 +190,10 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		}
 		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
 			s.mu.Unlock()
-			s.logf("service: connection cap %d reached; rejecting %v", s.cfg.MaxConns, conn.RemoteAddr())
+			if s.met != nil {
+				s.met.rejectedConns.Inc()
+			}
+			s.logfLimited("conn-cap", "service: connection cap %d reached; rejecting %v", s.cfg.MaxConns, conn.RemoteAddr())
 			conn.Close()
 			continue
 		}
@@ -320,13 +336,18 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 	for {
 		payload, err := s.readRequest(conn)
 		if err != nil {
-			if errors.Is(err, ErrMessageTooLarge) {
+			switch {
+			case errors.Is(err, ErrMessageTooLarge):
 				// Tell the peer why before hanging up; the stream past an
 				// oversize prefix is unreadable, so the connection is done
 				// either way, but the client sees a reason instead of a
 				// silent disconnect.
 				s.writeReply(conn, &Reply{Type: MsgReplyError, Error: err.Error()})
-				s.logf("service: %v: %v", conn.RemoteAddr(), err)
+				s.countDroppedConn()
+				s.logfLimited("oversize", "service: %v: %v", conn.RemoteAddr(), err)
+			case isTimeout(err):
+				s.countDroppedConn()
+				s.logfLimited("deadline", "service: %v: evicted on deadline: %v", conn.RemoteAddr(), err)
 			}
 			return // disconnect, timeout, or malformed frame: drop the client
 		}
@@ -334,6 +355,9 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 		req, err := DecodeRequest(payload)
 		var reply *Reply
 		if err != nil {
+			if s.met != nil {
+				s.met.decodeErrs.Inc()
+			}
 			reply = &Reply{Type: MsgReplyError, Error: err.Error()}
 		} else {
 			reply = s.dispatchBounded(req)
@@ -341,7 +365,8 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 		err = s.writeReply(conn, reply)
 		s.setBusy(st, false)
 		if err != nil {
-			s.logf("service: write reply: %v", err)
+			s.countDroppedConn()
+			s.logfLimited("write-reply", "service: write reply: %v", err)
 			return
 		}
 		if s.isDraining() {
@@ -350,8 +375,15 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 	}
 }
 
-// dispatchBounded executes one request through the handler pool.
+// dispatchBounded executes one request through the handler pool. When
+// instrumented it times the dispatch (handler-pool wait included — queue
+// delay under load is exactly what the latency histogram is for) and
+// counts the outcome.
 func (s *Server) dispatchBounded(req *Request) *Reply {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	if s.sem != nil {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
@@ -359,7 +391,30 @@ func (s *Server) dispatchBounded(req *Request) *Reply {
 	if s.testHookDispatch != nil {
 		s.testHookDispatch(req)
 	}
-	return s.dispatch(req)
+	reply := s.dispatch(req)
+	if s.met != nil {
+		ser := s.met.ops[opName(req.Type)]
+		ser.lat.Observe(time.Since(start))
+		if reply.Type == MsgReplyError {
+			ser.errs.Inc()
+		} else {
+			ser.ok.Inc()
+		}
+	}
+	return reply
+}
+
+// countDroppedConn counts a connection cut mid-stream.
+func (s *Server) countDroppedConn() {
+	if s.met != nil {
+		s.met.droppedConns.Inc()
+	}
+}
+
+// isTimeout reports whether err is a connection deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // dispatch executes one request against the cache.

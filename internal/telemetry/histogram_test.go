@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{0, 1, 2, 3, 100, 1000, time.Millisecond, time.Second} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Max != time.Second {
+		t.Fatalf("max = %v, want 1s", s.Max)
+	}
+	wantSum := time.Duration(0+1+2+3+100+1000) + time.Millisecond + time.Second
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	var bucketTotal uint64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Buckets[0] != 1 {
+		t.Fatalf("negative observation not clamped to zero: %+v", s)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1µs, 10 at ~1ms, 1 at ~1s.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	s := h.Snapshot()
+
+	// A log2 bucket bounds the true value from above by at most 2x.
+	p50 := s.Quantile(0.50)
+	if p50 < time.Microsecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want within [1µs, 2µs]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < time.Millisecond || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want within [1ms, 2ms]", p99)
+	}
+	if q := s.Quantile(1); q != s.Max {
+		t.Errorf("p100 = %v, want max %v", q, s.Max)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Nanosecond)
+	s := h.Snapshot()
+	// The observation lands in bucket [2ns,4ns); the upper bound 4ns
+	// exceeds the recorded max 3ns, and the quantile must not.
+	if q := s.Quantile(0.99); q != 3*time.Nanosecond {
+		t.Errorf("quantile = %v, want clamped to max 3ns", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", sa.Count)
+	}
+	if sa.Max != time.Second {
+		t.Fatalf("merged max = %v, want 1s", sa.Max)
+	}
+	if sa.Sum != time.Microsecond+time.Millisecond+time.Second {
+		t.Fatalf("merged sum = %v", sa.Sum)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := 20 * time.Minute // beyond the last finite bucket
+	h.Observe(huge)
+	s := h.Snapshot()
+	if s.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("huge observation not in overflow bucket: %+v", s.Buckets)
+	}
+	if q := s.Quantile(0.5); q != huge {
+		t.Fatalf("overflow quantile = %v, want recorded max %v", q, huge)
+	}
+}
+
+// TestHistogramConcurrent exercises Observe/Snapshot under the race
+// detector and checks no observations are lost.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("snapshot count = %d, want %d", s.Count, workers*perWorker)
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler builds the daemon's observability endpoint:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/stats        JSON snapshot from the stats callback (the daemon
+//	              supplies cache + server state; see service.AdminStats)
+//	/trace        JSON dump of the event ring, oldest first
+//	/debug/pprof  the standard Go profiler surface
+//
+// stats may be nil, in which case /stats serves the registry's raw
+// series values. The handler only reads atomics and snapshots; it never
+// takes a data-path lock, so scraping a loaded daemon is safe.
+func AdminHandler(t *Telemetry, stats func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		var v any
+		if stats != nil {
+			v = stats()
+		} else {
+			v = t.Registry.Gather()
+		}
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Recorded uint64  `json:"recorded"`
+			Capacity int     `json:"capacity"`
+			Events   []Event `json:"events"`
+		}{t.Trace.Len(), t.Trace.Capacity(), t.Trace.Snapshot()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("potluckd admin endpoint\n\n/metrics\n/stats\n/trace\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,328 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType distinguishes the exposition families.
+type MetricType string
+
+// The supported metric families.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// DefaultMaxSeries bounds the number of label combinations one family
+// will materialize. Potluck's label space is (function, keyType), which
+// is bounded by what applications register — but a buggy or hostile
+// client could register unboundedly many functions, and a metric series
+// is never freed. Past the bound, new label combinations collapse into
+// a single overflow series (every label value "_overflow") so the
+// registry's footprint stays fixed while totals remain correct.
+const DefaultMaxSeries = 1024
+
+// overflowLabel is the label value carried by the overflow series.
+const overflowLabel = "_overflow"
+
+// Counter is a monotonically increasing series. If a read function is
+// attached (SetFunc), the counter reports that instead — used to expose
+// counters that already exist as atomics elsewhere (the cache core's
+// per-series counters) without double bookkeeping on the hot path.
+type Counter struct {
+	v  atomic.Int64
+	fn atomic.Pointer[func() int64]
+}
+
+// Add increments the counter by n (n < 0 is ignored; counters are
+// monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// SetFunc attaches a read function; subsequent Values report fn().
+func (c *Counter) SetFunc(fn func() int64) { c.fn.Store(&fn) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if fn := c.fn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return c.v.Load()
+}
+
+// Gauge is a series that can go up and down. Like Counter, a read
+// function may be attached for zero-cost mirroring of existing state.
+type Gauge struct {
+	bits atomic.Uint64 // Float64bits
+	fn   atomic.Pointer[func() float64]
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetFunc attaches a read function; subsequent Values report fn().
+func (g *Gauge) SetFunc(fn func() float64) { g.fn.Store(&fn) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if fn := g.fn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// series is one materialized (family, label values) pair.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name       string
+	help       string
+	typ        MetricType
+	labelNames []string
+	maxSeries  int
+
+	mu     sync.RWMutex
+	series map[string]*series // key: canonical label-value tuple
+	order  []*series          // insertion order, for stable exposition
+}
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x1f")
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	if f.maxSeries > 0 && len(f.order) >= f.maxSeries {
+		// Cardinality bound hit: collapse into the shared overflow
+		// series instead of growing without limit.
+		overflow := make([]string, len(f.labelNames))
+		for i := range overflow {
+			overflow[i] = overflowLabel
+		}
+		okey := strings.Join(overflow, "\x1f")
+		if s = f.series[okey]; s != nil {
+			return s
+		}
+		key, labelValues = okey, overflow
+	}
+	s = &series{labelValues: append([]string(nil), labelValues...)}
+	switch f.typ {
+	case TypeCounter:
+		s.counter = &Counter{}
+	case TypeGauge:
+		s.gauge = &Gauge{}
+	case TypeHistogram:
+		s.hist = &Histogram{}
+	}
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// snapshotSeries returns the family's series in insertion order.
+func (f *family) snapshotSeries() []*series {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]*series(nil), f.order...)
+}
+
+// CounterVec is a handle to a counter family; With resolves one series.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Resolve once and keep the pointer on hot paths.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).counter }
+
+// GaugeVec is a handle to a gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).gauge }
+
+// HistogramVec is a handle to a histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).hist }
+
+// Registry holds metric families and renders them for exposition.
+// All methods are safe for concurrent use. Registering the same name
+// twice returns the existing family (the label schema and type must
+// match; a mismatch panics, as it is a programming error).
+type Registry struct {
+	mu        sync.RWMutex
+	families  map[string]*family
+	order     []*family
+	maxSeries int
+}
+
+// NewRegistry returns an empty registry with the default per-family
+// cardinality bound.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family), maxSeries: DefaultMaxSeries}
+}
+
+// SetMaxSeries overrides the per-family series bound for families
+// registered afterwards (<= 0 means unlimited).
+func (r *Registry) SetMaxSeries(n int) {
+	r.mu.Lock()
+	r.maxSeries = n
+	r.mu.Unlock()
+}
+
+func (r *Registry) register(name, help string, typ MetricType, labelNames []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("telemetry: conflicting registration of %s", name))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		typ:        typ,
+		labelNames: append([]string(nil), labelNames...),
+		maxSeries:  r.maxSeries,
+		series:     make(map[string]*series),
+	}
+	r.families[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// CounterVec registers (or fetches) a counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, labelNames)}
+}
+
+// Counter registers (or fetches) a label-less counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, TypeCounter, nil).get(nil).counter
+}
+
+// GaugeVec registers (or fetches) a gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, labelNames)}
+}
+
+// Gauge registers (or fetches) a label-less gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, TypeGauge, nil).get(nil).gauge
+}
+
+// HistogramVec registers (or fetches) a histogram family.
+func (r *Registry) HistogramVec(name, help string, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, TypeHistogram, labelNames)}
+}
+
+// Histogram registers (or fetches) a label-less histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, TypeHistogram, nil).get(nil).hist
+}
+
+// SeriesValue is one rendered sample, used by JSON snapshots and tests.
+type SeriesValue struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	// Latency is set for histogram series instead of Value.
+	Latency *LatencySummary `json:"latency,omitempty"`
+}
+
+// Gather returns every series' current value, sorted by family
+// registration order then series creation order.
+func (r *Registry) Gather() []SeriesValue {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.RUnlock()
+	var out []SeriesValue
+	for _, f := range fams {
+		for _, s := range f.snapshotSeries() {
+			sv := SeriesValue{Name: f.name}
+			if len(f.labelNames) > 0 {
+				sv.Labels = make(map[string]string, len(f.labelNames))
+				for i, ln := range f.labelNames {
+					sv.Labels[ln] = s.labelValues[i]
+				}
+			}
+			switch f.typ {
+			case TypeCounter:
+				sv.Value = float64(s.counter.Value())
+			case TypeGauge:
+				sv.Value = s.gauge.Value()
+			case TypeHistogram:
+				sum := s.hist.Snapshot().Summary()
+				sv.Latency = &sum
+			}
+			out = append(out, sv)
+		}
+	}
+	return out
+}
+
+// sortedLabelPairs renders label pairs in label-name order for the
+// Prometheus exposition (stable output regardless of schema order).
+func sortedLabelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	type pair struct{ n, v string }
+	pairs := make([]pair, len(names))
+	for i := range names {
+		pairs[i] = pair{names[i], values[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].n < pairs[j].n })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// Prometheus text exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

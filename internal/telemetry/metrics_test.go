@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.SetFunc(func() float64 { return 7 })
+	if got := g.Value(); got != 7 {
+		t.Fatalf("func gauge = %v, want 7", got)
+	}
+	c2 := r.Counter("test_total", "a counter") // re-registration returns same series
+	if got := c2.Value(); got != 5 {
+		t.Fatalf("re-registered counter = %d, want 5", got)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("lookups_total", "lookups", "function", "result")
+	v.With("f1", "hit").Add(3)
+	v.With("f1", "miss").Add(2)
+	v.With("f2", "hit").Inc()
+	if got := v.With("f1", "hit").Value(); got != 3 {
+		t.Fatalf("f1/hit = %d, want 3", got)
+	}
+	vals := r.Gather()
+	if len(vals) != 3 {
+		t.Fatalf("gathered %d series, want 3", len(vals))
+	}
+	if vals[0].Labels["function"] != "f1" || vals[0].Labels["result"] != "hit" || vals[0].Value != 3 {
+		t.Fatalf("unexpected first series: %+v", vals[0])
+	}
+}
+
+func TestVecWrongArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSeries(4)
+	v := r.CounterVec("bounded_total", "bounded", "k")
+	for i := 0; i < 100; i++ {
+		v.With(string(rune('a' + i%26))).Inc()
+	}
+	vals := r.Gather()
+	// 4 real series plus the shared overflow series.
+	if len(vals) != 5 {
+		t.Fatalf("series count = %d, want 5 (bound 4 + overflow)", len(vals))
+	}
+	var total, overflow float64
+	for _, sv := range vals {
+		total += sv.Value
+		if sv.Labels["k"] == overflowLabel {
+			overflow = sv.Value
+		}
+	}
+	if total != 100 {
+		t.Fatalf("total across series = %v, want 100 (no observations lost)", total)
+	}
+	if overflow == 0 {
+		t.Fatal("overflow series absent or empty")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("potluck_lookups_total", "Lookup outcomes.", "function", "keytype", "result")
+	v.With("recog", "colorhist", "hit").Add(12)
+	g := r.Gauge("potluck_cache_entries", "Live entries.")
+	g.Set(3)
+	hv := r.HistogramVec("potluck_lookup_seconds", "Lookup latency.", "function")
+	hv.With("recog").Observe(3 * time.Microsecond)
+	hv.With("recog").Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE potluck_lookups_total counter",
+		`potluck_lookups_total{function="recog",keytype="colorhist",result="hit"} 12`,
+		"# TYPE potluck_cache_entries gauge",
+		"potluck_cache_entries 3",
+		"# TYPE potluck_lookup_seconds histogram",
+		`potluck_lookup_seconds_bucket{function="recog",le="+Inf"} 2`,
+		`potluck_lookup_seconds_count{function="recog"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be `name{labels} value` or `name value`.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	var last float64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "potluck_lookup_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts decreased: %q after %v", line, last)
+		}
+		last = v
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "esc", "k").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped: %s", b.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("conc_total", "conc", "w")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := v.With(string(rune('a' + w)))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				if i%100 == 0 {
+					r.Gather()
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, sv := range r.Gather() {
+		total += sv.Value
+	}
+	if total != 8000 {
+		t.Fatalf("total = %v, want 8000", total)
+	}
+}

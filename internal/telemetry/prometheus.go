@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): one HELP and TYPE line per
+// family, then one sample line per series — histograms expand into
+// cumulative _bucket series plus _sum and _count. Series appear in
+// registration order, so successive scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.snapshotSeries() {
+			labels := sortedLabelPairs(f.labelNames, s.labelValues)
+			var err error
+			switch f.typ {
+			case TypeCounter:
+				err = writeSample(w, f.name, labels, "", float64(s.counter.Value()))
+			case TypeGauge:
+				err = writeSample(w, f.name, labels, "", s.gauge.Value())
+			case TypeHistogram:
+				err = writeHistogram(w, f.name, labels, s.hist.Snapshot())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one exposition line. extra is an extra label pair
+// (used for histogram le labels), already rendered.
+func writeSample(w io.Writer, name, labels, extra string, v float64) error {
+	var b strings.Builder
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram expands one histogram series into cumulative buckets
+// (le in seconds, Prometheus convention), _sum (seconds), and _count.
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if n == 0 && i < histBuckets-1 {
+			// Empty leading/inner buckets are elided (cumulative counts
+			// stay correct); the +Inf bucket below always appears.
+			continue
+		}
+		if i == histBuckets-1 {
+			break
+		}
+		le := strconv.FormatFloat(float64(BucketUpperBound(i))/1e9, 'g', -1, 64)
+		if err := writeSample(w, name+"_bucket", labels, `le="`+le+`"`, float64(cum)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_bucket", labels, `le="+Inf"`, float64(s.Count)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", labels, "", s.Sum.Seconds()); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, "", float64(s.Count))
+}
+
+// formatValue renders a sample value: integral values without an
+// exponent (counter-friendly), others in compact float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds recorded by the Potluck stack. Kind is an open string so
+// layers can add their own without touching this package.
+const (
+	EventHit     = "hit"     // lookup returned a cached value
+	EventMiss    = "miss"    // lookup found nothing within threshold
+	EventDropout = "dropout" // random dropout skipped the cache (§3.4)
+	EventPut     = "put"     // entry inserted
+	EventEvict   = "evict"   // capacity eviction (Value = importance)
+	EventExpire  = "expire"  // TTL purge (Value = entries purged)
+	EventBreaker = "breaker" // circuit-breaker state change (Detail = from→to)
+	EventBarred  = "barred"  // reputation system barred an application
+)
+
+// Event is one trace record. The numeric fields carry kind-specific
+// payloads: for lookup events Value is the nearest-neighbour distance
+// and Aux the threshold in force; for evictions Value is the victim's
+// importance score and Aux its size in bytes.
+type Event struct {
+	// Seq is the global sequence number (1-based, monotonic). Gaps in a
+	// snapshot mean the ring wrapped past unread events.
+	Seq uint64 `json:"seq"`
+	// At is the event time in UnixNano (the producer's clock, so
+	// virtual-clock experiments trace in virtual time).
+	At       int64  `json:"atUnixNano"`
+	Kind     string `json:"kind"`
+	Function string `json:"function,omitempty"`
+	KeyType  string `json:"keyType,omitempty"`
+	// Detail carries kind-specific text (breaker transition, app name).
+	Detail string  `json:"detail,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Aux    float64 `json:"aux,omitempty"`
+}
+
+// traceSlot is one ring cell. The per-slot mutex makes slot access
+// race-clean while keeping writers independent: two writers only meet
+// on the same slot after the ring has wrapped a full capacity between
+// them, so the lock is effectively uncontended and the critical section
+// is a handful of field stores.
+type traceSlot struct {
+	mu sync.Mutex
+	ev Event
+}
+
+// Tracer is a bounded ring buffer of events. Recording is wait-free
+// across slots (a global atomic cursor assigns each event its own cell)
+// and never allocates; when the ring is full the oldest events are
+// overwritten. The nil Tracer drops events, so tracing can be compiled
+// in unconditionally and enabled by wiring a real instance.
+type Tracer struct {
+	slots  []traceSlot
+	mask   uint64
+	cursor atomic.Uint64
+	// now supplies timestamps for events recorded without one.
+	now func() time.Time
+}
+
+// DefaultTraceCapacity is the ring size used by NewTracer when the
+// requested capacity is not positive: large enough to hold a few
+// seconds of hot-path decisions, small enough (~400 KB of slots) to
+// always leave on.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer holding the most recent capacity events
+// (rounded up to a power of two). now is the timestamp source; nil
+// means time.Now.
+func NewTracer(capacity int, now func() time.Time) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{slots: make([]traceSlot, size), mask: uint64(size - 1), now: now}
+}
+
+// Record appends an event to the ring. Safe for concurrent use from any
+// number of writers; a nil tracer drops the event.
+func (t *Tracer) Record(ev Event) {
+	if t == nil || len(t.slots) == 0 {
+		return
+	}
+	if ev.At == 0 {
+		ev.At = t.now().UnixNano()
+	}
+	n := t.cursor.Add(1)
+	ev.Seq = n
+	slot := &t.slots[(n-1)&t.mask]
+	slot.mu.Lock()
+	slot.ev = ev
+	slot.mu.Unlock()
+}
+
+// Len reports how many events have ever been recorded.
+func (t *Tracer) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.cursor.Load()
+}
+
+// Capacity reports how many events the ring retains.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Snapshot copies the currently recorded events, oldest first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil || len(t.slots) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		slot := &t.slots[i]
+		slot.mu.Lock()
+		ev := slot.ev
+		slot.mu.Unlock()
+		if ev.Seq != 0 {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Telemetry bundles the observability primitives one process shares
+// across layers: the metric registry, the event tracer, and the process
+// start time (for uptime reporting).
+type Telemetry struct {
+	Registry *Registry
+	Trace    *Tracer
+	Started  time.Time
+}
+
+// New returns a Telemetry with a fresh registry and a default-capacity
+// tracer stamped with the real clock.
+func New() *Telemetry {
+	return &Telemetry{
+		Registry: NewRegistry(),
+		Trace:    NewTracer(0, nil),
+		Started:  time.Now(),
+	}
+}
+
+// RecordEvent traces ev if t (and its tracer) are non-nil, so callers
+// can hold an optional *Telemetry and trace unconditionally.
+func (t *Telemetry) RecordEvent(ev Event) {
+	if t == nil {
+		return
+	}
+	t.Trace.Record(ev)
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordSnapshot(t *testing.T) {
+	now := time.Unix(100, 0)
+	tr := NewTracer(8, func() time.Time { return now })
+	tr.Record(Event{Kind: EventHit, Function: "f", KeyType: "k", Value: 0.5, Aux: 1.0})
+	tr.Record(Event{Kind: EventMiss, Function: "f", KeyType: "k"})
+	evs := tr.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("sequence numbers wrong: %+v", evs)
+	}
+	if evs[0].Kind != EventHit || evs[0].Value != 0.5 {
+		t.Fatalf("event payload wrong: %+v", evs[0])
+	}
+	if evs[0].At != now.UnixNano() {
+		t.Fatalf("timestamp not stamped: %+v", evs[0])
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: EventPut, Value: float64(i)})
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot len = %d, want ring capacity 4", len(evs))
+	}
+	// The ring keeps the most recent events, oldest first.
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("len = %d, want 10", tr.Len())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: EventHit}) // must not panic
+	if tr.Snapshot() != nil || tr.Len() != 0 || tr.Capacity() != 0 {
+		t.Fatal("nil tracer should report empty")
+	}
+	var tel *Telemetry
+	tel.RecordEvent(Event{Kind: EventHit}) // must not panic
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(256, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, ev := range tr.Snapshot() {
+					if ev.Kind != EventEvict {
+						t.Errorf("torn event: %+v", ev)
+						return
+					}
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				tr.Record(Event{Kind: EventEvict, Value: float64(i)})
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if tr.Len() != 40000 {
+		t.Fatalf("len = %d, want 40000", tr.Len())
+	}
+}
+
+func TestAdminHandler(t *testing.T) {
+	tel := New()
+	tel.Registry.Counter("potluck_test_total", "test").Add(7)
+	tel.Trace.Record(Event{Kind: EventEvict, Function: "f", Value: 1.5})
+	h := AdminHandler(tel, func() any {
+		return map[string]any{"hello": "world"}
+	})
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "potluck_test_total 7") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/stats"); code != 200 || !strings.Contains(body, `"hello"`) {
+		t.Errorf("/stats: code=%d body=%q", code, body)
+	}
+	code, body := get("/trace")
+	if code != 200 {
+		t.Fatalf("/trace: code=%d", code)
+	}
+	var trace struct {
+		Recorded uint64  `json:"recorded"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/trace JSON: %v", err)
+	}
+	if trace.Recorded != 1 || len(trace.Events) != 1 || trace.Events[0].Kind != EventEvict {
+		t.Errorf("/trace payload wrong: %+v", trace)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code=%d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path: code=%d, want 404", code)
+	}
+}
+
+func TestAdminHandlerNilStats(t *testing.T) {
+	tel := New()
+	tel.Registry.Gauge("g", "g").Set(1)
+	srv := httptest.NewServer(AdminHandler(tel, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vals []SeriesValue
+	if err := json.NewDecoder(resp.Body).Decode(&vals); err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].Name != "g" {
+		t.Fatalf("fallback stats wrong: %+v", vals)
+	}
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Run the repo's core benchmarks with allocation stats and record the
+# result as a committed baseline.
+#
+# Usage:
+#   scripts/bench.sh [go-bench-regexp] [benchtime]
+#
+# Defaults to the full suite at -benchtime=1s. Output lands in
+# BENCH_core.json at the repo root: a JSON document wrapping the raw
+# `go test -bench` text (benchmarks' native format survives untouched
+# for benchstat) plus the environment needed to interpret it. Compare
+# against the committed baseline before merging a change that touches
+# the lookup or put path — the telemetry subsystem's <=5% overhead
+# budget (DESIGN.md, "Observability") is enforced by eyeballing the
+# telemetry-on/telemetry-off variants of BenchmarkLookupParallel here.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${2:-1s}"
+out="BENCH_core.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "running: go test -run ^\$ -bench $pattern -benchtime $benchtime -benchmem ." >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
+
+# Wrap the raw text in JSON. Go bench output needs backslash, quote,
+# and tab escapes (columns are tab-separated); decoding the lines and
+# joining with newlines restores benchstat-ready text exactly.
+tab="$(printf '\t')"
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "goos": "%s",\n' "$(go env GOOS)"
+	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "pattern": "%s",\n' "$pattern"
+	printf '  "output": ['
+	first=1
+	while IFS= read -r line; do
+		esc=$(printf '%s' "$line" | sed "s/\\\\/\\\\\\\\/g; s/\"/\\\\\"/g; s/$tab/\\\\t/g")
+		if [ "$first" = 1 ]; then first=0; else printf ','; fi
+		printf '\n    "%s"' "$esc"
+	done < "$tmp"
+	printf '\n  ]\n'
+	printf '}\n'
+} > "$out"
+
+echo "wrote $out" >&2
