@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/feature"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -86,6 +87,9 @@ func main() {
 	if *adminAddr != "" {
 		tel = telemetry.New()
 		cfg.Telemetry = tel
+		// Key generation is the hit path's fixed cost: expose per-extractor
+		// extraction latency on /metrics for any in-process extraction.
+		feature.Instrument(tel.Registry)
 	}
 	cache := core.New(cfg)
 	if *snapshot != "" {

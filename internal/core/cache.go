@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -262,6 +261,11 @@ type Cache struct {
 	// instead.
 	admitMu sync.Mutex
 	expiry  expiryHeap
+	// evictScratch is the candidate slice reused across eviction rounds
+	// (guarded by admitMu). Entries linger in the backing array until
+	// the next eviction overwrites them — at most one round's worth of
+	// otherwise-dead pointers, traded for zero steady-state allocation.
+	evictScratch []*entry
 	// staleExpiry counts heap items whose entry has already been
 	// removed (evicted or invalidated before its deadline). The heap is
 	// compacted when stale items outnumber live entries, so
@@ -799,7 +803,7 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	c.count.Add(1)
 	c.bytes.Add(int64(size))
 	c.admitMu.Lock()
-	heap.Push(&c.expiry, expiryItem{at: e.expiresAt, id: id})
+	c.expiry.push(expiryItem{at: e.expiresAt, id: id})
 	c.updateNextExpiryLocked()
 	c.evictLocked(now, id)
 	c.admitMu.Unlock()
@@ -918,13 +922,18 @@ func (c *Cache) evictLocked(now time.Time, exclude ID) {
 		return c.cfg.MaxBytes > 0 && c.bytes.Load() > c.cfg.MaxBytes
 	}
 	for over() {
-		cands := make([]*entry, 0, c.count.Load())
+		// evictScratch (guarded by admitMu, like the rest of the eviction
+		// state) is recycled across rounds and calls: at the replacement
+		// benchmark's churn rate, rebuilding the candidate slice per victim
+		// dominated the allocation profile.
+		cands := c.evictScratch[:0]
 		c.entries.forEach(func(e *entry) bool {
 			if e.id != exclude {
 				cands = append(cands, e)
 			}
 			return true
 		})
+		c.evictScratch = cands
 		if len(cands) == 0 {
 			return
 		}
@@ -995,7 +1004,7 @@ func (c *Cache) maybeCompactExpiryLocked() {
 		h = append(h, expiryItem{at: e.expiresAt, id: e.id})
 		return true
 	})
-	heap.Init(&h)
+	h.init()
 	c.expiry = h
 	c.staleExpiry = 0
 	c.updateNextExpiryLocked()
@@ -1050,7 +1059,7 @@ func (c *Cache) maybePurgeExpired(now time.Time) {
 func (c *Cache) purgeExpiredLocked(now time.Time) int {
 	purged := 0
 	for len(c.expiry) > 0 && !c.expiry[0].at.After(now) {
-		item := heap.Pop(&c.expiry).(expiryItem)
+		item := c.expiry.popMin()
 		e := c.entries.loadAndDelete(item.id)
 		if e == nil {
 			// Stale heap item: its entry was evicted or invalidated
@@ -1094,7 +1103,7 @@ func (c *Cache) NextExpiry() (time.Time, bool) {
 		if e := c.entries.load(head.id); e != nil {
 			return head.at, true
 		}
-		heap.Pop(&c.expiry) // stale
+		c.expiry.popMin() // stale
 		if c.staleExpiry > 0 {
 			c.staleExpiry--
 		}
@@ -1228,16 +1237,65 @@ type expiryItem struct {
 	id ID
 }
 
+// expiryHeap is a binary min-heap on the deadline. The push/popMin/init
+// operations are implemented directly rather than through
+// container/heap: the interface-based API boxes every expiryItem into
+// an `any`, which put one allocation on every Put (and one per pop on
+// the purge path) for a value two words wide.
 type expiryHeap []expiryItem
 
-func (h expiryHeap) Len() int            { return len(h) }
-func (h expiryHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
-func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryItem)) }
-func (h *expiryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// push inserts it, sifting up to restore the heap order.
+func (h *expiryHeap) push(it expiryItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].at.Before(s[parent].at) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the earliest-deadline item. The caller
+// must ensure the heap is non-empty.
+func (h *expiryHeap) popMin() expiryItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	if n > 1 {
+		(*h).siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores the heap order below index i.
+func (h expiryHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].at.Before(h[l].at) {
+			m = r
+		}
+		if !h[m].at.Before(h[i].at) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// init heapifies an arbitrarily ordered slice in O(n).
+func (h expiryHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }

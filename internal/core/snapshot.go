@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -250,7 +249,7 @@ func (c *Cache) ReadSnapshot(r io.Reader) (SnapshotStats, error) {
 		c.count.Add(1)
 		c.bytes.Add(int64(e.size))
 		c.admitMu.Lock()
-		heap.Push(&c.expiry, expiryItem{at: e.expiresAt, id: id})
+		c.expiry.push(expiryItem{at: e.expiresAt, id: id})
 		c.updateNextExpiryLocked()
 		c.admitMu.Unlock()
 		stats.Entries++

@@ -37,8 +37,9 @@ func (f FAST) Extract(img *imaging.RGB) Result {
 	if th <= 0 {
 		th = 0.15
 	}
-	g := img.Gray()
-	var pts []point
+	sc := scratchPool.Get().(*extractScratch)
+	g := img.GrayInto(imaging.GetGray(img.W, img.H))
+	pts := sc.pts[:0]
 	for y := 3; y < g.H-3; y++ {
 		for x := 3; x < g.W-3; x++ {
 			c := g.Pix[y*g.W+x]
@@ -60,10 +61,14 @@ func (f FAST) Extract(img *imaging.RGB) Result {
 			}
 		}
 	}
+	sc.pts = pts
 	key := gridPool(pts, g.W, g.H, 8, 8)
+	n := len(pts)
+	imaging.PutGray(g)
+	scratchPool.Put(sc)
 	// Payload: (x, y) plus a small patch per corner, as a tracker would
 	// retain.
-	return Result{Key: key, RawBytes: len(pts) * 56, Keypoints: len(pts)}
+	return Result{Key: key, RawBytes: n * 56, Keypoints: n}
 }
 
 // fastSegment reports whether 9 contiguous circle pixels are all
@@ -128,39 +133,60 @@ func (h Harris) Extract(img *imaging.RGB) Result {
 	if th <= 0 {
 		th = 1e-4
 	}
-	g := img.Gray()
-	gx, gy := imaging.Gradients(g)
-	ixx := imaging.NewGray(g.W, g.H)
-	iyy := imaging.NewGray(g.W, g.H)
-	ixy := imaging.NewGray(g.W, g.H)
-	for i := range gx.Pix {
-		ixx.Pix[i] = gx.Pix[i] * gx.Pix[i]
-		iyy.Pix[i] = gy.Pix[i] * gy.Pix[i]
-		ixy.Pix[i] = gx.Pix[i] * gy.Pix[i]
-	}
-	// Gaussian window over the structure tensor.
-	ixx = imaging.Blur(ixx, 1.0)
-	iyy = imaging.Blur(iyy, 1.0)
-	ixy = imaging.Blur(ixy, 1.0)
-	var pts []point
-	for y := 1; y < g.H-1; y++ {
-		for x := 1; x < g.W-1; x++ {
-			i := y*g.W + x
+	sc := scratchPool.Get().(*extractScratch)
+	g := img.GrayInto(imaging.GetGray(img.W, img.H))
+	w, ht := g.W, g.H
+	gx := imaging.GetGray(w, ht)
+	gy := imaging.GetGray(w, ht)
+	imaging.GradientsInto(gx, gy, g)
+	ixx := imaging.GetGray(w, ht)
+	iyy := imaging.GetGray(w, ht)
+	ixy := imaging.GetGray(w, ht)
+	imaging.ParallelRows(ht, w*ht*6, func(y0, y1 int) {
+		for i := y0 * w; i < y1*w; i++ {
+			ixx.Pix[i] = gx.Pix[i] * gx.Pix[i]
+			iyy.Pix[i] = gy.Pix[i] * gy.Pix[i]
+			ixy.Pix[i] = gx.Pix[i] * gy.Pix[i]
+		}
+	})
+	// Gaussian window over the structure tensor (in-place blurs reuse
+	// the tensor buffers through the pooled separable passes).
+	ixx = imaging.BlurInto(ixx, ixx, 1.0)
+	iyy = imaging.BlurInto(iyy, iyy, 1.0)
+	ixy = imaging.BlurInto(ixy, ixy, 1.0)
+	// Precompute the response over the whole image once; the previous
+	// implementation recomputed a neighbour's response for every local-max
+	// probe (up to 9 evaluations per candidate). Same expression, so the
+	// selected corners — and their weights — are identical.
+	resp := gx // recycle: the gradients are no longer needed
+	imaging.ParallelRows(ht, w*ht*8, func(y0, y1 int) {
+		for i := y0 * w; i < y1*w; i++ {
 			det := ixx.Pix[i]*iyy.Pix[i] - ixy.Pix[i]*ixy.Pix[i]
 			tr := ixx.Pix[i] + iyy.Pix[i]
-			r := det - k*tr*tr
-			if r > th && isLocalMax(func(xx, yy int) float64 {
-				ii := yy*g.W + xx
-				d := ixx.Pix[ii]*iyy.Pix[ii] - ixy.Pix[ii]*ixy.Pix[ii]
-				t := ixx.Pix[ii] + iyy.Pix[ii]
-				return d - k*t*t
-			}, x, y, r) {
+			resp.Pix[i] = det - k*tr*tr
+		}
+	})
+	pts := sc.pts[:0]
+	for y := 1; y < ht-1; y++ {
+		row := y * w
+		for x := 1; x < w-1; x++ {
+			r := resp.Pix[row+x]
+			if r > th && grayLocalMax(resp, x, y, r) {
 				pts = append(pts, point{x: x, y: y, weight: r})
 			}
 		}
 	}
-	key := gridPool(pts, g.W, g.H, 8, 8)
-	return Result{Key: key, RawBytes: len(pts) * 72, Keypoints: len(pts)}
+	sc.pts = pts
+	key := gridPool(pts, w, ht, 8, 8)
+	n := len(pts)
+	imaging.PutGray(g)
+	imaging.PutGray(gx)
+	imaging.PutGray(gy)
+	imaging.PutGray(ixx)
+	imaging.PutGray(iyy)
+	imaging.PutGray(ixy)
+	scratchPool.Put(sc)
+	return Result{Key: key, RawBytes: n * 72, Keypoints: n}
 }
 
 // isLocalMax reports whether value r at (x, y) is a strict 8-neighbour
@@ -181,17 +207,46 @@ func isLocalMax(f func(x, y int) float64, x, y int, r float64) bool {
 
 // orientationHistogram accumulates an nbins histogram of gradient
 // orientation around (x, y) within the given radius, weighted by
-// magnitude; shared by the SIFT- and SURF-like descriptors.
+// magnitude; shared by the SIFT- and SURF-like descriptors. Retained as
+// the reference implementation for the equivalence tests; the hot path
+// is orientationHistogramInto.
 func orientationHistogram(mag, ori *imaging.Gray, x, y, radius, nbins int) vec.Vector {
 	h := make(vec.Vector, nbins)
+	orientationHistogramInto(h, mag, ori, x, y, radius)
+	return h
+}
+
+// orientationHistogramInto accumulates a len(h)-bin orientation
+// histogram into h (zeroed first). Windows that lie fully inside the
+// image skip the border-replicating At in favour of direct indexing —
+// identical values, no clamping arithmetic.
+func orientationHistogramInto(h []float64, mag, ori *imaging.Gray, x, y, radius int) {
+	for i := range h {
+		h[i] = 0
+	}
+	nbins := len(h)
+	fb := float64(nbins)
+	w, ht := ori.W, ori.H
+	if x >= radius && x+radius < w && y >= radius && y+radius < ht {
+		for dy := -radius; dy <= radius; dy++ {
+			row := (y+dy)*w + x
+			for dx := -radius; dx <= radius; dx++ {
+				b := int(ori.Pix[row+dx] / math.Pi * fb)
+				if b >= nbins {
+					b = nbins - 1
+				}
+				h[b] += mag.Pix[row+dx]
+			}
+		}
+		return
+	}
 	for dy := -radius; dy <= radius; dy++ {
 		for dx := -radius; dx <= radius; dx++ {
-			b := int(ori.At(x+dx, y+dy) / math.Pi * float64(nbins))
+			b := int(ori.At(x+dx, y+dy) / math.Pi * fb)
 			if b >= nbins {
 				b = nbins - 1
 			}
 			h[b] += mag.At(x+dx, y+dy)
 		}
 	}
-	return h
 }

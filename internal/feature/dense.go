@@ -22,15 +22,12 @@ func (ColorHist) Usage() string { return "Similarity" }
 // Extract implements Extractor.
 func (ColorHist) Extract(img *imaging.RGB) Result {
 	key := make(vec.Vector, 768)
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			r, g, b := img.At(x, y)
-			key[bin(r)]++
-			key[256+bin(g)]++
-			key[512+bin(b)]++
-		}
+	for i := 0; i+2 < len(img.Pix); i += 3 {
+		key[bin(img.Pix[i])]++
+		key[256+bin(img.Pix[i+1])]++
+		key[512+bin(img.Pix[i+2])]++
 	}
-	key = key.NormalizeL1()
+	normalizeL1InPlace(key)
 	return Result{Key: key, RawBytes: key.SizeBytes()}
 }
 
@@ -75,22 +72,31 @@ func (HOG) Usage() string { return "Detection" }
 func (HOG) Extract(img *imaging.RGB) Result {
 	// Gaussian pre-smoothing suppresses sensor noise before gradients,
 	// the standard HOG preprocessing; without it per-frame noise
-	// dominates the cell histograms.
-	g := imaging.Blur(img.Gray(), 2.0)
-	mag, ori := imaging.GradientMagnitudeOrientation(g)
+	// dominates the cell histograms. The grayscale conversion, blur
+	// (in place: BlurInto allows dst == src), and the fused
+	// magnitude+orientation pass all run in pooled buffers.
+	g := img.GrayInto(imaging.GetGray(img.W, img.H))
+	g = imaging.BlurInto(g, g, 2.0)
+	mag := imaging.GetGray(g.W, g.H)
+	ori := imaging.GetGray(g.W, g.H)
+	imaging.GradientMagnitudeOrientationInto(mag, ori, g)
 	key := make(vec.Vector, hogCells*hogCells*hogBins)
 	if g.W == 0 || g.H == 0 {
+		imaging.PutGray(g)
+		imaging.PutGray(mag)
+		imaging.PutGray(ori)
 		return Result{Key: key}
 	}
 	for y := 0; y < g.H; y++ {
 		cy := y * hogCells / g.H
+		row := y * g.W
 		for x := 0; x < g.W; x++ {
-			m := mag.At(x, y)
+			m := mag.Pix[row+x]
 			if m < hogMagnitudeFloor {
 				continue // residual noise gradients
 			}
 			cx := x * hogCells / g.W
-			theta := ori.At(x, y)
+			theta := ori.Pix[row+x]
 			base := (cy*hogCells + cx) * hogBins
 			key[base] += m
 			for k := 1; k <= 4; k++ {
@@ -99,7 +105,10 @@ func (HOG) Extract(img *imaging.RGB) Result {
 			}
 		}
 	}
-	key = key.Normalize()
+	imaging.PutGray(g)
+	imaging.PutGray(mag)
+	imaging.PutGray(ori)
+	normalizeInPlace(key)
 	return Result{Key: key, RawBytes: key.SizeBytes()}
 }
 
@@ -124,8 +133,10 @@ func (Downsample) Usage() string { return "Deep learning" }
 
 // Extract implements Extractor.
 func (Downsample) Extract(img *imaging.RGB) Result {
-	small := imaging.ResizeRGB(img, DownsampleSide, DownsampleSide)
+	small := imaging.ResizeRGBInto(imaging.GetRGB(DownsampleSide, DownsampleSide), img, DownsampleSide, DownsampleSide)
 	key := make(vec.Vector, len(small.Pix))
 	copy(key, small.Pix)
-	return Result{Key: key, RawBytes: len(small.Pix)} // 1 byte/channel payload
+	n := len(small.Pix)
+	imaging.PutRGB(small)
+	return Result{Key: key, RawBytes: n} // 1 byte/channel payload
 }

@@ -54,13 +54,15 @@ func Register(e Extractor) {
 	registry[e.Name()] = e
 }
 
-// ByName returns the named extractor from the library.
+// ByName returns the named extractor from the library. After
+// Instrument has been called the returned extractor records each
+// Extract's latency into the registry's per-extractor histogram.
 func ByName(name string) (Extractor, error) {
 	e, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("feature: unknown extractor %q", name)
 	}
-	return e, nil
+	return maybeTimed(e), nil
 }
 
 // Names lists the registered extractors in sorted order.
@@ -102,7 +104,8 @@ func gridPool(points []point, w, h, gw, gh int) vec.Vector {
 		}
 		out[cy*gw+cx] += p.weight
 	}
-	return out.NormalizeL1()
+	normalizeL1InPlace(out)
+	return out
 }
 
 type point struct {

@@ -1,0 +1,111 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/vec"
+)
+
+// Concurrency tests for the extractor scratch reuse: all extractors
+// share the imaging buffer pool and the per-extractor scratch pool, so
+// concurrent extractions must never alias a live buffer — if they do,
+// a key computed under contention differs from the single-threaded
+// baseline (and `go test -race`, which CI runs on this package, flags
+// the write overlap directly).
+
+func keysEqual(a, b vec.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentExtractorsDeterministic runs every registered extractor
+// simultaneously from several goroutines, on distinct frames, many
+// rounds (so pooled buffers recycle across extractors mid-flight), and
+// requires every key to be bit-identical to the baseline computed
+// sequentially before any concurrency started.
+func TestConcurrentExtractorsDeterministic(t *testing.T) {
+	const frames = 3
+	video := synth.NewVideo(synth.VideoConfig{W: 160, H: 120, Seed: 7, Noise: 0})
+	names := Names()
+
+	// Sequential baseline, computed with a quiet pool.
+	baseline := make(map[string][]vec.Vector, len(names))
+	for _, name := range names {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]vec.Vector, frames)
+		for f := 0; f < frames; f++ {
+			keys[f] = e.Extract(video.Frame(f)).Key
+		}
+		baseline[name] = keys
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*frames)
+	for _, name := range names {
+		for f := 0; f < frames; f++ {
+			wg.Add(1)
+			go func(name string, f int) {
+				defer wg.Done()
+				e, err := ByName(name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				img := video.Frame(f)
+				for round := 0; round < rounds; round++ {
+					got := e.Extract(img).Key
+					if !keysEqual(baseline[name][f], got) {
+						errs <- fmt.Errorf("%s frame %d round %d: key differs under concurrency (pooled buffer aliased?)", name, f, round)
+						return
+					}
+				}
+			}(name, f)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractKeyDoesNotAliasPool re-extracts with the same extractor
+// and checks that a key returned earlier is not overwritten by later
+// extractions: returned Results must own their memory, never borrow
+// pooled scratch.
+func TestExtractKeyDoesNotAliasPool(t *testing.T) {
+	video := synth.NewVideo(synth.VideoConfig{W: 160, H: 120, Seed: 11, Noise: 0})
+	for _, name := range Names() {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := video.Frame(0)
+		first := e.Extract(img).Key
+		saved := append(vec.Vector(nil), first...)
+		// Churn the pools with extractions of differently shaped frames.
+		other := synth.NewVideo(synth.VideoConfig{W: 96, H: 72, Seed: 3, Noise: 0})
+		for i := 0; i < 5; i++ {
+			e.Extract(other.Frame(i))
+			e.Extract(img)
+		}
+		if !keysEqual(first, saved) {
+			t.Fatalf("%s: previously returned key mutated by later extractions — key references pooled memory", name)
+		}
+	}
+}

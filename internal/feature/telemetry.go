@@ -1,0 +1,59 @@
+package feature
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/imaging"
+	"repro/internal/telemetry"
+)
+
+// Latency instrumentation for key generation.
+//
+// Key generation is the fixed toll on every cache lookup (Table 1), so
+// its latency is the first place a deployment looks when the hit path
+// slows down. Instrument attaches a per-extractor latency histogram to
+// a telemetry registry; afterwards ByName hands out extractors wrapped
+// to time each Extract. Detached (the default, and the state every
+// benchmark runs in) the wrapper does not exist at all — ByName returns
+// the raw extractor and key generation pays zero instrumentation cost.
+
+// extractLatency is the histogram vector Extract timings feed, nil
+// until Instrument is called. atomic.Pointer so ByName (any goroutine)
+// races cleanly with a late Instrument.
+var extractLatency atomic.Pointer[telemetry.HistogramVec]
+
+// Instrument registers the per-extractor key-generation latency
+// histogram on reg and makes ByName return timing-wrapped extractors
+// from now on. Safe to call at most once per registry; calling it again
+// with the same registry reuses the existing series.
+func Instrument(reg *telemetry.Registry) {
+	extractLatency.Store(reg.HistogramVec("potluck_feature_extract_latency_seconds",
+		"Key-generation (feature extraction) latency by extractor.", "extractor"))
+}
+
+// timedExtractor wraps an Extractor, recording each Extract's wall time.
+type timedExtractor struct {
+	e    Extractor
+	hist *telemetry.Histogram
+}
+
+func (t timedExtractor) Name() string  { return t.e.Name() }
+func (t timedExtractor) Usage() string { return t.e.Usage() }
+
+func (t timedExtractor) Extract(img *imaging.RGB) Result {
+	start := time.Now()
+	r := t.e.Extract(img)
+	t.hist.Observe(time.Since(start))
+	return r
+}
+
+// maybeTimed wraps e with latency instrumentation when Instrument has
+// been called, and returns e unchanged otherwise.
+func maybeTimed(e Extractor) Extractor {
+	v := extractLatency.Load()
+	if v == nil {
+		return e
+	}
+	return timedExtractor{e: e, hist: v.With(e.Name())}
+}

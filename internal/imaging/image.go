@@ -122,14 +122,24 @@ func (m *RGB) Clone() *RGB {
 
 // Gray converts to grayscale using the Rec. 601 luma weights.
 func (m *RGB) Gray() *Gray {
-	out := NewGray(m.W, m.H)
-	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			r, g, b := m.At(x, y)
-			out.Set(x, y, 0.299*r+0.587*g+0.114*b)
+	return m.GrayInto(nil)
+}
+
+// GrayInto converts to grayscale using the Rec. 601 luma weights,
+// writing into dst (reshaped to m's dimensions; nil allocates).
+// Returns dst.
+func (m *RGB) GrayInto(dst *Gray) *Gray {
+	dst = reshapeGray(dst, m.W, m.H)
+	w := m.W
+	ParallelRows(m.H, w*m.H*3, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				i := 3 * (y*w + x)
+				dst.Pix[y*w+x] = 0.299*m.Pix[i] + 0.587*m.Pix[i+1] + 0.114*m.Pix[i+2]
+			}
 		}
-	}
-	return out
+	})
+	return dst
 }
 
 // Fill sets every pixel to (r, g, b).

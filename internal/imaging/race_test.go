@@ -1,0 +1,158 @@
+package imaging
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Concurrency tests for the buffer pool and the row-band worker pool.
+// They are most meaningful under `go test -race` (CI runs them that
+// way), but the stamp checks below also catch aliasing without the
+// race detector: if the pool ever hands the same buffer to two live
+// holders, one goroutine's stamp shows up in the other's verify pass.
+
+// TestPoolConcurrentNoAliasing hammers GetGray/PutGray from many
+// goroutines. Each holder stamps its buffer with a value unique to
+// (goroutine, iteration) and verifies every sample before returning
+// the buffer, so any sharing of live buffers is detected directly.
+func TestPoolConcurrentNoAliasing(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 300
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sizes := [][2]int{{7, 5}, {64, 48}, {33, 9}, {1, 1}, {320, 2}}
+			for it := 0; it < iters; it++ {
+				sz := sizes[(g+it)%len(sizes)]
+				buf := GetGray(sz[0], sz[1])
+				if buf.W != sz[0] || buf.H != sz[1] || len(buf.Pix) != sz[0]*sz[1] {
+					errs <- fmt.Errorf("goroutine %d: got %dx%d len %d, want %dx%d",
+						g, buf.W, buf.H, len(buf.Pix), sz[0], sz[1])
+					return
+				}
+				stamp := float64(g*1_000_000 + it)
+				for i := range buf.Pix {
+					buf.Pix[i] = stamp
+				}
+				for i := range buf.Pix {
+					if buf.Pix[i] != stamp {
+						errs <- fmt.Errorf("goroutine %d iter %d: live buffer mutated (pixel %d = %v, want %v): pooled buffer aliased",
+							g, it, i, buf.Pix[i], stamp)
+						return
+					}
+				}
+				PutGray(buf)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolRGBConcurrentNoAliasing is the RGB-pool counterpart.
+func TestPoolRGBConcurrentNoAliasing(t *testing.T) {
+	const goroutines, iters = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				buf := GetRGB(17+g, 9+it%4)
+				stamp := float64(g*1_000_000 + it)
+				for i := range buf.Pix {
+					buf.Pix[i] = stamp
+				}
+				for i := range buf.Pix {
+					if buf.Pix[i] != stamp {
+						errs <- fmt.Errorf("goroutine %d iter %d: pooled RGB buffer aliased", g, it)
+						return
+					}
+				}
+				PutRGB(buf)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRowsConcurrentCallers runs many simultaneous banded
+// kernels (each with its own images) through the shared worker pool
+// with the sequential fallback disabled, checking each result against
+// the sequential reference. Bands from different callers interleave on
+// the same workers, so cross-caller state leakage or band mis-routing
+// corrupts a result; -race additionally checks the handoff ordering.
+func TestParallelRowsConcurrentCallers(t *testing.T) {
+	forceParallel(t)
+	const goroutines, iters = 6, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := testGray(37+g, 23+g, int64(g))
+			want := refBlur(src, 1.5)
+			for it := 0; it < iters; it++ {
+				got := Blur(src, 1.5)
+				for i := range want.Pix {
+					if math.Float64bits(want.Pix[i]) != math.Float64bits(got.Pix[i]) {
+						errs <- fmt.Errorf("goroutine %d iter %d: pixel %d differs under concurrent ParallelRows: got %v want %v",
+							g, it, i, got.Pix[i], want.Pix[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRowsNestedWork submits from inside band functions'
+// callers at different sizes: small ops that fall back inline mixed
+// with banded ones, ensuring the drain-and-help loop in ParallelRows
+// never deadlocks when every goroutine is also a helper.
+func TestParallelRowsMixedSizes(t *testing.T) {
+	forceParallel(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				n := 1 + (g+it)%5
+				sum := 0
+				var mu sync.Mutex
+				ParallelRows(n, n*parallelMinWork+1, func(y0, y1 int) {
+					mu.Lock()
+					sum += y1 - y0
+					mu.Unlock()
+				})
+				if sum != n {
+					t.Errorf("ParallelRows covered %d of %d rows", sum, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

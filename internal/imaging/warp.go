@@ -99,53 +99,75 @@ func ScalingAbout(sx, sy, cx, cy float64) Mat3 {
 // instead of re-rendering a 3-D scene, a cached frame is warped to the
 // new viewpoint (§5.5, citing plenoptic image-based rendering).
 func Warp(g *Gray, m Mat3, fill float64) (*Gray, error) {
+	return WarpInto(nil, g, m, fill)
+}
+
+// WarpInto maps src through the forward transform m, writing into dst
+// (reshaped to src's dimensions; nil allocates). dst must not alias
+// src. Returns dst.
+func WarpInto(dst, src *Gray, m Mat3, fill float64) (*Gray, error) {
 	inv, err := m.Inverse()
 	if err != nil {
 		return nil, err
 	}
-	out := NewGray(g.W, g.H)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			sx, sy := inv.Apply(float64(x), float64(y))
-			if sx < -0.5 || sy < -0.5 || sx > float64(g.W)-0.5 || sy > float64(g.H)-0.5 ||
-				math.IsInf(sx, 0) || math.IsInf(sy, 0) {
-				out.Pix[y*g.W+x] = fill
-				continue
+	dst = reshapeGray(dst, src.W, src.H)
+	checkNoAlias(dst, src, "WarpInto")
+	w := src.W
+	ParallelRows(src.H, w*src.H*16, func(y0b, y1b int) {
+		for y := y0b; y < y1b; y++ {
+			for x := 0; x < w; x++ {
+				sx, sy := inv.Apply(float64(x), float64(y))
+				if sx < -0.5 || sy < -0.5 || sx > float64(src.W)-0.5 || sy > float64(src.H)-0.5 ||
+					math.IsInf(sx, 0) || math.IsInf(sy, 0) {
+					dst.Pix[y*w+x] = fill
+					continue
+				}
+				dst.Pix[y*w+x] = src.Bilinear(sx, sy)
 			}
-			out.Pix[y*g.W+x] = g.Bilinear(sx, sy)
 		}
-	}
-	return out, nil
+	})
+	return dst, nil
 }
 
 // WarpRGB maps an RGB image through the forward transform m.
 func WarpRGB(img *RGB, m Mat3, fr, fg, fb float64) (*RGB, error) {
+	return WarpRGBInto(nil, img, m, fr, fg, fb)
+}
+
+// WarpRGBInto maps src through the forward transform m, writing into
+// dst (reshaped to src's dimensions; nil allocates). dst must not
+// alias src. Returns dst.
+func WarpRGBInto(dst, src *RGB, m Mat3, fr, fg, fb float64) (*RGB, error) {
 	inv, err := m.Inverse()
 	if err != nil {
 		return nil, err
 	}
-	out := NewRGB(img.W, img.H)
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			sx, sy := inv.Apply(float64(x), float64(y))
-			if sx < -0.5 || sy < -0.5 || sx > float64(img.W)-0.5 || sy > float64(img.H)-0.5 ||
-				math.IsInf(sx, 0) || math.IsInf(sy, 0) {
-				out.Set(x, y, fr, fg, fb)
-				continue
+	dst = reshapeRGB(dst, src.W, src.H)
+	checkNoAliasRGB(dst, src, "WarpRGBInto")
+	w := src.W
+	ParallelRows(src.H, w*src.H*40, func(y0b, y1b int) {
+		for y := y0b; y < y1b; y++ {
+			for x := 0; x < w; x++ {
+				sx, sy := inv.Apply(float64(x), float64(y))
+				if sx < -0.5 || sy < -0.5 || sx > float64(src.W)-0.5 || sy > float64(src.H)-0.5 ||
+					math.IsInf(sx, 0) || math.IsInf(sy, 0) {
+					dst.Set(x, y, fr, fg, fb)
+					continue
+				}
+				x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
+				dx, dy := sx-float64(x0), sy-float64(y0)
+				r00, g00, b00 := src.At(x0, y0)
+				r10, g10, b10 := src.At(x0+1, y0)
+				r01, g01, b01 := src.At(x0, y0+1)
+				r11, g11, b11 := src.At(x0+1, y0+1)
+				dst.Set(x, y,
+					r00*(1-dx)*(1-dy)+r10*dx*(1-dy)+r01*(1-dx)*dy+r11*dx*dy,
+					g00*(1-dx)*(1-dy)+g10*dx*(1-dy)+g01*(1-dx)*dy+g11*dx*dy,
+					b00*(1-dx)*(1-dy)+b10*dx*(1-dy)+b01*(1-dx)*dy+b11*dx*dy)
 			}
-			x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
-			dx, dy := sx-float64(x0), sy-float64(y0)
-			r00, g00, b00 := img.At(x0, y0)
-			r10, g10, b10 := img.At(x0+1, y0)
-			r01, g01, b01 := img.At(x0, y0+1)
-			r11, g11, b11 := img.At(x0+1, y0+1)
-			out.Set(x, y,
-				r00*(1-dx)*(1-dy)+r10*dx*(1-dy)+r01*(1-dx)*dy+r11*dx*dy,
-				g00*(1-dx)*(1-dy)+g10*dx*(1-dy)+g01*(1-dx)*dy+g11*dx*dy,
-				b00*(1-dx)*(1-dy)+b10*dx*(1-dy)+b01*(1-dx)*dy+b11*dx*dy)
 		}
-	}
-	return out, nil
+	})
+	return dst, nil
 }
 
 // MSE returns the mean squared error between two equally sized images;

@@ -50,6 +50,10 @@ func Replay(specs []Spec, seq []int, policy core.PolicyKind, capacity int, devic
 		return ReplayResult{}, err
 	}
 	var res ReplayResult
+	// The request map is reused across puts: Put only reads it to resolve
+	// key types, so only the key vectors themselves (which the cache
+	// retains) need a fresh allocation per request.
+	keys := make(map[string]vec.Vector, 1)
 	for _, id := range seq {
 		if id < 0 || id >= len(specs) {
 			return ReplayResult{}, fmt.Errorf("workload: request id %d out of range", id)
@@ -70,8 +74,9 @@ func Replay(specs []Spec, seq []int, policy core.PolicyKind, capacity int, devic
 		// Compute natively: advance the virtual clock by the cost.
 		clk.Advance(cost)
 		res.ComputeTime += cost
+		keys["id"] = key
 		if _, err := cache.Put(fn, core.PutRequest{
-			Keys:     map[string]vec.Vector{"id": key},
+			Keys:     keys,
 			Value:    spec.ID,
 			MissedAt: lr.MissedAt,
 			Size:     spec.Size,

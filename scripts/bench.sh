@@ -1,35 +1,93 @@
 #!/bin/sh
 # Run the repo's core benchmarks with allocation stats and record the
-# result as a committed baseline.
+# result as a committed baseline, or compare a fresh run against it.
 #
 # Usage:
-#   scripts/bench.sh [go-bench-regexp] [benchtime]
+#   scripts/bench.sh [go-bench-regexp] [benchtime]          # record
+#   scripts/bench.sh compare [go-bench-regexp] [benchtime]  # diff
 #
-# Defaults to the full suite at -benchtime=1s. Output lands in
-# BENCH_core.json at the repo root: a JSON document wrapping the raw
+# Record mode defaults to the full suite at -benchtime=1s. Output lands
+# in BENCH_core.json at the repo root: a JSON document wrapping the raw
 # `go test -bench` text (benchmarks' native format survives untouched
-# for benchstat) plus the environment needed to interpret it. Compare
-# against the committed baseline before merging a change that touches
-# the lookup or put path — the telemetry subsystem's <=5% overhead
-# budget (DESIGN.md, "Observability") is enforced by eyeballing the
-# telemetry-on/telemetry-off variants of BenchmarkLookupParallel here.
+# for benchstat) plus the environment needed to interpret it.
+#
+# Compare mode reruns the benchmarks and diffs ns/op per benchmark
+# against the committed BENCH_core.json, printing a table and exiting
+# nonzero if any benchmark regressed by more than 10%. Run it before
+# merging a change that touches the lookup, put, or key-generation
+# paths — the telemetry subsystem's <=5% overhead budget (DESIGN.md,
+# "Observability") is likewise enforced by comparing the telemetry-
+# on/telemetry-off variants of BenchmarkLookupParallel here. Note the
+# committed baseline was recorded on one specific machine: across
+# hosts the comparison tracks shape, not absolute truth, so re-record
+# (and commit) a baseline from your own machine before relying on the
+# 10% gate.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+mode=record
+if [ "${1:-}" = "compare" ]; then
+	mode=compare
+	shift
+fi
 
 pattern="${1:-.}"
 benchtime="${2:-1s}"
 out="BENCH_core.json"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+base="$(mktemp)"
+trap 'rm -f "$tmp" "$base"' EXIT
 
 echo "running: go test -run ^\$ -bench $pattern -benchtime $benchtime -benchmem ." >&2
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
 
+tab="$(printf '\t')"
+
+if [ "$mode" = "compare" ]; then
+	if [ ! -f "$out" ]; then
+		echo "bench.sh: no $out baseline to compare against (run scripts/bench.sh first)" >&2
+		exit 2
+	fi
+	# Recover the raw bench text from the JSON wrapper: take the quoted
+	# array lines and undo the tab/quote/backslash escapes.
+	sed -n 's/^    "\(.*\)",\{0,1\}$/\1/p' "$out" |
+		sed "s/\\\\t/$tab/g; s/\\\\\"/\"/g; s/\\\\\\\\/\\\\/g" > "$base"
+	echo >&2
+	echo "comparing ns/op against $out ($(sed -n 's/^  "date": "\(.*\)",$/\1/p' "$out")):" >&2
+	awk -v thresh=10 '
+		FNR == NR {
+			if ($1 ~ /^Benchmark/ && $4 == "ns/op") base[$1] = $3
+			next
+		}
+		$1 ~ /^Benchmark/ && $4 == "ns/op" {
+			if (!($1 in base)) {
+				printf "  new        %-44s %14.0f ns/op\n", $1, $3
+				next
+			}
+			b = base[$1]; n = $3; seen[$1] = 1
+			pct = (b > 0) ? (n - b) / b * 100 : 0
+			mark = "ok        "
+			if (pct > thresh) { mark = "REGRESSED "; bad++ }
+			else if (pct < -thresh) mark = "improved  "
+			printf "  %s %-44s %14.0f -> %12.0f ns/op  (%+6.1f%%)\n", mark, $1, b, n, pct
+		}
+		END {
+			for (name in base) if (!(name in seen) && name !~ /^#/) missing++
+			if (missing) printf "  (%d baseline benchmark(s) not exercised by pattern)\n", missing
+			if (bad) {
+				printf "bench.sh: %d benchmark(s) regressed by more than %d%%\n", bad, thresh
+				exit 1
+			}
+			print "bench.sh: no regressions beyond " thresh "%"
+		}
+	' "$base" "$tmp"
+	exit $?
+fi
+
 # Wrap the raw text in JSON. Go bench output needs backslash, quote,
 # and tab escapes (columns are tab-separated); decoding the lines and
 # joining with newlines restores benchstat-ready text exactly.
-tab="$(printf '\t')"
 {
 	printf '{\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
