@@ -10,11 +10,15 @@
 //	potluck-cli put      <function> <keytype> <k1,k2,...> <value> [cost]
 //	potluck-cli stats
 //	potluck-cli -admin http://127.0.0.1:9744 stats
+//	potluck-cli -admin http://127.0.0.1:9744 explain <function> [n]
 //
 // With -admin, stats is fetched from the daemon's HTTP observability
 // endpoint (/stats) instead of the wire protocol, and includes the
 // per-function series and latency quantiles the binary protocol does
-// not carry.
+// not carry. explain requires -admin: it renders the daemon's last n
+// retained lookup decisions for a function (/debug/explain) — distance
+// vs threshold, the live tuner window, and what would have flipped each
+// outcome.
 package main
 
 import (
@@ -22,11 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/vec"
 )
@@ -46,6 +52,26 @@ func main() {
 
 	if args[0] == "stats" && *admin != "" {
 		if err := adminStats(*admin); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if args[0] == "explain" {
+		if *admin == "" {
+			fail(fmt.Errorf("explain requires -admin (the daemon's HTTP observability endpoint)"))
+		}
+		if len(args) != 2 && len(args) != 3 {
+			usage()
+		}
+		n := 0
+		if len(args) == 3 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil {
+				fail(fmt.Errorf("explain count: %w", err))
+			}
+			n = v
+		}
+		if err := adminExplain(*admin, args[1], n); err != nil {
 			fail(err)
 		}
 		return
@@ -84,12 +110,13 @@ func main() {
 		}
 		switch {
 		case res.Hit:
-			fmt.Printf("hit value=%q distance=%.6g threshold=%.6g\n",
-				res.Value, res.Distance, res.Threshold)
+			fmt.Printf("hit value=%q distance=%.6g threshold=%.6g trace=%s\n",
+				res.Value, res.Distance, res.Threshold, res.Trace)
 		case res.Dropout:
-			fmt.Println("miss (dropout)")
+			fmt.Printf("miss (dropout) trace=%s\n", res.Trace)
 		default:
-			fmt.Printf("miss distance=%.6g threshold=%.6g\n", res.Distance, res.Threshold)
+			fmt.Printf("miss distance=%.6g threshold=%.6g trace=%s\n",
+				res.Distance, res.Threshold, res.Trace)
 		}
 	case "put":
 		if len(args) != 5 && len(args) != 6 {
@@ -175,6 +202,55 @@ func printAdminStats(w *os.File, st service.AdminStats) {
 	}
 }
 
+// adminExplain fetches /debug/explain for fn and renders the decision
+// log: per-key-type live context first, then the retained decisions
+// newest-first with the flip explanation for each.
+func adminExplain(base, fn string, n int) error {
+	u := strings.TrimSuffix(base, "/") + "/debug/explain?fn=" + url.QueryEscape(fn)
+	if n > 0 {
+		u += "&n=" + strconv.Itoa(n)
+	}
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var rep core.ExplainReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("decode %s: %w", u, err)
+	}
+	printExplain(os.Stdout, rep)
+	return nil
+}
+
+func printExplain(w *os.File, rep core.ExplainReport) {
+	fmt.Fprintf(w, "function %s: %d retained decisions\n", rep.Function, rep.Recorded)
+	for _, kt := range rep.KeyTypes {
+		fmt.Fprintf(w, "  keytype %-12s index=%s(len=%d) hits=%d misses=%d dropouts=%d threshold=%.6g tuner(puts=%d active=%v tighten=%d loosen=%d)\n",
+			kt.KeyType, kt.IndexKind, kt.IndexLen, kt.Hits, kt.Misses, kt.Dropouts,
+			kt.Tuner.Threshold, kt.Tuner.Puts, kt.Tuner.Active,
+			kt.Tuner.Tightenings, kt.Tuner.Loosenings)
+	}
+	if len(rep.Decisions) == 0 {
+		fmt.Fprintln(w, "no decisions retained yet (traced or sampled lookups populate this)")
+		return
+	}
+	fmt.Fprintln(w, "decisions (newest first):")
+	for _, d := range rep.Decisions {
+		probes := "-"
+		if d.Probes >= 0 {
+			probes = strconv.Itoa(d.Probes)
+		}
+		fmt.Fprintf(w, "  %s %-8s kt=%-12s %8s probes=%-5s %s\n",
+			d.Trace, d.Outcome, d.KeyType,
+			time.Duration(d.DurationNs).Round(time.Microsecond), probes, d.Flip)
+	}
+}
+
 func fmtLatency(d time.Duration) string {
 	return d.Round(time.Microsecond).String()
 }
@@ -197,7 +273,9 @@ func usage() {
   register <function> <keytype>[,<keytype>...]
   lookup   <function> <keytype> <k1,k2,...>
   put      <function> <keytype> <k1,k2,...> <value> [cost]
-  stats    (with -admin URL: fetch the rich JSON stats over HTTP)`)
+  stats    (with -admin URL: fetch the rich JSON stats over HTTP)
+  explain  <function> [n]   (requires -admin URL: render the daemon's
+           last n retained lookup decisions and what would flip them)`)
 	os.Exit(2)
 }
 

@@ -122,12 +122,15 @@ func main() {
 	if tel != nil {
 		srv.Instrument(tel)
 		admin = &http.Server{
-			Addr:              *adminAddr,
-			Handler:           telemetry.AdminHandler(tel, func() any { return srv.AdminStats(started) }),
+			Addr: *adminAddr,
+			Handler: telemetry.AdminHandlerConfig(tel, telemetry.AdminConfig{
+				Stats:   func() any { return srv.AdminStats(started) },
+				Explain: func(fn string, n int) (any, error) { return cache.Explain(fn, n) },
+			}),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("potluckd: admin endpoint on http://%s (/metrics /stats /trace /debug/pprof/)", *adminAddr)
+			log.Printf("potluckd: admin endpoint on http://%s (/metrics /stats /trace /trace/spans /debug/explain /debug/pprof/)", *adminAddr)
 			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("potluckd: admin endpoint: %v", err)
 			}

@@ -280,9 +280,12 @@ type Cache struct {
 	ctr    counters
 
 	// tel is the optional telemetry hub (nil when Config.Telemetry was
-	// nil); vecs caches the metric families registered with it.
-	tel  *telemetry.Telemetry
-	vecs *telemetryVecs
+	// nil); vecs caches the metric families registered with it. spans is
+	// tel's span recorder hoisted into its own field so the lookup hot
+	// path tests span recording with one nil check.
+	tel   *telemetry.Telemetry
+	vecs  *telemetryVecs
+	spans *telemetry.SpanRecorder
 }
 
 // entryTable wraps sync.Map with the entry types spelled out.
@@ -341,6 +344,11 @@ type keyIndex struct {
 	mu      sync.RWMutex
 	idx     index.Index
 	members map[ID]vec.Vector
+
+	// probed is idx's per-query probe-count view, resolved once at
+	// construction (all shipped kinds implement it; nil tolerated for
+	// external Index implementations).
+	probed index.ProbedSearcher
 }
 
 // New constructs a cache from cfg. Invalid policy kinds panic; use
@@ -366,6 +374,7 @@ func New(cfg Config) *Cache {
 	}
 	if cfg.Telemetry != nil {
 		c.tel = cfg.Telemetry
+		c.spans = cfg.Telemetry.Spans
 		c.initTelemetry()
 	}
 	return c
@@ -406,9 +415,11 @@ func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 		if err != nil {
 			return fmt.Errorf("core: key type %q: %w", spec.Name, err)
 		}
+		probed, _ := idx.(index.ProbedSearcher)
 		built[i] = &keyIndex{
 			spec:    spec,
 			idx:     idx,
+			probed:  probed,
 			tuner:   NewTuner(c.cfg.Tuner),
 			members: make(map[ID]vec.Vector),
 		}
@@ -501,15 +512,17 @@ func (c *Cache) entryByID(id ID) *entry {
 	return c.entries.load(id)
 }
 
-// dropout draws the random-dropout coin (§3.4).
-func (c *Cache) dropout() bool {
+// dropout draws the random-dropout coin (§3.4), returning the uniform
+// roll so a traced lookup can report how close the draw came to the
+// rate. roll is -1 when dropout is disabled (no draw happens).
+func (c *Cache) dropout() (roll float64, out bool) {
 	if c.cfg.DropoutRate <= 0 {
-		return false
+		return -1, false
 	}
 	c.rngMu.Lock()
-	d := c.rng.Float64() < c.cfg.DropoutRate
+	roll = c.rng.Float64()
 	c.rngMu.Unlock()
-	return d
+	return roll, roll < c.cfg.DropoutRate
 }
 
 // LookupResult reports the outcome of a cache lookup.
@@ -533,6 +546,23 @@ type LookupResult struct {
 	// can compute the computation overhead (§3.3: "the elapsed time
 	// between the lookup() miss and the put() operation").
 	MissedAt time.Time
+	// Trace is the span trace ID this lookup was recorded under: the
+	// caller's propagated ID, a freshly minted one when the lookup was
+	// sampled, or zero when no span was recorded.
+	Trace telemetry.TraceID
+}
+
+// LookupOptions bundles the optional behaviours of a lookup; the zero
+// value is a plain Lookup.
+type LookupOptions struct {
+	// Accept vetoes a candidate hit; see LookupAccept.
+	Accept func(value any) bool
+	// Refine post-processes a hit; see LookupRefined.
+	Refine Refiner
+	// Trace forces span recording under this trace ID (typically
+	// propagated from a remote caller over the wire protocol). Zero
+	// means "sample locally".
+	Trace telemetry.TraceID
 }
 
 // Lookup queries the cache for fn's result keyed by key under keyType
@@ -540,8 +570,13 @@ type LookupResult struct {
 // importance — is updated. Lookup errors only for unregistered
 // functions or key types.
 func (c *Cache) Lookup(fn, keyType string, key vec.Vector) (LookupResult, error) {
-	res, _, err := c.lookup(fn, keyType, key, nil)
-	return res, err
+	return c.lookup(fn, keyType, key, LookupOptions{})
+}
+
+// LookupOpts is Lookup with the full option set (accept veto, refiner,
+// trace propagation).
+func (c *Cache) LookupOpts(fn, keyType string, key vec.Vector, opts LookupOptions) (LookupResult, error) {
+	return c.lookup(fn, keyType, key, opts)
 }
 
 // LookupAccept behaves like Lookup but consults accept before committing
@@ -552,13 +587,11 @@ func (c *Cache) Lookup(fn, keyType string, key vec.Vector) (LookupResult, error)
 // ship []byte) use this so an entry the caller never receives does not
 // earn hit credit. A nil accept behaves exactly like Lookup.
 func (c *Cache) LookupAccept(fn, keyType string, key vec.Vector, accept func(value any) bool) (LookupResult, error) {
-	res, _, err := c.lookup(fn, keyType, key, accept)
-	return res, err
+	return c.lookup(fn, keyType, key, LookupOptions{Accept: accept})
 }
 
-// lookup is the shared read path behind Lookup and LookupRefined. On a
-// hit it also returns the key the entry was found under (for
-// refinement). It holds no lock while returning.
+// lookup is the shared read path behind Lookup, LookupAccept,
+// LookupRefined, and LookupOpts. It holds no lock while returning.
 //
 // Lookups purge on demand: expired entries are filtered at read time,
 // and only when the query actually observes one does the lookup take
@@ -566,14 +599,31 @@ func (c *Cache) LookupAccept(fn, keyType string, key vec.Vector, accept func(val
 // neighbour must not mask a live, slightly farther one). The common
 // nothing-expired read therefore never touches the admission lock;
 // routine reclamation is left to puts and the janitor.
-func (c *Cache) lookup(fn, keyType string, key vec.Vector, accept func(value any) bool) (LookupResult, vec.Vector, error) {
+//
+// Span recording follows the tracer's discipline: hits produce a span
+// only when the lookup is traced — forced by a propagated trace ID or
+// sampled 1-in-64 off the clock read the lookup already paid for —
+// while misses, dropouts, and errors always produce one (they are the
+// decisions worth debugging and are rare by comparison). Stage clocks
+// and the tuner snapshot are reserved for traced lookups, so the
+// always-recorded outcomes stay at one ring write with no extra clock
+// reads or tuner lock.
+func (c *Cache) lookup(fn, keyType string, key vec.Vector, opts LookupOptions) (LookupResult, error) {
 	now := c.clk.Now()
 	ki, err := c.keyIndexFor(fn, keyType)
 	if err != nil {
-		return LookupResult{}, nil, err
+		if c.spans != nil {
+			c.recordLookupSpan(nil, fn, keyType, now, spanFields{
+				outcome: telemetry.OutcomeError, errText: err.Error(),
+				dist: -1, roll: -1, probes: -1, trace: opts.Trace,
+			})
+		}
+		return LookupResult{}, err
 	}
 	res := LookupResult{Distance: -1, Threshold: ki.tuner.Threshold(), MissedAt: now}
-	if c.dropout() {
+	traced := c.spans != nil && (opts.Trace != 0 || now.UnixNano()&spanSampleMask == 0)
+	roll, out := c.dropout()
+	if out {
 		ki.ctr.dropouts.Add(1)
 		res.Dropout = true
 		if c.tel != nil {
@@ -582,21 +632,44 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector, accept func(value any
 				Function: fn, KeyType: keyType, Value: res.Threshold,
 			})
 		}
-		return res, nil, nil
+		if c.spans != nil {
+			res.Trace = c.recordLookupSpan(ki, fn, keyType, now, spanFields{
+				outcome: telemetry.OutcomeDropout, dist: -1, threshold: res.Threshold,
+				roll: roll, probes: -1, trace: opts.Trace, detailed: traced,
+			})
+		}
+		return res, nil
+	}
+	var stages []telemetry.SpanStage
+	var mark time.Time
+	if traced {
+		// Allocated here, not hoisted: a stack buffer declared before
+		// the branch escapes via the span record and would cost every
+		// untraced lookup a heap allocation.
+		stages = make([]telemetry.SpanStage, 0, 3)
+		mark = c.nowFast()
 	}
 	// Threshold-restricted k-nearest-neighbour query; k defaults to 1,
 	// the paper's choice (§3.4).
-	e, hitKey, dist, ok, sawExpired := c.selectHit(ki, key, res.Threshold, now)
+	e, hitKey, dist, probes, ok, sawExpired := c.selectHit(ki, key, res.Threshold, now)
 	if sawExpired {
 		// The query ran into an expired entry still in the index; purge
 		// and requery so staleness cannot mask a live neighbour. After
 		// the purge nothing expiring at or before now remains, so one
 		// retry is deterministic.
 		c.maybePurgeExpired(now)
-		e, hitKey, dist, ok, _ = c.selectHit(ki, key, res.Threshold, now)
+		var retryProbes int
+		e, hitKey, dist, retryProbes, ok, _ = c.selectHit(ki, key, res.Threshold, now)
+		probes = addProbes(probes, retryProbes)
+	}
+	if traced {
+		stages = append(stages, telemetry.SpanStage{
+			Name: telemetry.StageProbe, DurationNs: int64(c.sinceFast(mark)), Probes: probes,
+		})
+		mark = c.nowFast()
 	}
 	res.Distance = dist
-	if !ok || (accept != nil && !accept(e.value)) {
+	if !ok || (opts.Accept != nil && !opts.Accept(e.value)) {
 		// Either no in-threshold entry exists, or the caller cannot
 		// consume the one that does; report a miss and record no access,
 		// so an invisible hit does not inflate the entry's frequency or
@@ -611,7 +684,18 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector, accept func(value any
 				Function: fn, KeyType: keyType, Value: dist, Aux: res.Threshold,
 			})
 		}
-		return res, nil, nil
+		if c.spans != nil {
+			if traced {
+				stages = append(stages, telemetry.SpanStage{
+					Name: telemetry.StageDecide, DurationNs: int64(c.sinceFast(mark)),
+				})
+			}
+			res.Trace = c.recordLookupSpan(ki, fn, keyType, now, spanFields{
+				outcome: telemetry.OutcomeMiss, dist: dist, threshold: res.Threshold,
+				roll: roll, probes: probes, stages: stages, trace: opts.Trace, detailed: traced,
+			})
+		}
+		return res, nil
 	}
 	e.accessCount.Add(1)
 	e.lastAccess.Store(now.UnixNano())
@@ -630,7 +714,40 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector, accept func(value any
 	res.Hit = true
 	res.Value = e.value
 	res.Entry = e.snapshot()
-	return res, hitKey, nil
+	if traced {
+		stages = append(stages, telemetry.SpanStage{
+			Name: telemetry.StageDecide, DurationNs: int64(c.sinceFast(mark)),
+		})
+		mark = c.nowFast()
+	}
+	if opts.Refine != nil {
+		// Refinement runs with no lock held: it may be arbitrarily
+		// expensive application logic (warping an image, adjusting
+		// coordinates, ...). The hit key is cloned so the refiner cannot
+		// alias index memory.
+		res.Value = opts.Refine(res.Value, hitKey.Clone(), key)
+		if traced {
+			stages = append(stages, telemetry.SpanStage{
+				Name: telemetry.StageRefine, DurationNs: int64(c.sinceFast(mark)),
+			})
+		}
+	}
+	if traced {
+		res.Trace = c.recordLookupSpan(ki, fn, keyType, now, spanFields{
+			outcome: telemetry.OutcomeHit, dist: dist, threshold: res.Threshold,
+			roll: roll, probes: probes, stages: stages, trace: opts.Trace, detailed: true,
+		})
+	}
+	return res, nil
+}
+
+// addProbes combines probe counts across the purge-and-retry requery;
+// -1 (unmeasured) is absorbing.
+func addProbes(a, b int) int {
+	if a < 0 || b < 0 {
+		return -1
+	}
+	return a + b
 }
 
 // PutRequest describes an entry to insert.
@@ -655,6 +772,10 @@ type PutRequest struct {
 	TTL time.Duration
 	// App names the inserting application (reputation, diagnostics).
 	App string
+	// Trace forces span recording under this trace ID (typically the
+	// trace of the miss that triggered this put, propagated over the
+	// wire). Zero means "sample locally".
+	Trace telemetry.TraceID
 }
 
 // Put inserts a computation result, propagating the key to every
@@ -666,9 +787,19 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	c.maybePurgeExpired(now)
 	fc, err := c.functionIndexes(fn)
 	if err != nil {
+		c.recordPutError(fn, now, req.Trace, err)
 		return 0, err
 	}
 	kis := fc.kis
+	traced := c.spans != nil && (req.Trace != 0 || now.UnixNano()&spanSampleMask == 0)
+	var stages []telemetry.SpanStage
+	var mark time.Time
+	if traced {
+		// Allocated under the branch so untraced puts pay nothing; see
+		// the matching comment in lookup.
+		stages = make([]telemetry.SpanStage, 0, 4)
+		mark = c.nowFast()
+	}
 	if c.rep != nil && c.rep.Barred(req.App) {
 		c.ctr.rejectedPuts.Add(1)
 		if c.tel != nil {
@@ -677,7 +808,9 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 				Function: fn, Detail: req.App,
 			})
 		}
-		return 0, fmt.Errorf("%w: %q", ErrAppBarred, req.App)
+		err := fmt.Errorf("%w: %q", ErrAppBarred, req.App)
+		c.recordPutError(fn, now, req.Trace, err)
+		return 0, err
 	}
 
 	// Resolve one key per key type (parallel to kis; nil = skipped).
@@ -696,7 +829,9 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	for i, ki := range kis {
 		if k, ok := req.Keys[fc.order[i]]; ok {
 			if len(k) == 0 {
-				return 0, fmt.Errorf("%w: key type %q", ErrEmptyKey, fc.order[i])
+				err := fmt.Errorf("%w: key type %q", ErrEmptyKey, fc.order[i])
+				c.recordPutError(fn, now, req.Trace, err)
+				return 0, err
 			}
 			keys[i] = k
 			resolved++
@@ -705,17 +840,28 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 		if ki.spec.Extract != nil && req.Raw != nil {
 			k, err := ki.spec.Extract(req.Raw)
 			if err != nil {
-				return 0, fmt.Errorf("core: extracting %q key: %w", fc.order[i], err)
+				err = fmt.Errorf("core: extracting %q key: %w", fc.order[i], err)
+				c.recordPutError(fn, now, req.Trace, err)
+				return 0, err
 			}
 			if len(k) == 0 {
-				return 0, fmt.Errorf("%w: key type %q (extracted)", ErrEmptyKey, fc.order[i])
+				err := fmt.Errorf("%w: key type %q (extracted)", ErrEmptyKey, fc.order[i])
+				c.recordPutError(fn, now, req.Trace, err)
+				return 0, err
 			}
 			keys[i] = k
 			resolved++
 		}
 	}
 	if resolved == 0 {
+		c.recordPutError(fn, now, req.Trace, ErrNoKey)
 		return 0, ErrNoKey
+	}
+	if traced {
+		stages = append(stages, telemetry.SpanStage{
+			Name: telemetry.StageResolve, DurationNs: int64(c.sinceFast(mark)),
+		})
+		mark = c.nowFast()
 	}
 
 	cost := req.Cost
@@ -739,7 +885,10 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 
 	// Feed Algorithm 1 per key index with the pre-insertion nearest
 	// neighbour. Tuner and reputation table synchronize themselves; the
-	// value comparison (user code) runs with no lock held.
+	// value comparison (user code) runs with no lock held. The first
+	// resolved key type's neighbour distance and threshold flow into the
+	// put span's decision fields.
+	spanDist, spanThreshold, spanSet := -1.0, 0.0, false
 	for i, ki := range kis {
 		if keys[i] == nil {
 			continue
@@ -747,6 +896,13 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 		ki.mu.RLock()
 		n, ok := ki.idx.Nearest(keys[i])
 		ki.mu.RUnlock()
+		if traced && !spanSet {
+			spanSet = true
+			spanThreshold = ki.tuner.Threshold()
+			if ok {
+				spanDist = n.Dist
+			}
+		}
 		if !ok {
 			ki.tuner.ObservePut(0, false, false)
 			continue
@@ -761,6 +917,12 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 				c.removeAppEntries(neighbor.app)
 			}
 		}
+	}
+	if traced {
+		stages = append(stages, telemetry.SpanStage{
+			Name: telemetry.StageTune, DurationNs: int64(c.sinceFast(mark)),
+		})
+		mark = c.nowFast()
 	}
 
 	id := ID(c.nextID.Add(1))
@@ -802,10 +964,16 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	c.entries.store(e)
 	c.count.Add(1)
 	c.bytes.Add(int64(size))
+	if traced {
+		stages = append(stages, telemetry.SpanStage{
+			Name: telemetry.StageInsert, DurationNs: int64(c.sinceFast(mark)),
+		})
+		mark = c.nowFast()
+	}
 	c.admitMu.Lock()
 	c.expiry.push(expiryItem{at: e.expiresAt, id: id})
 	c.updateNextExpiryLocked()
-	c.evictLocked(now, id)
+	evicted, cause := c.evictLocked(now, id)
 	c.admitMu.Unlock()
 	fc.stats.puts.Add(1)
 	if c.tel != nil {
@@ -815,44 +983,119 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 			Value: cost.Seconds(), Aux: float64(size),
 		})
 	}
+	if traced {
+		detail := ""
+		if evicted > 0 {
+			detail = fmt.Sprintf("evicted %d (%s)", evicted, cause)
+		}
+		stages = append(stages, telemetry.SpanStage{
+			Name: telemetry.StageAdmit, DurationNs: int64(c.sinceFast(mark)), Detail: detail,
+		})
+		trace := req.Trace
+		if trace == 0 {
+			trace = telemetry.NewTraceID()
+		}
+		st := kis[0].tuner.Stats()
+		c.spans.Record(telemetry.Span{
+			Trace:       trace,
+			Start:       now.UnixNano(),
+			DurationNs:  int64(c.since(now)),
+			Layer:       "core",
+			Function:    fn,
+			KeyType:     fc.order[0],
+			Outcome:     telemetry.OutcomePut,
+			Distance:    spanDist,
+			Threshold:   spanThreshold,
+			DropoutRoll: -1,
+			IndexKind:   string(kis[0].spec.Index),
+			Probes:      -1,
+			Tuner: &telemetry.TunerState{
+				Threshold:   st.Threshold,
+				Puts:        st.Puts,
+				Active:      st.Active,
+				Tightenings: st.Tightenings,
+				Loosenings:  st.Loosenings,
+			},
+			Stages: stages,
+		})
+	}
 	return id, nil
+}
+
+// recordPutError records an always-retained error span for a rejected
+// put (no-op when spans are detached). Put errors are rare and are
+// exactly the decisions an operator greps /trace/spans for.
+func (c *Cache) recordPutError(fn string, start time.Time, trace telemetry.TraceID, err error) {
+	if c.spans == nil {
+		return
+	}
+	if trace == 0 {
+		trace = telemetry.NewTraceID()
+	}
+	c.spans.Record(telemetry.Span{
+		Trace:       trace,
+		Start:       start.UnixNano(),
+		DurationNs:  int64(c.since(start)),
+		Layer:       "core",
+		Function:    fn,
+		Outcome:     telemetry.OutcomeError,
+		Err:         err.Error(),
+		Distance:    -1,
+		DropoutRoll: -1,
+		Probes:      -1,
+	})
 }
 
 // selectHit runs the threshold-restricted kNN query and picks the hit
 // entry. It returns the nearest-neighbour distance (-1 if the index is
-// empty) and ok=false on a miss. Entries past their expiration time are
-// treated as absent; sawExpired reports that at least one was
-// encountered so the caller can purge and retry. With LookupK > 1,
-// within-threshold neighbours vote by value equality and the largest
-// group's closest member wins (ties break toward the closer group).
-func (c *Cache) selectHit(ki *keyIndex, key vec.Vector, threshold float64, now time.Time) (_ *entry, _ vec.Vector, dist float64, ok, sawExpired bool) {
+// empty), the index probe count for this query (-1 when the index kind
+// does not report per-query probes), and ok=false on a miss. Entries
+// past their expiration time are treated as absent; sawExpired reports
+// that at least one was encountered so the caller can purge and retry.
+// With LookupK > 1, within-threshold neighbours vote by value equality
+// and the largest group's closest member wins (ties break toward the
+// closer group).
+func (c *Cache) selectHit(ki *keyIndex, key vec.Vector, threshold float64, now time.Time) (_ *entry, _ vec.Vector, dist float64, probes int, ok, sawExpired bool) {
 	k := c.cfg.LookupK
 	if k <= 1 {
+		var n index.Neighbor
+		var found bool
 		ki.mu.RLock()
-		n, ok := ki.idx.Nearest(key)
+		if ki.probed != nil {
+			n, probes, found = ki.probed.NearestProbed(key)
+		} else {
+			probes = -1
+			n, found = ki.idx.Nearest(key)
+		}
 		ki.mu.RUnlock()
-		if !ok {
-			return nil, nil, -1, false, false
+		if !found {
+			return nil, nil, -1, probes, false, false
 		}
 		if n.Dist > threshold {
-			return nil, nil, n.Dist, false, false
+			return nil, nil, n.Dist, probes, false, false
 		}
 		e := c.entryByID(ID(n.ID))
 		if e == nil {
 			// The index briefly referenced a freed (or not yet
 			// published) entry; treat as a miss.
-			return nil, nil, n.Dist, false, false
+			return nil, nil, n.Dist, probes, false, false
 		}
 		if !e.expiresAt.After(now) {
-			return nil, nil, n.Dist, false, true
+			return nil, nil, n.Dist, probes, false, true
 		}
-		return e, n.Key, n.Dist, true, false
+		return e, n.Key, n.Dist, probes, true, false
 	}
+	var ns []index.Neighbor
 	ki.mu.RLock()
-	ns := ki.idx.KNearest(key, k)
+	if ki.probed != nil {
+		ns, probes = ki.probed.KNearestProbed(key, k)
+	} else {
+		probes = -1
+		ns = ki.idx.KNearest(key, k)
+	}
 	ki.mu.RUnlock()
 	if len(ns) == 0 {
-		return nil, nil, -1, false, false
+		return nil, nil, -1, probes, false, false
 	}
 	nearest := ns[0].Dist
 	// Resolve within-threshold candidates (lock-free entry loads), then
@@ -898,7 +1141,7 @@ func (c *Cache) selectHit(ki *keyIndex, key vec.Vector, threshold float64, now t
 		}
 	}
 	if len(groups) == 0 {
-		return nil, nil, nearest, false, sawExpired
+		return nil, nil, nearest, probes, false, sawExpired
 	}
 	best := 0
 	for gi := 1; gi < len(groups); gi++ {
@@ -907,19 +1150,30 @@ func (c *Cache) selectHit(ki *keyIndex, key vec.Vector, threshold float64, now t
 			best = gi
 		}
 	}
-	return groups[best].rep, groups[best].repKey, nearest, true, sawExpired
+	return groups[best].rep, groups[best].repKey, nearest, probes, true, sawExpired
 }
 
 // evictLocked enforces the capacity bounds, excluding the just-inserted
 // entry (the paper replaces the victim WITH the new entry, §3.6).
 // Caller holds admitMu, which serializes evictions so two racing puts
-// cannot both evict for the same overflow.
-func (c *Cache) evictLocked(now time.Time, exclude ID) {
+// cannot both evict for the same overflow. Returns how many entries
+// were evicted and which bound forced it ("entries", "bytes", or ""),
+// so the admitting put's span can name the eviction cause.
+func (c *Cache) evictLocked(now time.Time, exclude ID) (evicted int, cause string) {
 	over := func() bool {
 		if c.cfg.MaxEntries > 0 && c.count.Load() > int64(c.cfg.MaxEntries) {
+			if cause == "" {
+				cause = "entries"
+			}
 			return true
 		}
-		return c.cfg.MaxBytes > 0 && c.bytes.Load() > c.cfg.MaxBytes
+		if c.cfg.MaxBytes > 0 && c.bytes.Load() > c.cfg.MaxBytes {
+			if cause == "" {
+				cause = "bytes"
+			}
+			return true
+		}
+		return false
 	}
 	for over() {
 		// evictScratch (guarded by admitMu, like the rest of the eviction
@@ -935,15 +1189,16 @@ func (c *Cache) evictLocked(now time.Time, exclude ID) {
 		})
 		c.evictScratch = cands
 		if len(cands) == 0 {
-			return
+			return evicted, cause
 		}
 		c.rngMu.Lock()
 		victim := c.policy.Victim(cands, now, c.rng)
 		c.rngMu.Unlock()
 		e := c.removeEntryLocked(victim)
 		if e == nil {
-			return
+			return evicted, cause
 		}
+		evicted++
 		c.ctr.evictions.Add(1)
 		if c.tel != nil {
 			c.tel.RecordEvent(telemetry.Event{
@@ -952,6 +1207,7 @@ func (c *Cache) evictLocked(now time.Time, exclude ID) {
 			})
 		}
 	}
+	return evicted, cause
 }
 
 // unlinkEntry detaches an already-claimed entry from its owner indices

@@ -19,17 +19,8 @@ type Refiner func(cachedValue any, cachedKey, queryKey vec.Vector) any
 // LookupRefined behaves like Lookup but passes a hit through the refiner
 // with both keys, so the application receives a result adjusted to its
 // exact input. The cache entry itself is not modified; refinement output
-// is per-lookup.
+// is per-lookup. The refiner runs inside the lookup, so traced lookups
+// time it as its own span stage.
 func (c *Cache) LookupRefined(fn, keyType string, key vec.Vector, refine Refiner) (LookupResult, error) {
-	res, hitKey, err := c.lookup(fn, keyType, key, nil)
-	if err != nil || !res.Hit {
-		return res, err
-	}
-	// Refinement runs with no lock held: it may be arbitrarily expensive
-	// application logic (warping an image, adjusting coordinates, ...).
-	// The hit key is cloned so the refiner cannot alias index memory.
-	if refine != nil {
-		res.Value = refine(res.Value, hitKey.Clone(), key)
-	}
-	return res, nil
+	return c.lookup(fn, keyType, key, LookupOptions{Refine: refine})
 }

@@ -57,3 +57,51 @@ func maybeTimed(e Extractor) Extractor {
 	}
 	return timedExtractor{e: e, hist: v.With(e.Name())}
 }
+
+// traceSpans is the span recorder key-generation spans feed, nil until
+// InstrumentTracing. Same late-attach race discipline as extractLatency.
+var traceSpans atomic.Pointer[telemetry.SpanRecorder]
+
+// InstrumentTracing attaches key generation to a telemetry hub's span
+// recorder: ExtractTraced calls record a feature-layer "keygen" span
+// from then on. Detached, ExtractTraced costs one atomic load over a
+// plain Extract.
+func InstrumentTracing(tel *telemetry.Telemetry) {
+	if tel == nil || tel.Spans == nil {
+		return
+	}
+	traceSpans.Store(tel.Spans)
+}
+
+// ExtractTraced runs e.Extract and records the key-generation stage as a
+// feature-layer span under trace — the first hop of an end-to-end lookup
+// trace, so the fixed key-generation toll (Table 1) is visible next to
+// the probe and IPC stages it precedes. With tracing detached or
+// trace == 0 it degrades to e.Extract(img).
+func ExtractTraced(e Extractor, img *imaging.RGB, trace telemetry.TraceID) Result {
+	spans := traceSpans.Load()
+	if spans == nil || trace == 0 {
+		return e.Extract(img)
+	}
+	start := time.Now()
+	r := e.Extract(img)
+	dur := time.Since(start)
+	spans.Record(telemetry.Span{
+		Trace:       trace,
+		Start:       start.UnixNano(),
+		DurationNs:  int64(dur),
+		Layer:       "feature",
+		Function:    e.Name(),
+		KeyType:     e.Name(),
+		Outcome:     "ok",
+		Distance:    -1,
+		DropoutRoll: -1,
+		Probes:      -1,
+		Stages: []telemetry.SpanStage{{
+			Name:       telemetry.StageKeyGen,
+			DurationNs: int64(dur),
+			Detail:     e.Name(),
+		}},
+	})
+	return r
+}

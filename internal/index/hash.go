@@ -89,12 +89,20 @@ func (h *Hash) Remove(id ID) {
 // approximate queries, but degrading to a scan keeps the cache correct
 // if an application registers one anyway).
 func (h *Hash) Nearest(key vec.Vector) (Neighbor, bool) {
+	n, _, ok := h.NearestProbed(key)
+	return n, ok
+}
+
+// NearestProbed implements ProbedSearcher: an exact hit probes only its
+// bucket, the approximate fallback probes every key.
+func (h *Hash) NearestProbed(key vec.Vector) (Neighbor, int, bool) {
 	if ids := h.buckets[signature(key)]; len(ids) > 0 {
 		h.countQuery(len(ids))
 		id := minID(ids)
-		return Neighbor{ID: id, Key: h.keys[id], Dist: 0}, true
+		return Neighbor{ID: id, Key: h.keys[id], Dist: 0}, len(ids), true
 	}
-	h.countQuery(len(h.keys))
+	probes := len(h.keys)
+	h.countQuery(probes)
 	best := Neighbor{Dist: -1}
 	for id, kv := range h.keys {
 		d := h.metric.Distance(key, kv)
@@ -103,9 +111,9 @@ func (h *Hash) Nearest(key vec.Vector) (Neighbor, bool) {
 		}
 	}
 	if best.Dist < 0 {
-		return Neighbor{}, false
+		return Neighbor{}, probes, false
 	}
-	return best, true
+	return best, probes, true
 }
 
 func minID(ids []ID) ID {
@@ -120,10 +128,17 @@ func minID(ids []ID) ID {
 
 // KNearest implements Index.
 func (h *Hash) KNearest(key vec.Vector, k int) []Neighbor {
+	ns, _ := h.KNearestProbed(key, k)
+	return ns
+}
+
+// KNearestProbed implements ProbedSearcher.
+func (h *Hash) KNearestProbed(key vec.Vector, k int) ([]Neighbor, int) {
 	if k <= 0 || len(h.keys) == 0 {
-		return nil
+		return nil, 0
 	}
-	h.countQuery(len(h.keys))
+	probes := len(h.keys)
+	h.countQuery(probes)
 	ns := make([]Neighbor, 0, len(h.keys))
 	for id, kv := range h.keys {
 		ns = append(ns, Neighbor{ID: id, Key: kv, Dist: h.metric.Distance(key, kv)})
@@ -132,7 +147,7 @@ func (h *Hash) KNearest(key vec.Vector, k int) []Neighbor {
 	if len(ns) > k {
 		ns = ns[:k]
 	}
-	return ns
+	return ns, probes
 }
 
 // Len implements Index.

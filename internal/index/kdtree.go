@@ -187,8 +187,15 @@ func partition(nodes []*kdNode, lo, hi, axis int) int {
 // at high concurrency that GC mark assists, a global bottleneck,
 // dominate the runtime.
 func (t *KDTree) Nearest(key vec.Vector) (Neighbor, bool) {
+	n, _, ok := t.NearestProbed(key)
+	return n, ok
+}
+
+// NearestProbed implements ProbedSearcher: the probe count is the
+// number of tree nodes visited (pruned subtrees excluded).
+func (t *KDTree) NearestProbed(key vec.Vector) (Neighbor, int, bool) {
 	if t.size == 0 {
-		return Neighbor{}, false
+		return Neighbor{}, 0, false
 	}
 	best := Neighbor{Dist: math.Inf(1)}
 	visited := 0
@@ -205,7 +212,7 @@ func (t *KDTree) Nearest(key vec.Vector) (Neighbor, bool) {
 		t.nearest1(t.root, key, &best, &visited)
 	}
 	t.countQuery(visited)
-	return best, true
+	return best, visited, true
 }
 
 // nearestSq is nearest1 specialized to squared Euclidean distance;
@@ -261,8 +268,14 @@ func (t *KDTree) nearest1(n *kdNode, key vec.Vector, best *Neighbor, visited *in
 
 // KNearest implements Index.
 func (t *KDTree) KNearest(key vec.Vector, k int) []Neighbor {
+	ns, _ := t.KNearestProbed(key, k)
+	return ns
+}
+
+// KNearestProbed implements ProbedSearcher.
+func (t *KDTree) KNearestProbed(key vec.Vector, k int) ([]Neighbor, int) {
 	if k <= 0 || t.size == 0 {
-		return nil
+		return nil, 0
 	}
 	h := &maxDistHeap{}
 	visited := 0
@@ -272,7 +285,7 @@ func (t *KDTree) KNearest(key vec.Vector, k int) []Neighbor {
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Neighbor)
 	}
-	return out
+	return out, visited
 }
 
 func (t *KDTree) search(n *kdNode, key vec.Vector, k int, h *maxDistHeap, visited *int) {

@@ -34,7 +34,15 @@ func (l *Linear) Remove(id ID) { delete(l.keys, id) }
 
 // Nearest implements Index.
 func (l *Linear) Nearest(key vec.Vector) (Neighbor, bool) {
-	l.countQuery(len(l.keys))
+	n, _, ok := l.NearestProbed(key)
+	return n, ok
+}
+
+// NearestProbed implements ProbedSearcher: a linear scan always probes
+// every stored key.
+func (l *Linear) NearestProbed(key vec.Vector) (Neighbor, int, bool) {
+	probes := len(l.keys)
+	l.countQuery(probes)
 	best := Neighbor{Dist: -1}
 	for id, k := range l.keys {
 		d := l.metric.Distance(key, k)
@@ -43,15 +51,21 @@ func (l *Linear) Nearest(key vec.Vector) (Neighbor, bool) {
 		}
 	}
 	if best.Dist < 0 {
-		return Neighbor{}, false
+		return Neighbor{}, probes, false
 	}
-	return best, true
+	return best, probes, true
 }
 
 // KNearest implements Index.
 func (l *Linear) KNearest(key vec.Vector, k int) []Neighbor {
+	ns, _ := l.KNearestProbed(key, k)
+	return ns
+}
+
+// KNearestProbed implements ProbedSearcher.
+func (l *Linear) KNearestProbed(key vec.Vector, k int) ([]Neighbor, int) {
 	if k <= 0 {
-		return nil
+		return nil, 0
 	}
 	l.countQuery(len(l.keys))
 	all := make([]Neighbor, 0, len(l.keys))
@@ -67,7 +81,7 @@ func (l *Linear) KNearest(key vec.Vector, k int) []Neighbor {
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all
+	return all, len(l.keys)
 }
 
 // Len implements Index.

@@ -187,10 +187,27 @@ func (l *LSH) Nearest(key vec.Vector) (Neighbor, bool) {
 	return res[0], true
 }
 
+// NearestProbed implements ProbedSearcher: the probe count is the
+// candidate set size (post full-scan fallback when hashing came up
+// short).
+func (l *LSH) NearestProbed(key vec.Vector) (Neighbor, int, bool) {
+	res, probes := l.KNearestProbed(key, 1)
+	if len(res) == 0 {
+		return Neighbor{}, probes, false
+	}
+	return res[0], probes, true
+}
+
 // KNearest implements Index.
 func (l *LSH) KNearest(key vec.Vector, k int) []Neighbor {
+	ns, _ := l.KNearestProbed(key, k)
+	return ns
+}
+
+// KNearestProbed implements ProbedSearcher.
+func (l *LSH) KNearestProbed(key vec.Vector, k int) ([]Neighbor, int) {
 	if k <= 0 || len(l.keys) == 0 {
-		return nil
+		return nil, 0
 	}
 	cand := l.candidates(key)
 	if len(cand) < k {
@@ -211,7 +228,7 @@ func (l *LSH) KNearest(key vec.Vector, k int) []Neighbor {
 	if len(best) > k {
 		best = best[:k]
 	}
-	return best
+	return best, len(cand)
 }
 
 func sortNeighbors(ns []Neighbor) {

@@ -1,6 +1,23 @@
 package index
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/vec"
+)
+
+// ProbedSearcher is the per-query view of the probe counters: every
+// index kind already computes the number of entries (or tree nodes) it
+// examined to answer a query — it feeds countQuery — so returning that
+// count to the caller is free. Span tracing uses it to attribute probe
+// work to individual lookups instead of only to the aggregate counters.
+// All five kinds implement it.
+type ProbedSearcher interface {
+	// NearestProbed is Nearest plus the entries examined by this query.
+	NearestProbed(key vec.Vector) (Neighbor, int, bool)
+	// KNearestProbed is KNearest plus the entries examined.
+	KNearestProbed(key vec.Vector, k int) ([]Neighbor, int)
+}
 
 // ProbeStats reports how much work an index has done answering queries:
 // Queries counts Nearest/KNearest/Radius calls, Probes the entries (or
@@ -14,6 +31,14 @@ type ProbeStats struct {
 	Queries int64 `json:"queries"`
 	Probes  int64 `json:"probes"`
 }
+
+var (
+	_ ProbedSearcher = (*Linear)(nil)
+	_ ProbedSearcher = (*Hash)(nil)
+	_ ProbedSearcher = (*KDTree)(nil)
+	_ ProbedSearcher = (*LSH)(nil)
+	_ ProbedSearcher = (*TreeMap)(nil)
+)
 
 // probeCounter is embedded by every index implementation to satisfy
 // Index.ProbeStats with shared counting plumbing.

@@ -229,10 +229,26 @@ func (t *TreeMap) Nearest(key vec.Vector) (Neighbor, bool) {
 	return res[0], true
 }
 
+// NearestProbed implements ProbedSearcher: the probe count is the size
+// of the ordered-neighbourhood candidate window.
+func (t *TreeMap) NearestProbed(key vec.Vector) (Neighbor, int, bool) {
+	res, probes := t.KNearestProbed(key, 1)
+	if len(res) == 0 {
+		return Neighbor{}, probes, false
+	}
+	return res[0], probes, true
+}
+
 // KNearest implements Index.
 func (t *TreeMap) KNearest(key vec.Vector, k int) []Neighbor {
+	ns, _ := t.KNearestProbed(key, k)
+	return ns
+}
+
+// KNearestProbed implements ProbedSearcher.
+func (t *TreeMap) KNearestProbed(key vec.Vector, k int) ([]Neighbor, int) {
 	if k <= 0 || t.size == 0 {
-		return nil
+		return nil, 0
 	}
 	cands := t.neighborsAround(key)
 	t.countQuery(len(cands))
@@ -249,7 +265,7 @@ func (t *TreeMap) KNearest(key vec.Vector, k int) []Neighbor {
 	if len(ns) > k {
 		ns = ns[:k]
 	}
-	return ns
+	return ns, len(cands)
 }
 
 // Len implements Index.

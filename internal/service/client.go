@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -337,27 +338,102 @@ type LookupResult struct {
 	// MissedAt is the server clock time of a miss; pass it back to Put
 	// so the service can compute the computation overhead.
 	MissedAt time.Time
+	// Trace is the trace ID this lookup ran under end to end: the one
+	// passed to LookupTraced, or one the client minted. The server-side
+	// spans for the request are retained under the same ID.
+	Trace telemetry.TraceID
 }
 
-// Lookup queries the cache.
+// Lookup queries the cache. Every client lookup carries a trace ID
+// (minted here when the caller did not supply one via LookupTraced), so
+// the server's /trace/spans and /debug/explain endpoints observe traffic
+// from uninstrumented clients too; the ID costs eight bytes on the wire.
 func (c *Client) Lookup(function, keyType string, key vec.Vector) (LookupResult, error) {
+	return c.LookupTraced(function, keyType, key, 0)
+}
+
+// LookupTraced queries the cache under an explicit trace ID, correlating
+// the server-side spans with the caller's own. trace == 0 mints a fresh
+// ID. When the client is instrumented, the round trip is recorded as a
+// client-layer span (stage "ipc") under the same ID.
+func (c *Client) LookupTraced(function, keyType string, key vec.Vector, trace telemetry.TraceID) (LookupResult, error) {
+	if trace == 0 {
+		trace = telemetry.NewTraceID()
+	}
+	m := c.met.Load()
+	var start time.Time
+	if m != nil && m.spans != nil {
+		start = time.Now()
+	}
 	reply, err := c.roundTrip(&Request{
 		Type:     MsgLookup,
 		Function: function,
 		KeyType:  keyType,
 		Key:      key,
+		Trace:    uint64(trace),
 	})
+	if m != nil && m.spans != nil {
+		recordClientSpan(m.spans, start, trace, function, keyType, reply, err)
+	}
 	if err != nil {
 		return LookupResult{}, err
 	}
-	return LookupResult{
+	res := LookupResult{
 		Hit:       reply.Hit,
 		Dropout:   reply.Dropout,
 		Value:     reply.Value,
 		Distance:  reply.Distance,
 		Threshold: reply.Threshold,
 		MissedAt:  time.Unix(0, reply.MissedAt),
-	}, nil
+		Trace:     telemetry.TraceID(reply.Trace),
+	}
+	if res.Trace == 0 {
+		// Older server: no echo on the wire; the request still carried
+		// our ID, so report the one we sent.
+		res.Trace = trace
+	}
+	return res, nil
+}
+
+// recordClientSpan records the application-side view of one traced round
+// trip: the ipc stage spans request encode to reply decode, so the gap
+// between it and the server's serve-stage duration is wire + framing
+// time.
+func recordClientSpan(spans *telemetry.SpanRecorder, start time.Time, trace telemetry.TraceID,
+	function, keyType string, reply *Reply, err error) {
+	dur := time.Since(start)
+	sp := telemetry.Span{
+		Trace:       trace,
+		Start:       start.UnixNano(),
+		DurationNs:  int64(dur),
+		Layer:       "client",
+		Function:    function,
+		KeyType:     keyType,
+		Distance:    -1,
+		DropoutRoll: -1,
+		Probes:      -1,
+		Stages: []telemetry.SpanStage{{
+			Name: telemetry.StageIPC, DurationNs: int64(dur),
+		}},
+	}
+	switch {
+	case err != nil:
+		sp.Outcome = telemetry.OutcomeError
+		sp.Err = err.Error()
+	case reply.Type == MsgReplyPut:
+		sp.Outcome = telemetry.OutcomePut
+	case reply.Dropout:
+		sp.Outcome = telemetry.OutcomeDropout
+	case reply.Hit:
+		sp.Outcome = telemetry.OutcomeHit
+		sp.Distance = reply.Distance
+		sp.Threshold = reply.Threshold
+	default:
+		sp.Outcome = telemetry.OutcomeMiss
+		sp.Distance = reply.Distance
+		sp.Threshold = reply.Threshold
+	}
+	spans.Record(sp)
 }
 
 // PutOptions carries the optional fields of a put.
@@ -368,10 +444,18 @@ type PutOptions struct {
 	Size int
 	// TTL overrides the service's default validity period.
 	TTL time.Duration
+	// Trace correlates the put with the lookup that missed (pass the
+	// LookupResult's Trace). 0 leaves the put untraced.
+	Trace telemetry.TraceID
 }
 
 // Put inserts a computed result under one or more keys.
 func (c *Client) Put(function string, keys map[string]vec.Vector, value []byte, opts PutOptions) (uint64, error) {
+	m := c.met.Load()
+	var start time.Time
+	if m != nil && m.spans != nil && opts.Trace != 0 {
+		start = time.Now()
+	}
 	reply, err := c.roundTrip(&Request{
 		Type:     MsgPut,
 		Function: function,
@@ -380,7 +464,11 @@ func (c *Client) Put(function string, keys map[string]vec.Vector, value []byte, 
 		Cost:     int64(opts.Cost),
 		Size:     int64(opts.Size),
 		TTL:      int64(opts.TTL),
+		Trace:    uint64(opts.Trace),
 	})
+	if m != nil && m.spans != nil && opts.Trace != 0 {
+		recordClientSpan(m.spans, start, opts.Trace, function, "", reply, err)
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -65,6 +65,12 @@ type Request struct {
 	Cost     int64 // nanoseconds
 	Size     int64
 	TTL      int64 // nanoseconds
+	// Trace is the span trace ID this request runs under (0 = untraced).
+	// It rides as an OPTIONAL TRAILING field: old decoders stop before it
+	// and ignore the extra bytes, new decoders read it only when present,
+	// so mixed-version peers interoperate (the old peer simply sees an
+	// untraced request).
+	Trace uint64
 }
 
 // Reply is the union of server→client messages.
@@ -79,6 +85,10 @@ type Reply struct {
 	MissedAt  int64 // nanoseconds since epoch, for cost accounting
 	ID        uint64
 	Stats     StatsPayload
+	// Trace echoes the trace ID the server recorded the operation under
+	// (the request's ID, or one the server minted). Optional trailing
+	// field with the same mixed-version contract as Request.Trace.
+	Trace uint64
 }
 
 // StatsPayload mirrors core.Stats over the wire.
@@ -230,6 +240,7 @@ func EncodeRequest(r *Request) []byte {
 	e.i64(r.Cost)
 	e.i64(r.Size)
 	e.i64(r.TTL)
+	e.u64(r.Trace)
 	return e.buf
 }
 
@@ -288,6 +299,12 @@ func DecodeRequest(buf []byte) (*Request, error) {
 	r.Cost = d.i64()
 	r.Size = d.i64()
 	r.TTL = d.i64()
+	// Optional trailing trace ID: absent in frames from older encoders
+	// (decoders have never rejected leftover bytes, so the asymmetric
+	// read is safe in both directions).
+	if d.err == nil && d.off+8 <= len(d.buf) {
+		r.Trace = d.u64()
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -311,6 +328,7 @@ func EncodeReply(r *Reply) []byte {
 		s.Evictions, s.Expirations, s.Entries, s.Bytes, s.SavedComputeN} {
 		e.i64(v)
 	}
+	e.u64(r.Trace)
 	return e.buf
 }
 
@@ -330,6 +348,10 @@ func DecodeReply(buf []byte) (*Reply, error) {
 		&r.Stats.Puts, &r.Stats.Evictions, &r.Stats.Expirations,
 		&r.Stats.Entries, &r.Stats.Bytes, &r.Stats.SavedComputeN} {
 		*p = d.i64()
+	}
+	// Optional trailing trace ID (see DecodeRequest).
+	if d.err == nil && d.off+8 <= len(d.buf) {
+		r.Trace = d.u64()
 	}
 	if d.err != nil {
 		return nil, d.err

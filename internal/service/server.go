@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -393,15 +394,67 @@ func (s *Server) dispatchBounded(req *Request) *Reply {
 	}
 	reply := s.dispatch(req)
 	if s.met != nil {
+		dur := time.Since(start)
 		ser := s.met.ops[opName(req.Type)]
-		ser.lat.Observe(time.Since(start))
+		ser.lat.Observe(dur)
 		if reply.Type == MsgReplyError {
 			ser.errs.Inc()
 		} else {
 			ser.ok.Inc()
 		}
+		if req.Trace != 0 && s.met.spans != nil {
+			// A traced request records a server-layer span under the
+			// caller's trace ID (the serve stage covers handler-pool wait
+			// plus cache work) and stamps the op histogram's exemplar so a
+			// /metrics bucket resolves to this trace.
+			s.met.spans.Record(telemetry.Span{
+				Trace:       telemetry.TraceID(req.Trace),
+				Start:       start.UnixNano(),
+				DurationNs:  int64(dur),
+				Layer:       "server",
+				Function:    req.Function,
+				KeyType:     req.KeyType,
+				Outcome:     replyOutcome(reply),
+				Err:         reply.Error,
+				Distance:    replyDistance(reply),
+				Threshold:   reply.Threshold,
+				DropoutRoll: -1,
+				Probes:      -1,
+				Stages: []telemetry.SpanStage{{
+					Name: telemetry.StageServe, DurationNs: int64(dur), Detail: opName(req.Type),
+				}},
+			})
+			ser.lat.SetExemplar(dur, telemetry.TraceID(req.Trace))
+		}
 	}
 	return reply
+}
+
+// replyOutcome maps a wire reply to a span outcome.
+func replyOutcome(r *Reply) string {
+	switch {
+	case r.Type == MsgReplyError:
+		return telemetry.OutcomeError
+	case r.Type == MsgReplyPut:
+		return telemetry.OutcomePut
+	case r.Type != MsgReplyLookup:
+		return "ok"
+	case r.Dropout:
+		return telemetry.OutcomeDropout
+	case r.Hit:
+		return telemetry.OutcomeHit
+	default:
+		return telemetry.OutcomeMiss
+	}
+}
+
+// replyDistance pulls the decision distance from lookup replies (-1 for
+// other ops, matching the unmeasured convention).
+func replyDistance(r *Reply) float64 {
+	if r.Type == MsgReplyLookup {
+		return r.Distance
+	}
+	return -1
 }
 
 // countDroppedConn counts a connection cut mid-stream.
@@ -469,9 +522,12 @@ func (s *Server) handleLookup(req *Request) *Reply {
 	// LookupAccept (not Lookup) so an entry this caller can never receive
 	// is a true miss: no hit counted, no access-frequency or importance
 	// credit for the entry.
-	res, err := s.cache.LookupAccept(req.Function, req.KeyType, req.Key, isByteValue)
+	res, err := s.cache.LookupOpts(req.Function, req.KeyType, req.Key, core.LookupOptions{
+		Accept: isByteValue,
+		Trace:  telemetry.TraceID(req.Trace),
+	})
 	if err != nil {
-		return &Reply{Type: MsgReplyError, Error: err.Error()}
+		return &Reply{Type: MsgReplyError, Error: err.Error(), Trace: req.Trace}
 	}
 	reply := &Reply{
 		Type:      MsgReplyLookup,
@@ -480,6 +536,10 @@ func (s *Server) handleLookup(req *Request) *Reply {
 		Distance:  res.Distance,
 		Threshold: res.Threshold,
 		MissedAt:  res.MissedAt.UnixNano(),
+		// Echo the trace the cache recorded under (the request's ID, or
+		// one the cache minted for a sampled lookup) so the caller can
+		// resolve it against /trace/spans.
+		Trace: uint64(res.Trace),
 	}
 	if res.Hit {
 		reply.Value = res.Value.([]byte)
@@ -495,12 +555,13 @@ func (s *Server) handlePut(req *Request) *Reply {
 		Size:  int(req.Size),
 		TTL:   time.Duration(req.TTL),
 		App:   req.App,
+		Trace: telemetry.TraceID(req.Trace),
 	}
 	id, err := s.cache.Put(req.Function, putReq)
 	if err != nil {
-		return &Reply{Type: MsgReplyError, Error: err.Error()}
+		return &Reply{Type: MsgReplyError, Error: err.Error(), Trace: req.Trace}
 	}
-	return &Reply{Type: MsgReplyPut, ID: uint64(id)}
+	return &Reply{Type: MsgReplyPut, ID: uint64(id), Trace: req.Trace}
 }
 
 func (s *Server) handleStats() *Reply {

@@ -130,11 +130,27 @@ func TestRequestEncodingProperty(t *testing.T) {
 }
 
 func TestDecodeTruncatedRequest(t *testing.T) {
-	full := EncodeRequest(&Request{Type: MsgLookup, Function: "f", Key: vec.Vector{1, 2, 3}})
-	for cut := 0; cut < len(full); cut++ {
+	full := EncodeRequest(&Request{Type: MsgLookup, Function: "f", Key: vec.Vector{1, 2, 3}, Trace: 7})
+	// The final 8 bytes are the OPTIONAL trailing trace ID: cutting into
+	// them must still decode (that is the mixed-version contract — an old
+	// encoder's frame is exactly full[:len-8]), just without a trace.
+	mandatory := len(full) - 8
+	for cut := 0; cut < mandatory; cut++ {
 		if _, err := DecodeRequest(full[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+	for cut := mandatory; cut < len(full); cut++ {
+		req, err := DecodeRequest(full[:cut])
+		if err != nil {
+			t.Fatalf("old-format frame (cut %d) rejected: %v", cut, err)
+		}
+		if req.Trace != 0 {
+			t.Fatalf("partial trace field (cut %d) decoded as %d", cut, req.Trace)
+		}
+	}
+	if req, err := DecodeRequest(full); err != nil || req.Trace != 7 {
+		t.Fatalf("full frame: trace %d, err %v", req.Trace, err)
 	}
 }
 

@@ -44,6 +44,9 @@ type serverMetrics struct {
 	rejectedConns  *telemetry.Counter
 	droppedConns   *telemetry.Counter
 	suppressedLogs *telemetry.Counter
+	// spans is the hub's span recorder; traced requests (a non-zero
+	// trace ID on the wire) record a server-layer span into it.
+	spans *telemetry.SpanRecorder
 }
 
 // Instrument attaches the server to a telemetry hub: per-op request
@@ -66,6 +69,7 @@ func (s *Server) Instrument(tel *telemetry.Telemetry) {
 			"Connections dropped mid-stream (timeouts, oversize frames, write failures)."),
 		suppressedLogs: r.Counter("potluck_server_suppressed_logs_total",
 			"Diagnostic log lines suppressed by the per-key rate limiter."),
+		spans: tel.Spans,
 	}
 	for _, op := range opNames {
 		m.ops[op] = &opSeries{
@@ -134,6 +138,9 @@ type clientMetrics struct {
 	retries *telemetry.Counter
 	redials *telemetry.Counter
 	broken  *telemetry.Counter
+	// spans is the application's span recorder; traced round trips record
+	// a client-layer span into it.
+	spans *telemetry.SpanRecorder
 }
 
 // Instrument attaches the client to a telemetry hub, counting request
@@ -148,6 +155,7 @@ func (c *Client) Instrument(tel *telemetry.Telemetry) {
 			"Reconnects performed after a poisoned connection."),
 		broken: r.Counter("potluck_client_broken_conns_total",
 			"Connections poisoned by I/O or framing failures."),
+		spans: tel.Spans,
 	})
 }
 

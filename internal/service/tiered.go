@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -71,38 +72,62 @@ type TieredResult struct {
 	Value     []byte
 	// MissedAt supports cost accounting exactly like core.LookupResult.
 	MissedAt time.Time
+	// Trace is the trace ID the lookup ran under across both tiers: the
+	// one passed to LookupTraced, one the local cache minted for a
+	// sampled lookup, or one the remote client minted for the hub hop.
+	Trace telemetry.TraceID
 }
 
 // Lookup queries local then remote. A remote failure is absorbed: the
 // breaker records it and the lookup degrades to the local outcome, so a
 // dead hub slows nothing but the requests that discover it.
 func (t *Tiered) Lookup(function, keyType string, key vec.Vector) (TieredResult, error) {
-	// LookupAccept: a non-byte value stored through the in-process API is
+	return t.LookupTraced(function, keyType, key, 0)
+}
+
+// LookupTraced is Lookup under an explicit trace ID: the local probe,
+// the remote hop, and the adoption put all record their spans under it,
+// so one ID follows the request across the device boundary. trace == 0
+// leaves minting to the tiers (the local cache for sampled lookups, the
+// remote client for the wire hop).
+func (t *Tiered) LookupTraced(function, keyType string, key vec.Vector, trace telemetry.TraceID) (TieredResult, error) {
+	// Accept: a non-byte value stored through the in-process API is
 	// unavailable at this layer; it must count as a miss, not as a hit
 	// the caller never sees.
-	res, err := t.Local.LookupAccept(function, keyType, key, isByteValue)
+	res, err := t.Local.LookupOpts(function, keyType, key, core.LookupOptions{
+		Accept: isByteValue,
+		Trace:  trace,
+	})
 	if err != nil {
-		return TieredResult{}, err
+		return TieredResult{Trace: trace}, err
+	}
+	if trace == 0 {
+		// Adopt whatever the local tier minted (still 0 when the lookup
+		// went unsampled) so the remote hop shares the ID.
+		trace = res.Trace
 	}
 	if res.Hit {
-		return TieredResult{Hit: true, Value: res.Value.([]byte), MissedAt: res.MissedAt}, nil
+		return TieredResult{Hit: true, Value: res.Value.([]byte), MissedAt: res.MissedAt, Trace: trace}, nil
 	}
 	if t.Remote == nil || res.Dropout {
 		// Dropout must propagate as a real miss: it is the quality
 		// control that keeps both tiers honest.
-		return TieredResult{MissedAt: res.MissedAt}, nil
+		return TieredResult{MissedAt: res.MissedAt, Trace: trace}, nil
 	}
 	if !t.breaker().Allow() {
-		return TieredResult{MissedAt: res.MissedAt}, nil
+		return TieredResult{MissedAt: res.MissedAt, Trace: trace}, nil
 	}
-	rres, err := t.Remote.Lookup(function, keyType, key)
+	rres, err := t.Remote.LookupTraced(function, keyType, key, trace)
 	t.breaker().Report(err)
 	if err != nil {
 		t.remoteErrs.Add(1)
-		return TieredResult{MissedAt: res.MissedAt}, nil
+		return TieredResult{MissedAt: res.MissedAt, Trace: trace}, nil
+	}
+	if trace == 0 {
+		trace = rres.Trace // the client always mints for the wire hop
 	}
 	if !rres.Hit {
-		return TieredResult{MissedAt: res.MissedAt}, nil
+		return TieredResult{MissedAt: res.MissedAt, Trace: trace}, nil
 	}
 	// Adopt the peer's result locally (§2.4: dedup works as long as the
 	// previous results are still cached — now across devices). Adoption
@@ -114,8 +139,9 @@ func (t *Tiered) Lookup(function, keyType string, key vec.Vector) (TieredResult,
 		Value: rres.Value,
 		TTL:   t.AdoptTTL,
 		App:   "remote-adopt",
+		Trace: trace,
 	})
-	return TieredResult{Hit: true, RemoteHit: true, Value: rres.Value, MissedAt: res.MissedAt}, nil
+	return TieredResult{Hit: true, RemoteHit: true, Value: rres.Value, MissedAt: res.MissedAt, Trace: trace}, nil
 }
 
 // Put writes through to both tiers. A remote failure does not undo the

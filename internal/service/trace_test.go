@@ -1,0 +1,364 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/imaging"
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+)
+
+// --- mixed-version wire compatibility ---
+//
+// oldDecodeRequest/oldDecodeReply replicate the decoders as they were
+// before the trailing trace-ID field existed: they stop after the last
+// pre-trace field and (as the decoders always have) ignore any leftover
+// bytes. Parsing new-encoder frames with them proves an old peer reads a
+// traced frame cleanly; DecodeRequest/DecodeReply on truncated frames
+// prove the reverse direction.
+
+func oldDecodeRequest(buf []byte) (*Request, error) {
+	d := decoder{buf: buf}
+	r := &Request{Type: MsgType(d.u8())}
+	r.App = d.str()
+	r.Function = d.str()
+	r.KeyType = d.str()
+	r.Key = d.vector()
+	if n := int(d.u32()); n > 0 {
+		r.Keys = make(map[string]vec.Vector, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			name := d.str()
+			r.Keys[name] = d.vector()
+		}
+	}
+	if n := int(d.u32()); n > 0 {
+		r.KeyTypes = make([]KeyTypeDef, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.KeyTypes = append(r.KeyTypes, KeyTypeDef{
+				Name: d.str(), Metric: d.str(), Index: d.str(), Dim: d.u32(),
+			})
+		}
+	}
+	r.Value = d.bytes()
+	r.Cost = d.i64()
+	r.Size = d.i64()
+	r.TTL = d.i64()
+	// Old decoder stops here: no trace read, leftover bytes ignored.
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+func oldDecodeReply(buf []byte) (*Reply, error) {
+	d := decoder{buf: buf}
+	r := &Reply{Type: MsgType(d.u8())}
+	r.Error = d.str()
+	r.Hit = d.bool()
+	r.Dropout = d.bool()
+	r.Value = d.bytes()
+	r.Distance = d.f64()
+	r.Threshold = d.f64()
+	r.MissedAt = d.i64()
+	r.ID = d.u64()
+	for _, p := range []*int64{&r.Stats.Hits, &r.Stats.Misses, &r.Stats.Dropouts,
+		&r.Stats.Puts, &r.Stats.Evictions, &r.Stats.Expirations,
+		&r.Stats.Entries, &r.Stats.Bytes, &r.Stats.SavedComputeN} {
+		*p = d.i64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+// An old peer must parse a new (traced) request frame identically,
+// modulo the trace it does not know about.
+func TestOldPeerDecodesTracedRequest(t *testing.T) {
+	req := &Request{
+		Type: MsgLookup, App: "lens", Function: "recog", KeyType: "feat",
+		Key: vec.Vector{1, 2, 3}, Trace: uint64(telemetry.NewTraceID()),
+	}
+	frame := EncodeRequest(req)
+	old, err := oldDecodeRequest(frame)
+	if err != nil {
+		t.Fatalf("old decoder rejected traced frame: %v", err)
+	}
+	if old.App != req.App || old.Function != req.Function || old.KeyType != req.KeyType ||
+		len(old.Key) != 3 || old.Key[2] != 3 {
+		t.Fatalf("old decoder mangled traced frame: %+v", old)
+	}
+	if old.Trace != 0 {
+		t.Fatalf("old decoder should not see the trace: %d", old.Trace)
+	}
+	// And the new decoder reads an old-encoder frame (no trailing trace)
+	// as untraced.
+	neu, err := DecodeRequest(frame[:len(frame)-8])
+	if err != nil || neu.Trace != 0 {
+		t.Fatalf("new decoder on old frame: trace=%d err=%v", neu.Trace, err)
+	}
+}
+
+func TestOldPeerDecodesTracedReply(t *testing.T) {
+	reply := &Reply{
+		Type: MsgReplyLookup, Hit: true, Value: []byte("v"),
+		Distance: 0.5, Threshold: 1.5, MissedAt: 7, ID: 9,
+		Stats: StatsPayload{Hits: 1, Bytes: 2},
+		Trace: uint64(telemetry.NewTraceID()),
+	}
+	frame := EncodeReply(reply)
+	old, err := oldDecodeReply(frame)
+	if err != nil {
+		t.Fatalf("old decoder rejected traced reply: %v", err)
+	}
+	if !old.Hit || old.Distance != 0.5 || old.ID != 9 || old.Stats.Bytes != 2 {
+		t.Fatalf("old decoder mangled traced reply: %+v", old)
+	}
+	if old.Trace != 0 {
+		t.Fatalf("old decoder should not see the trace: %d", old.Trace)
+	}
+	neu, err := DecodeReply(frame[:len(frame)-8])
+	if err != nil || neu.Trace != 0 || !neu.Hit {
+		t.Fatalf("new decoder on old reply: %+v err=%v", neu, err)
+	}
+	// Sanity: the trailing 8 bytes really are the big-endian trace.
+	if got := binary.BigEndian.Uint64(frame[len(frame)-8:]); got != reply.Trace {
+		t.Fatalf("trailing bytes = %x, want trace %x", got, reply.Trace)
+	}
+}
+
+// --- trace propagation over the wire ---
+
+// startTracedServer boots a server whose cache and request dispatch both
+// record into a dedicated hub telemetry.
+func startTracedServer(t *testing.T) (*Server, *telemetry.Telemetry, string) {
+	t.Helper()
+	hubTel := telemetry.New()
+	cfg := testConfig()
+	cfg.Telemetry = hubTel
+	srv, sock := startServer(t, cfg)
+	srv.Instrument(hubTel)
+	return srv, hubTel, sock
+}
+
+// A client lookup must carry its trace to the server, which records
+// server- and core-layer spans under it and echoes it back.
+func TestTracePropagatesOverIPC(t *testing.T) {
+	_, hubTel, sock := startTracedServer(t)
+	cl, err := Dial("unix", sock, "lens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("recog", KeyTypeDef{Name: "feat"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("recog", map[string]vec.Vector{"feat": {1, 2}}, []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	id := telemetry.NewTraceID()
+	res, err := cl.LookupTraced("recog", "feat", vec.Vector{1, 2}, id)
+	if err != nil || !res.Hit {
+		t.Fatalf("lookup: %+v %v", res, err)
+	}
+	if res.Trace != id {
+		t.Fatalf("echoed trace = %s, want %s", res.Trace, id)
+	}
+	spans := hubTel.Spans.Find(id)
+	layers := map[string]bool{}
+	for _, sp := range spans {
+		layers[sp.Layer] = true
+	}
+	if !layers["server"] || !layers["core"] {
+		t.Fatalf("hub spans missing layers: %+v", spans)
+	}
+	// A plain Lookup mints its own ID, so uninstrumented clients still
+	// populate the hub's span surface.
+	res2, err := cl.Lookup("recog", "feat", vec.Vector{1, 2})
+	if err != nil || res2.Trace == 0 {
+		t.Fatalf("minted trace missing: %+v %v", res2, err)
+	}
+	if len(hubTel.Spans.Find(res2.Trace)) == 0 {
+		t.Fatalf("minted trace %s not retained on the hub", res2.Trace)
+	}
+}
+
+// The acceptance scenario: one traced lookup through feature extraction,
+// the local tier, and the remote hub produces spans covering key-gen,
+// index probe, threshold decision, and the IPC hop — all under ONE
+// trace ID, split across the app's and the hub's recorders.
+func TestEndToEndTraceAcrossTiers(t *testing.T) {
+	_, hubTel, sock := startTracedServer(t)
+
+	appTel := telemetry.New()
+	local := core.New(core.Config{
+		Telemetry:      appTel,
+		DisableDropout: true,
+		Tuner:          core.TunerConfig{WarmupZ: 1},
+	})
+	if err := local.RegisterFunction("recog", core.KeyTypeSpec{Name: "feat"}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial("unix", sock, "glass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Instrument(appTel)
+	if err := cl.Register("recog", KeyTypeDef{Name: "feat"}); err != nil {
+		t.Fatal(err)
+	}
+	key := vec.Vector{1, 2}
+	// Seed the hub only: the local tier must miss and the remote hit.
+	if _, err := cl.Put("recog", map[string]vec.Vector{"feat": key}, []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Key generation is the first hop of the trace.
+	feature.InstrumentTracing(appTel)
+	trace := telemetry.NewTraceID()
+	img := imaging.NewRGB(8, 8)
+	for i := range img.Pix {
+		img.Pix[i] = float64(i%7) / 7
+	}
+	if r := feature.ExtractTraced(feature.ColorHist{}, img, trace); len(r.Key) == 0 {
+		t.Fatal("extraction produced no key")
+	}
+
+	tiered := &Tiered{Local: local, Remote: cl}
+	res, err := tiered.LookupTraced("recog", "feat", key, trace)
+	if err != nil || !res.Hit || !res.RemoteHit {
+		t.Fatalf("tiered lookup: %+v %v", res, err)
+	}
+	if res.Trace != trace {
+		t.Fatalf("tiered trace = %s, want %s", res.Trace, trace)
+	}
+
+	// App side: keygen (feature), probe+decide (local core miss), ipc
+	// (client round trip), all under the one trace.
+	stages := map[string]bool{}
+	layers := map[string]bool{}
+	for _, sp := range appTel.Spans.Find(trace) {
+		layers[sp.Layer] = true
+		for _, st := range sp.Stages {
+			stages[st.Name] = true
+		}
+	}
+	for _, want := range []string{telemetry.StageKeyGen, telemetry.StageProbe, telemetry.StageDecide, telemetry.StageIPC} {
+		if !stages[want] {
+			t.Errorf("app-side trace missing stage %q (have %v)", want, stages)
+		}
+	}
+	for _, want := range []string{"feature", "core", "client"} {
+		if !layers[want] {
+			t.Errorf("app-side trace missing layer %q (have %v)", want, layers)
+		}
+	}
+
+	// Hub side: the same trace ID covers the server dispatch and the hub
+	// cache's hit decision.
+	hubLayers := map[string]bool{}
+	var hubHit bool
+	for _, sp := range hubTel.Spans.Find(trace) {
+		hubLayers[sp.Layer] = true
+		if sp.Layer == "core" && sp.Outcome == telemetry.OutcomeHit {
+			hubHit = true
+			if sp.Distance != 0 {
+				t.Errorf("hub hit distance = %v, want exact 0", sp.Distance)
+			}
+		}
+	}
+	if !hubLayers["server"] || !hubHit {
+		t.Errorf("hub-side trace incomplete: layers=%v hit=%v", hubLayers, hubHit)
+	}
+
+	// The adoption put rides the same trace on the app side.
+	var adopted bool
+	for _, sp := range appTel.Spans.Find(trace) {
+		if sp.Layer == "core" && sp.Outcome == telemetry.OutcomePut {
+			adopted = true
+		}
+	}
+	if !adopted {
+		t.Error("adoption put span missing from the app-side trace")
+	}
+}
+
+// Put echo: a traced put comes back with the same ID even through the
+// error path.
+func TestPutTraceEcho(t *testing.T) {
+	_, hubTel, sock := startTracedServer(t)
+	cl, err := Dial("unix", sock, "lens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("recog", KeyTypeDef{Name: "feat"}); err != nil {
+		t.Fatal(err)
+	}
+	id := telemetry.NewTraceID()
+	if _, err := cl.Put("recog", map[string]vec.Vector{"feat": {3}}, []byte("v"), PutOptions{Trace: id}); err != nil {
+		t.Fatal(err)
+	}
+	spans := hubTel.Spans.Find(id)
+	var put bool
+	for _, sp := range spans {
+		if sp.Outcome == telemetry.OutcomePut {
+			put = true
+		}
+	}
+	if !put {
+		t.Fatalf("traced put not retained on hub: %+v", spans)
+	}
+	// Error path: unknown function. The error span must carry the trace.
+	errID := telemetry.NewTraceID()
+	_, err = cl.Put("nope", map[string]vec.Vector{"feat": {3}}, []byte("v"), PutOptions{Trace: errID})
+	if err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if !errors.Is(err, ErrConnBroken) {
+		// The server replied (vs a transport failure): its spans must
+		// include the traced error.
+		found := false
+		for _, sp := range hubTel.Spans.Find(errID) {
+			if sp.Outcome == telemetry.OutcomeError {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("traced put error not retained on hub")
+		}
+	}
+}
+
+// NaN-ish guard: replyDistance must pass lookup distances through
+// unchanged, including the -1 "no neighbour" sentinel.
+func TestReplyOutcomeMapping(t *testing.T) {
+	cases := []struct {
+		reply Reply
+		want  string
+	}{
+		{Reply{Type: MsgReplyError}, telemetry.OutcomeError},
+		{Reply{Type: MsgReplyPut}, telemetry.OutcomePut},
+		{Reply{Type: MsgReplyStats}, "ok"},
+		{Reply{Type: MsgReplyLookup, Dropout: true}, telemetry.OutcomeDropout},
+		{Reply{Type: MsgReplyLookup, Hit: true}, telemetry.OutcomeHit},
+		{Reply{Type: MsgReplyLookup}, telemetry.OutcomeMiss},
+	}
+	for _, c := range cases {
+		if got := replyOutcome(&c.reply); got != c.want {
+			t.Errorf("replyOutcome(%+v) = %q, want %q", c.reply, got, c.want)
+		}
+	}
+	if d := replyDistance(&Reply{Type: MsgReplyLookup, Distance: -1}); d != -1 {
+		t.Errorf("lookup distance sentinel mangled: %v", d)
+	}
+	if d := replyDistance(&Reply{Type: MsgReplyStats, Distance: math.Pi}); d != -1 {
+		t.Errorf("non-lookup distance should be -1, got %v", d)
+	}
+}

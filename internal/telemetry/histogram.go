@@ -37,6 +37,11 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	sum     atomic.Int64 // nanoseconds
 	max     atomic.Int64 // nanoseconds
+	// exemplars[i] holds the trace ID of a recent observation that
+	// landed in bucket i (0 = none yet), linking the aggregate back to a
+	// concrete retained span. Plain atomic stores: last writer wins,
+	// which is exactly the "a recent observation" contract.
+	exemplars [histBuckets]atomic.Uint64
 }
 
 // bucketIndex maps a duration to its log2 bucket.
@@ -78,6 +83,27 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// SetExemplar stamps trace as the exemplar of the bucket d falls in.
+// It does NOT count an observation — callers pair it with a separate
+// Observe (possibly at a different sampling rate), so attaching
+// exemplars never perturbs the bucket counts or derived Count.
+func (h *Histogram) SetExemplar(d time.Duration, trace TraceID) {
+	if trace == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.exemplars[bucketIndex(d)].Store(uint64(trace))
+}
+
+// ObserveTraced records one duration and stamps its trace ID as the
+// bucket's exemplar.
+func (h *Histogram) ObserveTraced(d time.Duration, trace TraceID) {
+	h.Observe(d)
+	h.SetExemplar(d, trace)
+}
+
 // Count returns the number of recorded observations (a bucket sweep;
 // intended for snapshots and tests, not hot paths).
 func (h *Histogram) Count() uint64 {
@@ -99,6 +125,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		n := h.buckets[i].Load()
 		s.Buckets[i] = n
 		total += n
+		s.Exemplars[i] = TraceID(h.exemplars[i].Load())
 	}
 	s.Count = total
 	s.Sum = time.Duration(h.sum.Load())
@@ -113,13 +140,21 @@ type HistogramSnapshot struct {
 	Count   uint64
 	Sum     time.Duration
 	Max     time.Duration
+	// Exemplars[i] is the trace ID of a recent observation in bucket i
+	// (0 = none).
+	Exemplars [histBuckets]TraceID
 }
 
 // Merge adds other's observations into s (for aggregating per-series
-// histograms into a global view).
+// histograms into a global view). Exemplars are per-bucket witnesses,
+// not counts: a bucket keeps its own exemplar and adopts other's only
+// where it has none, so trace IDs survive the merge.
 func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
 	for i := range s.Buckets {
 		s.Buckets[i] += other.Buckets[i]
+		if s.Exemplars[i] == 0 {
+			s.Exemplars[i] = other.Exemplars[i]
+		}
 	}
 	s.Count += other.Count
 	s.Sum += other.Sum

@@ -151,3 +151,106 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("snapshot count = %d, want %d", s.Count, workers*perWorker)
 	}
 }
+
+// Merge must add per-bucket counts exactly, not just the aggregates.
+func TestHistogramMergePerBucket(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 3; i++ {
+		a.Observe(time.Microsecond)
+	}
+	for i := 0; i < 5; i++ {
+		b.Observe(time.Microsecond)
+	}
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if got := sa.Buckets[bucketIndex(time.Microsecond)]; got != 8 {
+		t.Fatalf("merged microsecond bucket = %d, want 8", got)
+	}
+	if got := sa.Buckets[bucketIndex(time.Second)]; got != 1 {
+		t.Fatalf("merged second bucket = %d, want 1", got)
+	}
+	var sum uint64
+	for _, n := range sa.Buckets {
+		sum += n
+	}
+	if sum != sa.Count {
+		t.Fatalf("Count %d != Σ Buckets %d after merge", sa.Count, sum)
+	}
+}
+
+// Snapshots cut mid-write must stay internally consistent
+// (Count == Σ Buckets) and merge without losing observations.
+func TestHistogramMergeMidWrite(t *testing.T) {
+	var hists [4]Histogram
+	const perHist = 20_000
+	var writers sync.WaitGroup
+	for i := range hists {
+		writers.Add(1)
+		go func(h *Histogram) {
+			defer writers.Done()
+			for j := 0; j < perHist; j++ {
+				h.Observe(time.Duration(j) * time.Nanosecond)
+			}
+		}(&hists[i])
+	}
+	// Merge snapshots while the writers are mid-flight: every merged view
+	// must preserve the bucket-sum invariant even though it is not a
+	// single atomic cut.
+	for round := 0; round < 50; round++ {
+		var merged HistogramSnapshot
+		for i := range hists {
+			merged.Merge(hists[i].Snapshot())
+		}
+		var sum uint64
+		for _, n := range merged.Buckets {
+			sum += n
+		}
+		if sum != merged.Count {
+			t.Fatalf("mid-write merge: Count %d != Σ Buckets %d", merged.Count, sum)
+		}
+	}
+	writers.Wait()
+	var final HistogramSnapshot
+	for i := range hists {
+		final.Merge(hists[i].Snapshot())
+	}
+	if final.Count != uint64(len(hists)*perHist) {
+		t.Fatalf("final merged count = %d, want %d", final.Count, len(hists)*perHist)
+	}
+}
+
+// SetExemplar is store-only: it must never perturb the bucket counts,
+// and exemplar trace IDs must survive Merge (own wins, other's adopted
+// only where a bucket has none).
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.SetExemplar(time.Microsecond, 42)
+	if h.Count() != 0 {
+		t.Fatal("SetExemplar counted an observation")
+	}
+	h.SetExemplar(time.Microsecond, 0) // zero trace is a no-op
+	s := h.Snapshot()
+	if s.Exemplars[bucketIndex(time.Microsecond)] != 42 {
+		t.Fatalf("exemplar lost: %v", s.Exemplars[bucketIndex(time.Microsecond)])
+	}
+	h.ObserveTraced(time.Millisecond, 99)
+	if h.Count() != 1 {
+		t.Fatalf("ObserveTraced count = %d, want 1", h.Count())
+	}
+
+	var other Histogram
+	other.ObserveTraced(time.Microsecond, 7) // same bucket as h's 42
+	other.ObserveTraced(time.Second, 8)      // bucket h has no exemplar for
+	sa, sb := h.Snapshot(), other.Snapshot()
+	sa.Merge(sb)
+	if got := sa.Exemplars[bucketIndex(time.Microsecond)]; got != 42 {
+		t.Fatalf("merge overwrote own exemplar: %v", got)
+	}
+	if got := sa.Exemplars[bucketIndex(time.Millisecond)]; got != 99 {
+		t.Fatalf("merge lost own exemplar: %v", got)
+	}
+	if got := sa.Exemplars[bucketIndex(time.Second)]; got != 8 {
+		t.Fatalf("merge failed to adopt other's exemplar: %v", got)
+	}
+}

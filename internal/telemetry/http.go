@@ -1,23 +1,62 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
 )
 
-// AdminHandler builds the daemon's observability endpoint:
-//
-//	/metrics      Prometheus text exposition of the registry
-//	/stats        JSON snapshot from the stats callback (the daemon
-//	              supplies cache + server state; see service.AdminStats)
-//	/trace        JSON dump of the event ring, oldest first
-//	/debug/pprof  the standard Go profiler surface
-//
-// stats may be nil, in which case /stats serves the registry's raw
-// series values. The handler only reads atomics and snapshots; it never
-// takes a data-path lock, so scraping a loaded daemon is safe.
+// Admin response bounds: JSON bodies are rendered into pooled buffers
+// (so a scrape loop does not churn allocations) and hard-capped, since
+// /trace and /trace/spans payloads scale with ring capacity and an
+// unbounded dump could stall the daemon's admin goroutine on a slow
+// reader.
+const (
+	// maxAdminBody caps any single admin JSON response.
+	maxAdminBody = 8 << 20
+	// defaultTraceItems bounds /trace and /trace/spans item counts when
+	// the request does not pass ?n=.
+	defaultTraceItems = 1024
+)
+
+var adminBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// AdminConfig carries the daemon callbacks the admin surface exposes.
+type AdminConfig struct {
+	// Stats supplies the /stats payload (nil → raw registry gather).
+	Stats func() any
+	// Explain supplies the /debug/explain payload for a function name
+	// and a decision count (nil → endpoint returns 404).
+	Explain func(fn string, n int) (any, error)
+}
+
+// AdminHandler builds the daemon's observability endpoint with just a
+// stats callback; see AdminHandlerConfig for the full surface.
 func AdminHandler(t *Telemetry, stats func() any) http.Handler {
+	return AdminHandlerConfig(t, AdminConfig{Stats: stats})
+}
+
+// AdminHandlerConfig builds the daemon's observability endpoint:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/stats          JSON snapshot from the stats callback (the daemon
+//	                supplies cache + server state; see service.AdminStats)
+//	/trace          JSON dump of the event ring, oldest first (?n= caps items)
+//	/trace/spans    JSON dump of retained request spans; filters:
+//	                ?fn= ?layer= ?outcome= ?min= (duration) ?trace= (hex) ?n=
+//	/debug/explain  last-N decision report for one function: ?fn= (required) ?n=
+//	/debug/pprof    the standard Go profiler surface
+//
+// Every endpoint sets an explicit Content-Type and Cache-Control:
+// no-store (admin payloads are live state; a caching proxy must never
+// serve them stale). JSON bodies are built in pooled buffers and capped
+// at maxAdminBody. The handler only reads atomics and snapshots; it
+// never takes a data-path lock, so scraping a loaded daemon is safe.
+func AdminHandlerConfig(t *Telemetry, cfg AdminConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -25,19 +64,72 @@ func AdminHandler(t *Telemetry, stats func() any) http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		var v any
-		if stats != nil {
-			v = stats()
+		if cfg.Stats != nil {
+			v = cfg.Stats()
 		} else {
 			v = t.Registry.Gather()
 		}
 		writeJSON(w, v)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		events := t.Trace.Snapshot()
+		n := queryInt(r, "n", defaultTraceItems)
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
 		writeJSON(w, struct {
 			Recorded uint64  `json:"recorded"`
 			Capacity int     `json:"capacity"`
 			Events   []Event `json:"events"`
-		}{t.Trace.Len(), t.Trace.Capacity(), t.Trace.Snapshot()})
+		}{t.Trace.Len(), t.Trace.Capacity(), events})
+	})
+	mux.HandleFunc("/trace/spans", func(w http.ResponseWriter, r *http.Request) {
+		f := SpanFilter{
+			Function: r.URL.Query().Get("fn"),
+			Layer:    r.URL.Query().Get("layer"),
+			Outcome:  r.URL.Query().Get("outcome"),
+			Limit:    queryInt(r, "n", defaultTraceItems),
+		}
+		if v := r.URL.Query().Get("min"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad min duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.MinDuration = d
+		}
+		if v := r.URL.Query().Get("trace"); v != "" {
+			id, err := ParseTraceID(v)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Trace = id
+		}
+		spans := t.Spans.Snapshot(f)
+		writeJSON(w, struct {
+			Recorded uint64 `json:"recorded"`
+			Capacity int    `json:"capacity"`
+			Spans    []Span `json:"spans"`
+		}{t.Spans.Len(), t.Spans.Capacity(), spans})
+	})
+	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Explain == nil {
+			http.NotFound(w, r)
+			return
+		}
+		fn := r.URL.Query().Get("fn")
+		if fn == "" {
+			http.Error(w, "missing required parameter fn", http.StatusBadRequest)
+			return
+		}
+		n := queryInt(r, "n", 20)
+		v, err := cfg.Explain(fn, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, v)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -50,14 +142,61 @@ func AdminHandler(t *Telemetry, stats func() any) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("potluckd admin endpoint\n\n/metrics\n/stats\n/trace\n/debug/pprof/\n"))
+		w.Write([]byte("potluckd admin endpoint\n\n/metrics\n/stats\n/trace\n/trace/spans\n/debug/explain\n/debug/pprof/\n"))
 	})
-	return mux
+	return noStore(mux)
 }
 
+// noStore stamps Cache-Control on every admin response: all payloads
+// are live state.
+func noStore(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		next.ServeHTTP(w, r)
+	})
+}
+
+// queryInt parses a positive integer query parameter with a default;
+// values are clamped to [1, defaultTraceItems*8] so a hostile ?n=
+// cannot force unbounded response work.
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return def
+	}
+	if max := defaultTraceItems * 8; n > max {
+		return max
+	}
+	return n
+}
+
+// writeJSON renders v into a pooled buffer, enforcing the body cap, and
+// writes it with an explicit length so clients see a clean truncation
+// error instead of a silently chopped document.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	buf := adminBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxAdminBody {
+			buf.Reset()
+			adminBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if buf.Len() > maxAdminBody {
+		http.Error(w, "response exceeds admin body cap", http.StatusInsufficientStorage)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
 }

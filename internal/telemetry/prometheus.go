@@ -17,7 +17,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	fams := append([]*family(nil), r.order...)
 	r.mu.RUnlock()
 	for _, f := range fams {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
 			return err
 		}
 		for _, s := range f.snapshotSeries() {
@@ -85,7 +85,66 @@ func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error
 	if err := writeSample(w, name+"_sum", labels, "", s.Sum.Seconds()); err != nil {
 		return err
 	}
-	return writeSample(w, name+"_count", labels, "", float64(s.Count))
+	if err := writeSample(w, name+"_count", labels, "", float64(s.Count)); err != nil {
+		return err
+	}
+	return writeExemplars(w, name, labels, s)
+}
+
+// writeExemplars emits per-bucket exemplar trace IDs as comment lines.
+// Comments are legal anywhere in the 0.0.4 text format, so strict
+// parsers skip them while humans (and the CI smoke + tests) can resolve
+// a hot bucket to a concrete trace via /trace/spans?trace=<id>.
+func writeExemplars(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	for i, ex := range s.Exemplars {
+		if ex == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < histBuckets-1 {
+			le = strconv.FormatFloat(float64(BucketUpperBound(i))/1e9, 'g', -1, 64)
+		}
+		var b strings.Builder
+		b.WriteString("# exemplar ")
+		b.WriteString(name)
+		b.WriteString("_bucket{")
+		b.WriteString(labels)
+		if labels != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteString(`"} trace_id=`)
+		b.WriteString(ex.String())
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeHelp escapes a HELP line per the 0.0.4 text format: backslash
+// and newline only (double quotes are legal in HELP text, unlike in
+// label values). An unescaped newline here would otherwise truncate the
+// HELP line and corrupt every family after it.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // formatValue renders a sample value: integral values without an

@@ -144,17 +144,31 @@ func (t *Tracer) Snapshot() []Event {
 type Telemetry struct {
 	Registry *Registry
 	Trace    *Tracer
-	Started  time.Time
+	// Spans retains per-request spans under tail-based sampling; see
+	// SpanRecorder.
+	Spans   *SpanRecorder
+	Started time.Time
 }
 
-// New returns a Telemetry with a fresh registry and a default-capacity
-// tracer stamped with the real clock.
+// New returns a Telemetry with a fresh registry, a default-capacity
+// tracer stamped with the real clock, and a default-shape span
+// recorder.
 func New() *Telemetry {
 	return &Telemetry{
 		Registry: NewRegistry(),
 		Trace:    NewTracer(0, nil),
+		Spans:    NewSpanRecorder(0, 0, 0),
 		Started:  time.Now(),
 	}
+}
+
+// RecordSpan records sp if t (and its span recorder) are non-nil, so
+// callers can hold an optional *Telemetry and record unconditionally.
+func (t *Telemetry) RecordSpan(sp Span) {
+	if t == nil {
+		return
+	}
+	t.Spans.Record(sp)
 }
 
 // RecordEvent traces ev if t (and its tracer) are non-nil, so callers
