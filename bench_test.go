@@ -196,6 +196,62 @@ func BenchmarkIPCRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiLookup times one lookup when batched over the
+// Unix-socket service at batch sizes 1, 4 and 16 (one MultiLookup wire
+// frame per batch), so ns/op is directly comparable with
+// BenchmarkIPCRoundTrip: the gap is the per-operation IPC overhead the
+// batch frame amortizes.
+func BenchmarkMultiLookup(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			srv := potluck.NewServer(potluck.New(potluck.Config{
+				DisableDropout: true, Tuner: potluck.TunerConfig{WarmupZ: 1},
+			}))
+			sock := filepath.Join(b.TempDir(), "p.sock")
+			l, err := net.Listen("unix", sock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- srv.Serve(ctx, l) }()
+			defer func() {
+				cancel()
+				srv.Close()
+				<-done
+			}()
+			cl, err := potluck.Dial("unix", sock, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			if err := cl.Register("f", potluck.KeyTypeDef{Name: "k"}); err != nil {
+				b.Fatal(err)
+			}
+			key := potluck.Vector{1, 2, 3, 4}
+			if _, err := cl.Put("f", map[string]potluck.Vector{"k": key}, []byte("v"), potluck.PutOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			subs := make([]potluck.LookupSub, batch)
+			for i := range subs {
+				subs[i] = potluck.LookupSub{Function: "f", KeyType: "k", Key: key}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				res, err := cl.MultiLookup(subs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // benchCacheWithEntries builds a cache pre-populated with n keys of the
 // given dimensionality, threshold forced open.
 func benchCacheWithEntries(b *testing.B, n, dim int) (*core.Cache, []vec.Vector) {

@@ -1,0 +1,423 @@
+// Command potluck-loadgen drives a running potluckd with an open-loop
+// workload and reports throughput and latency percentiles against a
+// target SLO.
+//
+// The generator is open-loop (constant arrival rate, wrk2-style), not
+// closed-loop: operation i is dispatched at start + i/rate regardless of
+// whether earlier operations have completed, and each latency is
+// measured from the operation's *intended* arrival time. A server that
+// stalls therefore shows up as growing latency, not as a silently
+// reduced offered load — the coordinated-omission trap a closed loop
+// falls into.
+//
+// The workload models the paper's setting: -devices independent synth
+// video feeds (successive frames are slightly distorted versions of one
+// another, §2.2), -apps applications per device sharing the cache, keys
+// drawn from each feed via the Downsamp extractor (Table 1) under a
+// -dist popularity distribution. -batch groups consecutive arrivals
+// into one MultiLookup/MultiPut wire frame; -batch 1 uses the
+// single-operation messages.
+//
+// Usage:
+//
+//	potluck-loadgen [-network unix|tcp] [-addr /tmp/potluck.sock]
+//	                [-rate 2000] [-duration 10s] [-warmup 1s]
+//	                [-devices 4] [-apps 2] [-batch 1] [-keys 256]
+//	                [-dist exponential] [-put-ratio 0.05]
+//	                [-slo 5ms] [-seed 1]
+//
+// The run's report is written to stdout as JSON (progress goes to
+// stderr); the "throughput_ops_per_sec" and "slo_met" fields are the
+// machine-readable summary CI keys on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/service"
+	"repro/internal/synth"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+const function = "loadgen"
+
+func main() {
+	var (
+		network  = flag.String("network", "unix", `transport: "unix" or "tcp"`)
+		addr     = flag.String("addr", "/tmp/potluck.sock", "socket path (unix) or host:port (tcp)")
+		rate     = flag.Float64("rate", 2000, "offered load in lookups/sec across all connections")
+		duration = flag.Duration("duration", 10*time.Second, "measured run length")
+		warmup   = flag.Duration("warmup", time.Second, "initial window excluded from the report")
+		devices  = flag.Int("devices", 4, "simulated devices, each with its own video feed")
+		apps     = flag.Int("apps", 2, "applications per device, each with its own connection")
+		batch    = flag.Int("batch", 1, "arrivals grouped into one wire frame (1 = single-op messages)")
+		keys     = flag.Int("keys", 256, "key-pool size per device (frames extracted from its feed)")
+		dist     = flag.String("dist", "exponential", "key popularity: uniform, exponential, zipf")
+		putRatio = flag.Float64("put-ratio", 0.05, "fraction of dispatches that are puts instead of lookups")
+		slo      = flag.Duration("slo", 5*time.Millisecond, "p99 latency objective the report judges")
+		seed     = flag.Int64("seed", 1, "workload seed (feeds, popularity, op mix)")
+	)
+	flag.Parse()
+	if *rate <= 0 || *devices < 1 || *apps < 1 || *batch < 1 || *keys < 1 {
+		log.Fatal("potluck-loadgen: -rate, -devices, -apps, -batch and -keys must be positive")
+	}
+	if *batch > service.MaxBatch {
+		log.Fatalf("potluck-loadgen: -batch %d exceeds the wire limit %d", *batch, service.MaxBatch)
+	}
+
+	log.SetOutput(os.Stderr)
+	pools := buildKeyPools(*devices, *keys, *seed)
+
+	// One connection per device×app pair: the paper's picture is many
+	// applications sharing one service, each over its own IPC socket.
+	conns := make([]*service.Client, 0, *devices*(*apps))
+	for d := 0; d < *devices; d++ {
+		for a := 0; a < *apps; a++ {
+			cl, err := service.Dial(*network, *addr, fmt.Sprintf("dev%d-app%d", d, a))
+			if err != nil {
+				log.Fatalf("potluck-loadgen: dial: %v", err)
+			}
+			defer cl.Close()
+			conns = append(conns, cl)
+		}
+	}
+	if err := conns[0].Register(function, service.KeyTypeDef{
+		Name:  feature.Downsample{}.Name(),
+		Index: "kdtree",
+		Dim:   feature.DownsampleDims,
+	}); err != nil {
+		log.Fatalf("potluck-loadgen: register: %v", err)
+	}
+	seedPools(conns[0], pools)
+
+	r := run(conns, pools, runConfig{
+		rate:     *rate,
+		duration: *duration,
+		warmup:   *warmup,
+		batch:    *batch,
+		dist:     workload.Distribution(*dist),
+		putRatio: *putRatio,
+		seed:     *seed,
+	})
+	r.SLOMs = float64(*slo) / float64(time.Millisecond)
+	r.SLOMet = r.Latency.P99 <= r.SLOMs
+	r.Config = reportConfig{
+		Rate: *rate, DurationSec: duration.Seconds(), Devices: *devices,
+		Apps: *apps, Batch: *batch, Keys: *keys, Dist: *dist, PutRatio: *putRatio,
+	}
+
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatalf("potluck-loadgen: report: %v", err)
+	}
+	os.Stdout.Write(append(out, '\n'))
+	if !r.SLOMet {
+		os.Exit(1)
+	}
+}
+
+// buildKeyPools extracts each device's key pool from its own correlated
+// synth feed. Pools are precomputed so key generation never competes
+// with the dispatch loop for CPU during the measured run.
+func buildKeyPools(devices, keys int, seed int64) [][]vec.Vector {
+	ext := feature.Downsample{}
+	pools := make([][]vec.Vector, devices)
+	for d := range pools {
+		feed := synth.NewVideo(synth.VideoConfig{Seed: seed + int64(d), CutEvery: keys/4 + 1})
+		pool := make([]vec.Vector, keys)
+		for i := range pool {
+			pool[i] = ext.Extract(feed.Frame(i)).Key
+		}
+		pools[d] = pool
+	}
+	return pools
+}
+
+// seedPools inserts every pool key up front so the measured run exercises
+// the hit path (the steady state the paper cares about); -put-ratio keeps
+// the write path in the mix.
+func seedPools(cl *service.Client, pools [][]vec.Vector) {
+	kt := feature.Downsample{}.Name()
+	subs := make([]service.PutSub, 0, service.MaxBatch)
+	flush := func() {
+		if len(subs) == 0 {
+			return
+		}
+		if _, err := cl.MultiPut(subs); err != nil {
+			log.Fatalf("potluck-loadgen: seed puts: %v", err)
+		}
+		subs = subs[:0]
+	}
+	for d, pool := range pools {
+		for i, key := range pool {
+			subs = append(subs, service.PutSub{
+				Function: function,
+				Keys:     map[string]vec.Vector{kt: key},
+				Value:    []byte(fmt.Sprintf("result-%d-%d", d, i)),
+				Cost:     int64(10 * time.Millisecond),
+			})
+			if len(subs) == service.MaxBatch {
+				flush()
+			}
+		}
+	}
+	flush()
+}
+
+type runConfig struct {
+	rate     float64
+	duration time.Duration
+	warmup   time.Duration
+	batch    int
+	dist     workload.Distribution
+	putRatio float64
+	seed     int64
+}
+
+// dispatch is one wire frame's worth of work: cfg.batch consecutive
+// arrivals bound to one connection, dispatched at the intended time of
+// the frame's first arrival.
+type dispatch struct {
+	conn   *service.Client
+	keys   []vec.Vector
+	put    bool
+	warm   bool
+	target time.Time
+}
+
+type counters struct {
+	ops, puts, hits, errors, warmOps atomic.Int64
+	outstanding, peakOutstanding     atomic.Int64
+}
+
+func run(conns []*service.Client, pools [][]vec.Vector, cfg runConfig) *report {
+	kt := feature.Downsample{}.Name()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	// Precompute enough popularity-distributed key indices for the whole
+	// run so the dispatch loop does no random-number work.
+	perPool := len(pools[0])
+	total := int(cfg.rate*(cfg.duration+cfg.warmup).Seconds()) + 2*cfg.batch
+	seq := workload.Sequence(cfg.dist, perPool, total, rng)
+
+	var (
+		cnt  counters
+		mu   sync.Mutex
+		lats []time.Duration
+		wg   sync.WaitGroup
+	)
+	execute := func(d dispatch) {
+		defer wg.Done()
+		defer cnt.outstanding.Add(-1)
+		var errs, hits int
+		if d.put {
+			errs = doPut(d, kt)
+		} else {
+			errs, hits = doLookup(d, kt)
+		}
+		lat := time.Since(d.target) // from intended arrival: open-loop
+		n := int64(len(d.keys))
+		cnt.errors.Add(int64(errs))
+		if d.warm {
+			cnt.warmOps.Add(n)
+			return
+		}
+		cnt.ops.Add(n)
+		cnt.hits.Add(int64(hits))
+		if d.put {
+			cnt.puts.Add(n)
+		}
+		mu.Lock()
+		for i := 0; i < len(d.keys); i++ {
+			lats = append(lats, lat)
+		}
+		mu.Unlock()
+	}
+
+	interval := time.Duration(float64(cfg.batch) / cfg.rate * float64(time.Second))
+	start := time.Now()
+	warmUntil := start.Add(cfg.warmup)
+	end := warmUntil.Add(cfg.duration)
+	log.Printf("potluck-loadgen: offered %.0f ops/s, batch %d (one frame per %v), %d conns, warm %v, run %v",
+		cfg.rate, cfg.batch, interval, len(conns), cfg.warmup, cfg.duration)
+
+	next := 0 // cursor into seq
+	for i := 0; ; i++ {
+		target := start.Add(time.Duration(i) * interval)
+		if !target.Before(end) {
+			break
+		}
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		// Connections are dev-major (dev0-app0, dev0-app1, ...), so the
+		// device — and with it the key pool — is the conn index over apps.
+		ci := i % len(conns)
+		conn := conns[ci]
+		pool := pools[ci/(len(conns)/len(pools))]
+		ks := make([]vec.Vector, cfg.batch)
+		for j := range ks {
+			ks[j] = pool[seq[(next+j)%len(seq)]]
+		}
+		next += cfg.batch
+		d := dispatch{
+			conn:   conn,
+			keys:   ks,
+			put:    rng.Float64() < cfg.putRatio,
+			warm:   target.Before(warmUntil),
+			target: target,
+		}
+		out := cnt.outstanding.Add(1)
+		for {
+			peak := cnt.peakOutstanding.Load()
+			if out <= peak || cnt.peakOutstanding.CompareAndSwap(peak, out) {
+				break
+			}
+		}
+		wg.Add(1)
+		go execute(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(warmUntil)
+
+	r := &report{
+		Ops:              cnt.ops.Load(),
+		Puts:             cnt.puts.Load(),
+		Hits:             cnt.hits.Load(),
+		Errors:           cnt.errors.Load(),
+		WarmupOps:        cnt.warmOps.Load(),
+		PeakOutstanding:  cnt.peakOutstanding.Load(),
+		ElapsedSec:       elapsed.Seconds(),
+		OfferedOpsPerSec: cfg.rate,
+	}
+	if elapsed > 0 {
+		r.ThroughputOpsPerSec = float64(r.Ops) / elapsed.Seconds()
+	}
+	if looks := r.Ops - r.Puts; looks > 0 {
+		r.HitRate = float64(r.Hits) / float64(looks)
+	}
+	r.Latency = percentiles(lats)
+	return r
+}
+
+// doLookup issues one wire frame of lookups and returns (errors, hits).
+func doLookup(d dispatch, kt string) (errs, hits int) {
+	if len(d.keys) == 1 {
+		res, err := d.conn.Lookup(function, kt, d.keys[0])
+		if err != nil {
+			return 1, 0
+		}
+		if res.Hit {
+			return 0, 1
+		}
+		return 0, 0
+	}
+	subs := make([]service.LookupSub, len(d.keys))
+	for i, k := range d.keys {
+		subs[i] = service.LookupSub{Function: function, KeyType: kt, Key: k}
+	}
+	res, err := d.conn.MultiLookup(subs)
+	if err != nil {
+		return len(d.keys), 0
+	}
+	for _, r := range res {
+		switch {
+		case r.Err != nil:
+			errs++
+		case r.Hit:
+			hits++
+		}
+	}
+	return errs, hits
+}
+
+// doPut issues one wire frame of puts and returns the error count.
+func doPut(d dispatch, kt string) (errs int) {
+	if len(d.keys) == 1 {
+		if _, err := d.conn.Put(function, map[string]vec.Vector{kt: d.keys[0]},
+			[]byte("refreshed"), service.PutOptions{Cost: 10 * time.Millisecond}); err != nil {
+			return 1
+		}
+		return 0
+	}
+	subs := make([]service.PutSub, len(d.keys))
+	for i, k := range d.keys {
+		subs[i] = service.PutSub{
+			Function: function,
+			Keys:     map[string]vec.Vector{kt: k},
+			Value:    []byte("refreshed"),
+			Cost:     int64(10 * time.Millisecond),
+		}
+	}
+	res, err := d.conn.MultiPut(subs)
+	if err != nil {
+		return len(d.keys)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			errs++
+		}
+	}
+	return errs
+}
+
+type latencyMs struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+func percentiles(lats []time.Duration) latencyMs {
+	if len(lats) == 0 {
+		return latencyMs{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	return latencyMs{
+		P50: at(0.50), P90: at(0.90), P99: at(0.99), P999: at(0.999),
+		Max: float64(lats[len(lats)-1]) / float64(time.Millisecond),
+	}
+}
+
+type reportConfig struct {
+	Rate        float64 `json:"rate"`
+	DurationSec float64 `json:"duration_sec"`
+	Devices     int     `json:"devices"`
+	Apps        int     `json:"apps"`
+	Batch       int     `json:"batch"`
+	Keys        int     `json:"keys"`
+	Dist        string  `json:"dist"`
+	PutRatio    float64 `json:"put_ratio"`
+}
+
+type report struct {
+	Config              reportConfig `json:"config"`
+	Ops                 int64        `json:"ops"`
+	Puts                int64        `json:"puts"`
+	Hits                int64        `json:"hits"`
+	HitRate             float64      `json:"hit_rate"`
+	Errors              int64        `json:"errors"`
+	WarmupOps           int64        `json:"warmup_ops"`
+	PeakOutstanding     int64        `json:"peak_outstanding"`
+	ElapsedSec          float64      `json:"elapsed_sec"`
+	OfferedOpsPerSec    float64      `json:"offered_ops_per_sec"`
+	ThroughputOpsPerSec float64      `json:"throughput_ops_per_sec"`
+	Latency             latencyMs    `json:"latency_ms"`
+	SLOMs               float64      `json:"slo_ms"`
+	SLOMet              bool         `json:"slo_met"`
+}

@@ -1,0 +1,511 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+)
+
+func coreKeySpec() core.KeyTypeSpec { return core.KeyTypeSpec{Name: "k"} }
+
+func newLocalCache(t *testing.T) *core.Cache {
+	t.Helper()
+	c := core.New(testConfig())
+	if err := c.RegisterFunction("f", coreKeySpec()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func corePutReq(keyType string, key vec.Vector, value []byte) core.PutRequest {
+	return core.PutRequest{Keys: map[string]vec.Vector{keyType: key}, Value: value}
+}
+
+// --- batch sub-operation codecs ---
+
+func TestLookupSubsRoundTrip(t *testing.T) {
+	subs := []LookupSub{
+		{Function: "f", KeyType: "k", Key: vec.Vector{1, 2, 3}, Trace: 7},
+		{Function: "g", KeyType: "", Key: vec.Vector{}, Trace: 0},
+		{},
+	}
+	got, err := DecodeLookupSubs(EncodeLookupSubs(subs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(subs) {
+		t.Fatalf("decoded %d subs, want %d", len(got), len(subs))
+	}
+	if got[0].Function != "f" || got[0].KeyType != "k" || len(got[0].Key) != 3 || got[0].Trace != 7 {
+		t.Fatalf("sub 0 mangled: %+v", got[0])
+	}
+}
+
+func TestPutSubsRoundTrip(t *testing.T) {
+	subs := []PutSub{
+		{
+			Function: "f",
+			Keys:     map[string]vec.Vector{"a": {1}, "b": {2, 3}},
+			Value:    []byte("v"), Cost: 5, Size: 6, TTL: 7, Trace: 8,
+		},
+		{Function: "g"},
+	}
+	got, err := DecodePutSubs(EncodePutSubs(subs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Cost != 5 || got[0].TTL != 7 || got[0].Trace != 8 {
+		t.Fatalf("subs mangled: %+v", got)
+	}
+	if len(got[0].Keys) != 2 || got[0].Keys["b"][1] != 3 {
+		t.Fatalf("key map mangled: %+v", got[0].Keys)
+	}
+}
+
+func TestSubRepliesRoundTrip(t *testing.T) {
+	lr, err := DecodeLookupSubReplies(EncodeLookupSubReplies([]LookupSubReply{
+		{Hit: true, Value: []byte("v"), Distance: 0.5, Threshold: 1.5, MissedAt: 9, Trace: 3},
+		{Error: "boom"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr[0].Hit || string(lr[0].Value) != "v" || lr[0].Distance != 0.5 || lr[1].Error != "boom" {
+		t.Fatalf("lookup sub replies mangled: %+v", lr)
+	}
+	pr, err := DecodePutSubReplies(EncodePutSubReplies([]PutSubReply{
+		{ID: 11, Trace: 4}, {Error: "nope"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr[0].ID != 11 || pr[0].Trace != 4 || pr[1].Error != "nope" {
+		t.Fatalf("put sub replies mangled: %+v", pr)
+	}
+}
+
+// The per-sub length prefix is the forward-extensibility contract: a
+// future encoder appending trailing fields to a sub-op must not break
+// today's decoder, which reads the fields it knows and skips the rest.
+func TestSubDecoderSkipsTrailingFields(t *testing.T) {
+	var e encoder
+	e.u32(1) // one sub
+	var se encoder
+	se.str("f")
+	se.str("k")
+	se.vector(vec.Vector{1})
+	se.u64(42)                                // trace
+	se.buf = append(se.buf, 0xAA, 0xBB, 0xCC) // future trailing field
+	e.bytes(se.buf)
+	subs, err := DecodeLookupSubs(e.buf)
+	if err != nil {
+		t.Fatalf("trailing sub field broke the decoder: %v", err)
+	}
+	if subs[0].Function != "f" || subs[0].Trace != 42 {
+		t.Fatalf("sub mangled by trailing field: %+v", subs[0])
+	}
+}
+
+func TestBatchCountLimits(t *testing.T) {
+	// Over MaxBatch: rejected with the typed error.
+	var e encoder
+	e.u32(MaxBatch + 1)
+	if _, err := DecodeLookupSubs(e.buf); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("oversize count error = %v, want ErrBatchTooLarge", err)
+	}
+	// A hostile count with no bytes behind it is rejected before any
+	// allocation sized by it.
+	var h encoder
+	h.u32(MaxBatch)
+	if _, err := DecodePutSubs(h.buf); err == nil {
+		t.Error("hostile batch count accepted")
+	}
+	// Truncated sub frame.
+	var tr encoder
+	tr.u32(1)
+	tr.u32(100) // sub claims 100 bytes, none follow
+	if _, err := DecodeLookupSubs(tr.buf); err == nil {
+		t.Error("truncated sub frame accepted")
+	}
+}
+
+// --- end-to-end batch IPC ---
+
+// TestBatchEndToEndOverIPC drives MultiPut then MultiLookup through a
+// real server: per-sub results are index-aligned, sub-op errors are
+// isolated, and every traced sub-lookup is retained as its own span on
+// the hub.
+func TestBatchEndToEndOverIPC(t *testing.T) {
+	hubTel := telemetry.New()
+	cfg := testConfig()
+	cfg.Telemetry = hubTel
+	srv, sock := startServer(t, cfg)
+	srv.Instrument(hubTel)
+	cl, err := Dial("unix", sock, "lens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("recog", KeyTypeDef{Name: "feat"}); err != nil {
+		t.Fatal(err)
+	}
+
+	puts := make([]PutSub, 8)
+	for i := range puts {
+		puts[i] = PutSub{
+			Function: "recog",
+			Keys:     map[string]vec.Vector{"feat": {float64(i), 1}},
+			Value:    []byte(fmt.Sprintf("v%d", i)),
+		}
+	}
+	puts = append(puts, PutSub{Function: "nope", Keys: map[string]vec.Vector{"feat": {1}}, Value: []byte("x")})
+	prs, err := cl.MultiPut(puts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if prs[i].Err != nil || prs[i].ID == 0 {
+			t.Fatalf("put sub %d: id=%d err=%v", i, prs[i].ID, prs[i].Err)
+		}
+	}
+	if prs[8].Err == nil || !strings.Contains(prs[8].Err.Error(), "unknown function") {
+		t.Fatalf("bad-function put sub err = %v", prs[8].Err)
+	}
+
+	subs := make([]LookupSub, 8)
+	traces := make([]telemetry.TraceID, 8)
+	for i := range subs {
+		traces[i] = telemetry.NewTraceID()
+		subs[i] = LookupSub{Function: "recog", KeyType: "feat", Key: vec.Vector{float64(i), 1}, Trace: uint64(traces[i])}
+	}
+	subs = append(subs, LookupSub{Function: "recog", KeyType: "nope", Key: vec.Vector{1}})
+	lrs, err := cl.MultiLookup(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrs) != 9 {
+		t.Fatalf("got %d results for 9 subs", len(lrs))
+	}
+	for i := 0; i < 8; i++ {
+		if lrs[i].Err != nil || !lrs[i].Hit || string(lrs[i].Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("lookup sub %d: %+v", i, lrs[i])
+		}
+		if lrs[i].Trace != traces[i] {
+			t.Errorf("sub %d trace = %s, want %s", i, lrs[i].Trace, traces[i])
+		}
+	}
+	if lrs[8].Err == nil {
+		t.Fatal("unknown key type sub succeeded")
+	}
+	// One span per traced sub-op on the hub (PR 5 discipline), not one
+	// blurred span per batch.
+	for i, tr := range traces {
+		if len(hubTel.Spans.Find(tr)) == 0 {
+			t.Errorf("sub %d: trace %s not retained on hub", i, tr)
+		}
+	}
+}
+
+// TestPipelinedConcurrentRoundTrips hammers one client from many
+// goroutines: replies must match their requests (a FIFO mismatch would
+// surface as the wrong value), and nothing deadlocks under -race.
+func TestPipelinedConcurrentRoundTrips(t *testing.T) {
+	_, sock := startServer(t, testConfig())
+	cl, err := Dial("unix", sock, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("f", KeyTypeDef{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	for i := 0; i < n; i++ {
+		if _, err := cl.Put("f", map[string]vec.Vector{"k": {float64(i), 5}}, []byte(fmt.Sprintf("v%d", i)), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				res, err := cl.Lookup("f", "k", vec.Vector{float64(i), 5})
+				if err != nil {
+					errs <- fmt.Errorf("lookup %d: %w", i, err)
+					return
+				}
+				if !res.Hit || string(res.Value) != fmt.Sprintf("v%d", i) {
+					errs <- fmt.Errorf("lookup %d got %+v (reply mismatched to request?)", i, res)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// --- mixed-version batch IPC ---
+
+// oldStyleServe replicates the PR 5-era server loop on a raw connection:
+// today's envelope decoding, but a dispatch switch that predates the
+// batch message types — its default branch answers MsgReplyError and
+// keeps serving, exactly like the shipped binary would.
+func oldStyleServe(conn net.Conn) {
+	defer conn.Close()
+	for {
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(payload)
+		var reply *Reply
+		switch {
+		case err != nil:
+			reply = &Reply{Type: MsgReplyError, Error: err.Error()}
+		case req.Type == MsgStats:
+			reply = &Reply{Type: MsgReplyStats, Stats: StatsPayload{Hits: 1}}
+		case req.Type == MsgRegister || req.Type == MsgLookup || req.Type == MsgPut:
+			reply = &Reply{Type: MsgReplyOK}
+		default:
+			reply = &Reply{Type: MsgReplyError, Error: fmt.Sprintf("unknown request type %d", req.Type)}
+		}
+		if err := WriteFrame(conn, EncodeReply(reply)); err != nil {
+			return
+		}
+	}
+}
+
+// A new client's batch against an old-style server must fail with the
+// server's clean error — not a torn connection — and the SAME connection
+// must keep serving single ops afterwards. The client wraps a pipe, so
+// any poison/redial would surface as ErrConnBroken.
+func TestNewClientBatchAgainstOldServer(t *testing.T) {
+	cconn, sconn := net.Pipe()
+	go oldStyleServe(sconn)
+	cl := NewClientConn(cconn, "app")
+	cl.cfg.RequestTimeout = 2 * time.Second
+	defer cl.Close()
+
+	_, err := cl.MultiLookup([]LookupSub{{Function: "f", KeyType: "k", Key: vec.Vector{1}}})
+	if err == nil {
+		t.Fatal("batch against old server succeeded")
+	}
+	if errors.Is(err, ErrConnBroken) {
+		t.Fatalf("batch against old server broke the connection: %v", err)
+	}
+	if !strings.Contains(err.Error(), "unknown request type") {
+		t.Fatalf("batch error = %v, want the server's unknown-type reply", err)
+	}
+	// Same wrapped connection, next request: still healthy.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("connection unusable after rejected batch: %v", err)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("stats reply mangled after rejected batch: %+v", st)
+	}
+}
+
+// An old client against the new server is byte-identical to today: the
+// single-op encoders are untouched, and the new server's replies still
+// parse with the pre-batch reply decoder.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	_, sock := startServer(t, testConfig())
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	exchangeOld := func(req *Request) *Reply {
+		t.Helper()
+		if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := oldDecodeReply(payload)
+		if err != nil {
+			t.Fatalf("new server's reply unreadable by old decoder: %v", err)
+		}
+		return reply
+	}
+	if r := exchangeOld(&Request{Type: MsgRegister, Function: "f", KeyTypes: []KeyTypeDef{{Name: "k"}}}); r.Type != MsgReplyOK {
+		t.Fatalf("register reply: %+v", r)
+	}
+	if r := exchangeOld(&Request{Type: MsgPut, Function: "f", Keys: map[string]vec.Vector{"k": {1}}, Value: []byte("v")}); r.Type != MsgReplyPut || r.ID == 0 {
+		t.Fatalf("put reply: %+v", r)
+	}
+	r := exchangeOld(&Request{Type: MsgLookup, Function: "f", KeyType: "k", Key: vec.Vector{1}})
+	if r.Type != MsgReplyLookup || !r.Hit || !bytes.Equal(r.Value, []byte("v")) {
+		t.Fatalf("lookup reply: %+v", r)
+	}
+}
+
+// TestOversizeBatchReplySoftError: a batch whose reply frame would
+// exceed MaxMessageSize gets an in-band MsgReplyError — WriteFrame
+// rejects the payload before any bytes hit the wire, so the server must
+// keep the connection, not cut it.
+func TestOversizeBatchReplySoftError(t *testing.T) {
+	_, sock := startServer(t, testConfig())
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	exchange := func(req *Request) *Reply {
+		t.Helper()
+		if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := DecodeReply(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+	if r := exchange(&Request{Type: MsgRegister, Function: "f", KeyTypes: []KeyTypeDef{{Name: "k"}}}); r.Type != MsgReplyOK {
+		t.Fatalf("register reply: %+v", r)
+	}
+	// Two 9 MiB values: each put frame fits under the 16 MiB cap, but a
+	// batch reply carrying both cannot.
+	big := bytes.Repeat([]byte("x"), 9<<20)
+	for i := 0; i < 2; i++ {
+		if r := exchange(&Request{Type: MsgPut, Function: "f", Keys: map[string]vec.Vector{"k": {float64(i)}}, Value: big}); r.Type != MsgReplyPut {
+			t.Fatalf("put %d reply: %+v", i, r)
+		}
+	}
+	r := exchange(&Request{Type: MsgMultiLookup, Value: EncodeLookupSubs([]LookupSub{
+		{Function: "f", KeyType: "k", Key: vec.Vector{0}},
+		{Function: "f", KeyType: "k", Key: vec.Vector{1}},
+	})})
+	if r.Type != MsgReplyError || !strings.Contains(r.Error, "size limit") {
+		t.Fatalf("oversize batch reply = %+v, want in-band size-limit error", r)
+	}
+	// The connection survived: a small batch still serves on it.
+	r = exchange(&Request{Type: MsgMultiLookup, Value: EncodeLookupSubs([]LookupSub{
+		{Function: "f", KeyType: "k", Key: vec.Vector{0}},
+	})})
+	if r.Type != MsgReplyMultiLookup {
+		t.Fatalf("post-oversize batch reply = %+v", r)
+	}
+	subs, err := DecodeLookupSubReplies(r.Value)
+	if err != nil || len(subs) != 1 || !subs[0].Hit {
+		t.Fatalf("post-oversize sub replies = %+v, %v", subs, err)
+	}
+}
+
+// TestTieredMultiLookupBatchThrough: local misses travel to the hub in
+// one frame, remote hits are adopted locally in one batch, and the next
+// batch serves entirely locally.
+func TestTieredMultiLookupBatchThrough(t *testing.T) {
+	srv, sock := startServer(t, testConfig())
+	if err := srv.Cache().RegisterFunction("f", coreKeySpec()); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Dial("unix", sock, "device-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	local := newLocalCache(t)
+
+	// Seed the hub only.
+	keys := []vec.Vector{{1, 0}, {2, 0}, {3, 0}}
+	for i, k := range keys {
+		if _, err := remote.Put("f", map[string]vec.Vector{"k": k}, []byte(fmt.Sprintf("hub%d", i)), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// And one key locally, to prove local hits skip the remote hop.
+	if _, err := local.Put("f", corePutReq("k", vec.Vector{9, 0}, []byte("local"))); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &Tiered{Local: local, Remote: remote}
+	out, err := tr.MultiLookup("f", "k", append(keys, vec.Vector{9, 0}, vec.Vector{50, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !out[i].Hit || !out[i].RemoteHit || string(out[i].Value) != fmt.Sprintf("hub%d", i) {
+			t.Fatalf("sub %d: %+v", i, out[i])
+		}
+	}
+	if !out[3].Hit || out[3].RemoteHit || string(out[3].Value) != "local" {
+		t.Fatalf("local sub: %+v", out[3])
+	}
+	if out[4].Hit {
+		t.Fatalf("absent key hit: %+v", out[4])
+	}
+
+	// Adoption: the same batch now serves with zero remote traffic.
+	remote.Close() // hub gone
+	out2, err := tr.MultiLookup("f", "k", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !out2[i].Hit || out2[i].RemoteHit {
+			t.Fatalf("adopted sub %d not local: %+v", i, out2[i])
+		}
+	}
+}
+
+// TestTieredMultiPutWritesThrough: one batch lands in both tiers.
+func TestTieredMultiPutWritesThrough(t *testing.T) {
+	srv, sock := startServer(t, testConfig())
+	if err := srv.Cache().RegisterFunction("f", coreKeySpec()); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Dial("unix", sock, "device-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	local := newLocalCache(t)
+	tr := &Tiered{Local: local, Remote: remote}
+
+	subs := make([]PutSub, 4)
+	for i := range subs {
+		subs[i] = PutSub{Function: "f", Keys: map[string]vec.Vector{"k": {float64(i), 2}}, Value: []byte{byte(i)}}
+	}
+	if err := tr.MultiPut("f", subs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range subs {
+		res, err := local.Lookup("f", "k", vec.Vector{float64(i), 2})
+		if err != nil || !res.Hit {
+			t.Fatalf("local sub %d: %+v %v", i, res, err)
+		}
+		rres, err := remote.Lookup("f", "k", vec.Vector{float64(i), 2})
+		if err != nil || !rres.Hit {
+			t.Fatalf("remote sub %d: %+v %v", i, rres, err)
+		}
+	}
+}

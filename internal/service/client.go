@@ -70,10 +70,168 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	return cfg
 }
 
+// replyOrErr is one round trip's terminal outcome, delivered to its
+// waiter exactly once.
+type replyOrErr struct {
+	reply *Reply
+	err   error
+}
+
+// clientConn is one live connection with pipelined framing: concurrent
+// round trips interleave on the wire instead of serializing behind each
+// other. Writes are serialized under writeMu; a single reader goroutine
+// matches replies to waiters in FIFO order (the server processes a
+// connection's requests sequentially, so reply order equals request
+// order).
+//
+// Correctness hinges on three rules:
+//
+//  1. The pending-queue append happens under writeMu BEFORE the frame
+//     write, so queue order always matches wire order and a fast reply
+//     can never arrive before its waiter is enqueued.
+//  2. pendMu is never held across I/O — a writer blocked on a stuffed
+//     socket must not be able to wedge the reader (or Close).
+//  3. Each waiter channel receives exactly one send: the reader's pop
+//     and fail's drain both happen under pendMu, and a popped channel
+//     is owned by whoever popped it. Channels are buffered (capacity 1)
+//     so delivery never blocks on a waiter that already timed out.
+//
+// Any failure — read, write, decode, timeout, unsolicited reply —
+// poisons the whole connection: the framing can no longer be trusted,
+// so every in-flight round trip fails and the next request redials.
+type clientConn struct {
+	conn net.Conn
+
+	// writeMu serializes frame writes (and the pending append that must
+	// precede each one).
+	writeMu sync.Mutex
+
+	// pendMu guards pending and err; never held across I/O.
+	pendMu  sync.Mutex
+	pending []chan replyOrErr
+	err     error // non-nil once poisoned; sticky
+
+	// onBroken is invoked once when the connection is poisoned by a
+	// failure (not by Close); nil disables.
+	onBroken func()
+}
+
+func newClientConn(conn net.Conn, onBroken func()) *clientConn {
+	cc := &clientConn{conn: conn, onBroken: onBroken}
+	go cc.readLoop()
+	return cc
+}
+
+// readLoop is the connection's single reader: it decodes replies and
+// delivers each to the oldest waiter. It exits when the connection
+// fails or is closed.
+func (cc *clientConn) readLoop() {
+	for {
+		payload, err := ReadFrame(cc.conn)
+		if err != nil {
+			cc.fail(fmt.Errorf("%w: read: %w", ErrConnBroken, err))
+			return
+		}
+		reply, err := DecodeReply(payload)
+		if err != nil {
+			// A reply we cannot parse means the stream is desynchronized.
+			cc.fail(fmt.Errorf("%w: %w", ErrConnBroken, err))
+			return
+		}
+		cc.pendMu.Lock()
+		if len(cc.pending) == 0 {
+			cc.pendMu.Unlock()
+			cc.fail(fmt.Errorf("%w: unsolicited reply", ErrConnBroken))
+			return
+		}
+		ch := cc.pending[0]
+		cc.pending = cc.pending[1:]
+		cc.pendMu.Unlock()
+		ch <- replyOrErr{reply: reply}
+	}
+}
+
+// fail poisons the connection: the first failure wins, every in-flight
+// waiter receives it, and the underlying conn is closed (unblocking the
+// reader and any stuck writer).
+func (cc *clientConn) fail(err error) {
+	cc.pendMu.Lock()
+	if cc.err != nil {
+		cc.pendMu.Unlock()
+		return
+	}
+	cc.err = err
+	pending := cc.pending
+	cc.pending = nil
+	cc.pendMu.Unlock()
+	cc.conn.Close()
+	if cc.onBroken != nil && !errors.Is(err, ErrClientClosed) {
+		cc.onBroken()
+	}
+	for _, ch := range pending {
+		ch <- replyOrErr{err: err}
+	}
+}
+
+// healthy reports whether the connection can still carry requests.
+func (cc *clientConn) healthy() bool {
+	cc.pendMu.Lock()
+	defer cc.pendMu.Unlock()
+	return cc.err == nil
+}
+
+// send performs one pipelined round trip: enqueue the waiter, write the
+// frame, wait for the FIFO-matched reply. timeout bounds the whole trip
+// (<= 0 means no limit); an overrun poisons the connection, because a
+// reply we walked away from would desynchronize the stream.
+func (cc *clientConn) send(frame []byte, timeout time.Duration) (*Reply, error) {
+	ch := make(chan replyOrErr, 1)
+	cc.writeMu.Lock()
+	cc.pendMu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.pendMu.Unlock()
+		cc.writeMu.Unlock()
+		return nil, err
+	}
+	cc.pending = append(cc.pending, ch)
+	cc.pendMu.Unlock()
+	if timeout > 0 {
+		cc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	err := WriteFrame(cc.conn, frame)
+	if timeout > 0 {
+		cc.conn.SetWriteDeadline(time.Time{})
+	}
+	cc.writeMu.Unlock()
+	if err != nil {
+		// The frame may be partially written: the stream is unusable.
+		cc.fail(fmt.Errorf("%w: write: %w", ErrConnBroken, err))
+		r := <-ch // fail (or a racing reply) settles our channel
+		return r.reply, r.err
+	}
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case r := <-ch:
+			return r.reply, r.err
+		case <-timer.C:
+			cc.fail(fmt.Errorf("%w: request timed out after %v", ErrConnBroken, timeout))
+			r := <-ch
+			return r.reply, r.err
+		}
+	}
+	r := <-ch
+	return r.reply, r.err
+}
+
 // Client is an application's handle to the Potluck service, wrapping the
 // register()/lookup()/put() API of §4.3 over the wire protocol. It is
-// safe for concurrent use; requests are serialized over one connection,
-// matching Binder's synchronous transaction model.
+// safe for concurrent use; concurrent requests are pipelined over one
+// connection (framing interleaves on the wire, replies are matched back
+// in FIFO order), so a batch in flight never serializes behind a slow
+// single lookup.
 //
 // The client survives service restarts: a failed round trip poisons the
 // current connection and the next request transparently redials with
@@ -85,16 +243,15 @@ type Client struct {
 	network string
 	addr    string // empty when wrapping a caller-supplied conn (no redial)
 
-	// reqMu serializes round trips. Close deliberately does not take it:
-	// a roundtrip stuck on a dead server holds reqMu indefinitely, and
-	// Close must still be able to cut the connection out from under it.
-	reqMu sync.Mutex
+	// dialMu serializes redials so a burst of requests hitting a
+	// poisoned connection dials once, not once each. Close deliberately
+	// does not take it: Close must stay prompt while a dial is stuck.
+	dialMu sync.Mutex
 
-	// stateMu guards the connection and its lifecycle flags. It is never
-	// held across network I/O.
+	// stateMu guards the connection slot and lifecycle flags. It is
+	// never held across network I/O.
 	stateMu sync.Mutex
-	conn    net.Conn
-	broken  bool
+	cc      *clientConn
 	closed  bool
 
 	// met holds the reconnect-path counters; nil until Instrument.
@@ -116,7 +273,7 @@ func DialConfig(network, addr, app string, cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.conn = conn
+	c.cc = newClientConn(conn, c.countBroken)
 	return c, nil
 }
 
@@ -124,7 +281,15 @@ func DialConfig(network, addr, app string, cfg ClientConfig) (*Client, error) {
 // Such a client cannot redial: once the connection is poisoned, requests
 // fail with ErrConnBroken.
 func NewClientConn(conn net.Conn, app string) *Client {
-	return &Client{app: app, cfg: ClientConfig{}.withDefaults(), conn: conn}
+	c := &Client{app: app, cfg: ClientConfig{}.withDefaults()}
+	c.cc = newClientConn(conn, c.countBroken)
+	return c
+}
+
+func (c *Client) countBroken() {
+	if m := c.met.Load(); m != nil {
+		m.broken.Inc()
+	}
 }
 
 func (c *Client) dial() (net.Conn, error) {
@@ -144,8 +309,7 @@ func (c *Client) dial() (net.Conn, error) {
 }
 
 // Close releases the connection. It never waits for an in-flight round
-// trip: closing the underlying connection is what unblocks one stuck on
-// a dead server.
+// trip: failing the connection out from under one is what unblocks it.
 func (c *Client) Close() error {
 	c.stateMu.Lock()
 	if c.closed {
@@ -153,40 +317,53 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	conn := c.conn
-	c.conn = nil
+	cc := c.cc
+	c.cc = nil
 	c.stateMu.Unlock()
-	if conn == nil {
-		return nil
+	if cc != nil {
+		cc.fail(ErrClientClosed)
 	}
-	return conn.Close()
+	return nil
 }
 
 // acquireConn returns a healthy connection, redialing if the previous
-// one was poisoned. Dialing happens with no lock held so Close stays
-// prompt; only the reqMu holder calls this, so the conn slot cannot be
-// raced by another request.
-func (c *Client) acquireConn() (net.Conn, error) {
+// one was poisoned. Dialing happens under dialMu with no state lock
+// held, so Close stays prompt and concurrent requests share one redial.
+func (c *Client) acquireConn() (*clientConn, error) {
 	c.stateMu.Lock()
 	if c.closed {
 		c.stateMu.Unlock()
 		return nil, ErrClientClosed
 	}
-	if c.conn != nil && !c.broken {
-		conn := c.conn
+	if c.cc != nil && c.cc.healthy() {
+		cc := c.cc
 		c.stateMu.Unlock()
-		return conn, nil
+		return cc, nil
 	}
+	c.stateMu.Unlock()
 	if c.network == "" {
-		c.stateMu.Unlock()
 		return nil, ErrConnBroken
 	}
-	old := c.conn
-	c.conn = nil
-	c.broken = false
+
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// Recheck under dialMu: a concurrent request may have redialed while
+	// we waited for the lock.
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.cc != nil && c.cc.healthy() {
+		cc := c.cc
+		c.stateMu.Unlock()
+		return cc, nil
+	}
+	old := c.cc
+	c.cc = nil
 	c.stateMu.Unlock()
 	if old != nil {
-		old.Close()
+		old.fail(ErrConnBroken)
 	}
 
 	conn, err := c.dial()
@@ -196,58 +373,16 @@ func (c *Client) acquireConn() (net.Conn, error) {
 	if m := c.met.Load(); m != nil {
 		m.redials.Inc()
 	}
+	cc := newClientConn(conn, c.countBroken)
 	c.stateMu.Lock()
 	if c.closed {
 		c.stateMu.Unlock()
-		conn.Close()
+		cc.fail(ErrClientClosed)
 		return nil, ErrClientClosed
 	}
-	c.conn = conn
+	c.cc = cc
 	c.stateMu.Unlock()
-	return conn, nil
-}
-
-// poison marks conn unusable and closes it. Subsequent requests redial
-// instead of reading a stale reply off a desynchronized stream.
-func (c *Client) poison(conn net.Conn) {
-	c.stateMu.Lock()
-	if c.conn == conn {
-		c.broken = true
-	}
-	c.stateMu.Unlock()
-	if m := c.met.Load(); m != nil {
-		m.broken.Inc()
-	}
-	conn.Close()
-}
-
-// exchange performs one framed request/reply on conn. Any I/O or framing
-// failure poisons the connection and is wrapped in ErrConnBroken; an
-// error the server replied with leaves the connection healthy.
-func (c *Client) exchange(conn net.Conn, frame []byte) (*Reply, error) {
-	if c.cfg.RequestTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
-		defer conn.SetDeadline(time.Time{})
-	}
-	if err := WriteFrame(conn, frame); err != nil {
-		c.poison(conn)
-		return nil, fmt.Errorf("%w: write: %w", ErrConnBroken, err)
-	}
-	payload, err := ReadFrame(conn)
-	if err != nil {
-		c.poison(conn)
-		return nil, fmt.Errorf("%w: read: %w", ErrConnBroken, err)
-	}
-	reply, err := DecodeReply(payload)
-	if err != nil {
-		// A reply we cannot parse means the stream is desynchronized.
-		c.poison(conn)
-		return nil, fmt.Errorf("%w: %w", ErrConnBroken, err)
-	}
-	if reply.Type == MsgReplyError {
-		return nil, fmt.Errorf("service: %s", reply.Error)
-	}
-	return reply, nil
+	return cc, nil
 }
 
 // backoff returns the pre-retry delay for the given attempt: exponential
@@ -267,8 +402,9 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
-// roundTrip sends one request and reads one reply, redialing and
-// retrying on connection failures up to MaxAttempts.
+// roundTrip sends one request and reads its reply, redialing and
+// retrying on connection failures up to MaxAttempts. Concurrent round
+// trips pipeline over the shared connection.
 func (c *Client) roundTrip(req *Request) (*Reply, error) {
 	req.App = c.app
 	frame := EncodeRequest(req)
@@ -277,8 +413,6 @@ func (c *Client) roundTrip(req *Request) (*Reply, error) {
 		// connection on the oversize prefix); the connection stays clean.
 		return nil, fmt.Errorf("%w: request is %d bytes", ErrMessageTooLarge, len(frame))
 	}
-	c.reqMu.Lock()
-	defer c.reqMu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -287,7 +421,7 @@ func (c *Client) roundTrip(req *Request) (*Reply, error) {
 			}
 			time.Sleep(c.backoff(attempt - 1))
 		}
-		conn, err := c.acquireConn()
+		cc, err := c.acquireConn()
 		if err != nil {
 			if errors.Is(err, ErrClientClosed) || errors.Is(err, ErrConnBroken) {
 				// Closed, or poisoned with no redial path: retrying
@@ -297,12 +431,17 @@ func (c *Client) roundTrip(req *Request) (*Reply, error) {
 			lastErr = err // dial failure: back off and retry
 			continue
 		}
-		reply, err := c.exchange(conn, frame)
+		reply, err := cc.send(frame, c.cfg.RequestTimeout)
 		if err == nil {
+			if reply.Type == MsgReplyError {
+				// The server answered; its error is final and the
+				// connection stays healthy.
+				return nil, fmt.Errorf("service: %s", reply.Error)
+			}
 			return reply, nil
 		}
 		if !errors.Is(err, ErrConnBroken) {
-			return nil, err // the server answered; its error is final
+			return nil, err
 		}
 		lastErr = err
 		if c.network == "" {
@@ -482,4 +621,106 @@ func (c *Client) Stats() (StatsPayload, error) {
 		return StatsPayload{}, err
 	}
 	return reply.Stats, nil
+}
+
+// MultiLookupResult is the client-side outcome of one batch sub-lookup.
+// Err is this sub-operation's failure; a failed sub never fails its
+// siblings.
+type MultiLookupResult struct {
+	LookupResult
+	Err error
+}
+
+// MultiLookup issues a batch of lookups in one wire frame. The server
+// fans the sub-lookups across its worker group and replies with one
+// frame of index-aligned results. Sub-ops without a Trace get one
+// minted here, so every sub-lookup is individually resolvable against
+// the server's span endpoints.
+//
+// A batch against an old-style server fails whole with the server's
+// "unknown request type" error; the connection stays usable.
+func (c *Client) MultiLookup(subs []LookupSub) ([]MultiLookupResult, error) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	if len(subs) > MaxBatch {
+		return nil, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(subs), MaxBatch)
+	}
+	sent := make([]LookupSub, len(subs))
+	copy(sent, subs)
+	for i := range sent {
+		if sent[i].Trace == 0 {
+			sent[i].Trace = uint64(telemetry.NewTraceID())
+		}
+	}
+	reply, err := c.roundTrip(&Request{Type: MsgMultiLookup, Value: EncodeLookupSubs(sent)})
+	if err != nil {
+		return nil, err
+	}
+	srs, err := DecodeLookupSubReplies(reply.Value)
+	if err != nil {
+		return nil, fmt.Errorf("service: batch reply: %w", err)
+	}
+	if len(srs) != len(sent) {
+		return nil, fmt.Errorf("service: batch reply has %d results for %d sub-ops", len(srs), len(sent))
+	}
+	out := make([]MultiLookupResult, len(srs))
+	for i, sr := range srs {
+		if sr.Error != "" {
+			out[i] = MultiLookupResult{Err: fmt.Errorf("service: %s", sr.Error)}
+			continue
+		}
+		res := LookupResult{
+			Hit:       sr.Hit,
+			Dropout:   sr.Dropout,
+			Value:     sr.Value,
+			Distance:  sr.Distance,
+			Threshold: sr.Threshold,
+			MissedAt:  time.Unix(0, sr.MissedAt),
+			Trace:     telemetry.TraceID(sr.Trace),
+		}
+		if res.Trace == 0 {
+			res.Trace = telemetry.TraceID(sent[i].Trace)
+		}
+		out[i] = MultiLookupResult{LookupResult: res}
+	}
+	return out, nil
+}
+
+// MultiPutResult is the client-side outcome of one batch sub-put.
+type MultiPutResult struct {
+	ID  uint64
+	Err error
+}
+
+// MultiPut inserts a batch of results in one wire frame, returning
+// index-aligned per-sub IDs and errors. The envelope carries the
+// client's app name for all sub-ops.
+func (c *Client) MultiPut(subs []PutSub) ([]MultiPutResult, error) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	if len(subs) > MaxBatch {
+		return nil, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(subs), MaxBatch)
+	}
+	reply, err := c.roundTrip(&Request{Type: MsgMultiPut, Value: EncodePutSubs(subs)})
+	if err != nil {
+		return nil, err
+	}
+	srs, err := DecodePutSubReplies(reply.Value)
+	if err != nil {
+		return nil, fmt.Errorf("service: batch reply: %w", err)
+	}
+	if len(srs) != len(subs) {
+		return nil, fmt.Errorf("service: batch reply has %d results for %d sub-ops", len(srs), len(subs))
+	}
+	out := make([]MultiPutResult, len(srs))
+	for i, sr := range srs {
+		if sr.Error != "" {
+			out[i] = MultiPutResult{Err: fmt.Errorf("service: %s", sr.Error)}
+			continue
+		}
+		out[i] = MultiPutResult{ID: sr.ID}
+	}
+	return out, nil
 }

@@ -33,6 +33,20 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(&Request{Type: 99, Function: "f"}))
 	f.Add(EncodeRequest(&Request{Type: MsgLookup, Function: "f", KeyType: "k", Key: vec.Vector{}}))
 	f.Add(EncodeRequest(&Request{Type: MsgPut, Function: "f", Keys: map[string]vec.Vector{"k": {}}}))
+	// Boundary-length seeds: field lengths near MaxUint32 must be
+	// rejected by the uint64 comparisons, not wrapped on 32-bit ints.
+	f.Add(hostileLengthFrame(0xFFFFFFFF)) // string length = MaxUint32
+	f.Add(hostileLengthFrame(0x80000000)) // length = MinInt32 as uint
+	f.Add(hostileLengthFrame(0x7FFFFFFF)) // length = MaxInt32
+	f.Add(hostileVectorFrame(0x20000001)) // 8*n overflows int32
+	f.Add(hostileVectorFrame(0xFFFFFFFF))
+	f.Add(hostileMapCountFrame(0xFFFFFFFF))
+	// Batch envelopes ride through DecodeRequest as opaque Value bytes;
+	// seed one so the fuzzer explores the envelope path too.
+	f.Add(EncodeRequest(&Request{
+		Type: MsgMultiLookup, App: "a",
+		Value: EncodeLookupSubs([]LookupSub{{Function: "f", KeyType: "k", Key: vec.Vector{1}}}),
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(data)
 		if err != nil {
@@ -82,6 +96,36 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("oversized payload accepted: %d", len(payload))
 		}
 	})
+}
+
+// hostileLengthFrame builds a request payload whose App-string length
+// field is the given value with almost no bytes behind it.
+func hostileLengthFrame(n uint32) []byte {
+	buf := []byte{byte(MsgLookup)}
+	buf = binary.BigEndian.AppendUint32(buf, n)
+	return append(buf, 'x')
+}
+
+// hostileVectorFrame builds a request payload whose Key vector length
+// field is the given value (App/Function/KeyType empty).
+func hostileVectorFrame(n uint32) []byte {
+	buf := []byte{byte(MsgLookup)}
+	for i := 0; i < 3; i++ { // empty App, Function, KeyType
+		buf = binary.BigEndian.AppendUint32(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, n)
+	return append(buf, 1, 2, 3, 4, 5, 6, 7, 8)
+}
+
+// hostileMapCountFrame builds a request payload whose Keys map count is
+// the given value.
+func hostileMapCountFrame(n uint32) []byte {
+	buf := []byte{byte(MsgPut)}
+	for i := 0; i < 4; i++ { // empty App, Function, KeyType, Key
+		buf = binary.BigEndian.AppendUint32(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, n)
+	return append(buf, 0, 0, 0, 0)
 }
 
 // frame prefixes a payload with its length header, bypassing WriteFrame's

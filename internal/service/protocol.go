@@ -31,6 +31,16 @@ const (
 	MsgReplyLookup
 	MsgReplyPut
 	MsgReplyStats
+	// Batch operations (added after the single-op protocol shipped).
+	// Batch frames are ordinary Request/Reply envelopes whose Value
+	// field carries a length-prefixed sub-operation array, so an
+	// old-style peer parses the frame cleanly and replies MsgReplyError
+	// ("unknown request type") instead of tearing the connection — the
+	// same mixed-version discipline as the trailing trace-ID field.
+	MsgMultiLookup
+	MsgMultiPut
+	MsgReplyMultiLookup
+	MsgReplyMultiPut
 )
 
 // MaxMessageSize bounds a single wire message (16 MiB), protecting the
@@ -180,32 +190,41 @@ func (d *decoder) u64() uint64 {
 func (d *decoder) i64() int64   { return int64(d.u64()) }
 func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
 
+// remaining reports how many undecoded bytes are left. d.off never
+// exceeds len(d.buf), so the result is non-negative.
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+// Length fields are compared against the remaining buffer in uint64:
+// a hostile length near MaxUint32 must not wrap when widened to int
+// (int is 32 bits on 32-bit platforms, where int(n) can go negative
+// and d.off+n can overflow past a bounds check).
+
 func (d *decoder) str() string {
-	n := int(d.u32())
-	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(d.remaining()) {
 		d.fail()
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+n])
-	d.off += n
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
 	return s
 }
 
 func (d *decoder) bytes() []byte {
-	n := int(d.u32())
-	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(d.remaining()) {
 		d.fail()
 		return nil
 	}
 	b := make([]byte, n)
-	copy(b, d.buf[d.off:d.off+n])
-	d.off += n
+	copy(b, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
 	return b
 }
 
 func (d *decoder) vector() vec.Vector {
-	n := int(d.u32())
-	if d.err != nil || n < 0 || d.off+8*n > len(d.buf) {
+	n := d.u32()
+	if d.err != nil || uint64(n)*8 > uint64(d.remaining()) {
 		d.fail()
 		return nil
 	}
@@ -214,6 +233,19 @@ func (d *decoder) vector() vec.Vector {
 		v[i] = d.f64()
 	}
 	return v
+}
+
+// sub returns the next length-prefixed sub-frame as a slice of the
+// underlying buffer (no copy).
+func (d *decoder) sub() []byte {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(d.remaining()) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
 }
 
 // EncodeRequest serializes a request payload (without the frame header).
@@ -271,22 +303,24 @@ func DecodeRequest(buf []byte) (*Request, error) {
 	r.Function = d.str()
 	r.KeyType = d.str()
 	r.Key = d.vector()
-	if n := int(d.u32()); n > 0 {
-		if n > len(buf) { // each entry takes ≥ 8 bytes; cheap sanity bound
+	if n := d.u32(); n > 0 {
+		// Each entry takes ≥ 8 bytes; cheap sanity bound, compared in
+		// uint64 so a hostile count cannot wrap on 32-bit platforms.
+		if uint64(n) > uint64(len(buf)) {
 			return nil, errors.New("service: corrupt key map length")
 		}
 		r.Keys = make(map[string]vec.Vector, n)
-		for i := 0; i < n && d.err == nil; i++ {
+		for i := uint32(0); i < n && d.err == nil; i++ {
 			name := d.str()
 			r.Keys[name] = d.vector()
 		}
 	}
-	if n := int(d.u32()); n > 0 {
-		if n > len(buf) {
+	if n := d.u32(); n > 0 {
+		if uint64(n) > uint64(len(buf)) {
 			return nil, errors.New("service: corrupt key type list length")
 		}
 		r.KeyTypes = make([]KeyTypeDef, 0, n)
-		for i := 0; i < n && d.err == nil; i++ {
+		for i := uint32(0); i < n && d.err == nil; i++ {
 			r.KeyTypes = append(r.KeyTypes, KeyTypeDef{
 				Name:   d.str(),
 				Metric: d.str(),
@@ -357,6 +391,278 @@ func DecodeReply(buf []byte) (*Reply, error) {
 		return nil, d.err
 	}
 	return r, nil
+}
+
+// --- batch sub-operation codecs ---
+//
+// A MsgMultiLookup/MsgMultiPut frame is a normal Request envelope whose
+// Value holds `u32 count` followed by count sub-operations, each
+// length-prefixed (`u32 len | payload`). The per-sub length prefix lets
+// future encoders append trailing fields to a sub-op without breaking
+// older decoders (they decode the fields they know and skip the rest),
+// mirroring the envelope-level trailing-field rule. Replies mirror the
+// layout in the Reply envelope's Value.
+
+// MaxBatch bounds the sub-operations in one batch frame, protecting the
+// server's fan-out (and the reply frame size) from hostile counts.
+const MaxBatch = 4096
+
+// ErrBatchTooLarge is returned when a batch exceeds MaxBatch sub-ops.
+var ErrBatchTooLarge = errors.New("service: batch exceeds sub-operation limit")
+
+// LookupSub is one sub-operation of a MsgMultiLookup batch.
+type LookupSub struct {
+	Function string
+	KeyType  string
+	Key      vec.Vector
+	// Trace is this sub-operation's span trace ID (0 = untraced). Each
+	// sub-op carries its own ID so one batch frame yields one span per
+	// lookup, not one blurred span per batch.
+	Trace uint64
+}
+
+// LookupSubReply is the per-sub-operation outcome of a batch lookup.
+// Error is set when this sub-op failed (unknown function, say) — a
+// sub-op failure never fails its siblings.
+type LookupSubReply struct {
+	Error     string
+	Hit       bool
+	Dropout   bool
+	Value     []byte
+	Distance  float64
+	Threshold float64
+	MissedAt  int64 // nanoseconds since epoch
+	Trace     uint64
+}
+
+// PutSub is one sub-operation of a MsgMultiPut batch.
+type PutSub struct {
+	Function string
+	Keys     map[string]vec.Vector
+	Value    []byte
+	Cost     int64 // nanoseconds
+	Size     int64
+	TTL      int64 // nanoseconds
+	Trace    uint64
+}
+
+// PutSubReply is the per-sub-operation outcome of a batch put.
+type PutSubReply struct {
+	Error string
+	ID    uint64
+	Trace uint64
+}
+
+// batchCount reads and validates the leading sub-op count of a batch
+// payload.
+func (d *decoder) batchCount() (int, error) {
+	n := d.u32()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if n > MaxBatch {
+		return 0, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, n, MaxBatch)
+	}
+	// Every sub-op costs at least a 4-byte length prefix.
+	if uint64(n)*4 > uint64(d.remaining()) {
+		return 0, errors.New("service: corrupt batch count")
+	}
+	return int(n), nil
+}
+
+// EncodeLookupSubs serializes a batch of lookup sub-operations (the
+// Value payload of a MsgMultiLookup envelope).
+func EncodeLookupSubs(subs []LookupSub) []byte {
+	var e encoder
+	e.u32(uint32(len(subs)))
+	var se encoder
+	for _, s := range subs {
+		se.buf = se.buf[:0]
+		se.str(s.Function)
+		se.str(s.KeyType)
+		se.vector(s.Key)
+		se.u64(s.Trace)
+		e.bytes(se.buf)
+	}
+	return e.buf
+}
+
+// DecodeLookupSubs parses a MsgMultiLookup Value payload.
+func DecodeLookupSubs(buf []byte) ([]LookupSub, error) {
+	d := decoder{buf: buf}
+	n, err := d.batchCount()
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]LookupSub, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		sd := decoder{buf: d.sub()}
+		subs = append(subs, LookupSub{
+			Function: sd.str(),
+			KeyType:  sd.str(),
+			Key:      sd.vector(),
+			Trace:    sd.u64(),
+		})
+		if sd.err != nil {
+			return nil, sd.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return subs, nil
+}
+
+// EncodeLookupSubReplies serializes per-sub lookup outcomes (the Value
+// payload of a MsgReplyMultiLookup envelope).
+func EncodeLookupSubReplies(subs []LookupSubReply) []byte {
+	var e encoder
+	e.u32(uint32(len(subs)))
+	var se encoder
+	for _, s := range subs {
+		se.buf = se.buf[:0]
+		se.str(s.Error)
+		se.bool(s.Hit)
+		se.bool(s.Dropout)
+		se.bytes(s.Value)
+		se.f64(s.Distance)
+		se.f64(s.Threshold)
+		se.i64(s.MissedAt)
+		se.u64(s.Trace)
+		e.bytes(se.buf)
+	}
+	return e.buf
+}
+
+// DecodeLookupSubReplies parses a MsgReplyMultiLookup Value payload.
+func DecodeLookupSubReplies(buf []byte) ([]LookupSubReply, error) {
+	d := decoder{buf: buf}
+	n, err := d.batchCount()
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]LookupSubReply, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		sd := decoder{buf: d.sub()}
+		subs = append(subs, LookupSubReply{
+			Error:     sd.str(),
+			Hit:       sd.bool(),
+			Dropout:   sd.bool(),
+			Value:     sd.bytes(),
+			Distance:  sd.f64(),
+			Threshold: sd.f64(),
+			MissedAt:  sd.i64(),
+			Trace:     sd.u64(),
+		})
+		if sd.err != nil {
+			return nil, sd.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return subs, nil
+}
+
+// EncodePutSubs serializes a batch of put sub-operations (the Value
+// payload of a MsgMultiPut envelope).
+func EncodePutSubs(subs []PutSub) []byte {
+	var e encoder
+	e.u32(uint32(len(subs)))
+	var se encoder
+	for _, s := range subs {
+		se.buf = se.buf[:0]
+		se.str(s.Function)
+		se.u32(uint32(len(s.Keys)))
+		for _, k := range sortedKeys(s.Keys) {
+			se.str(k.name)
+			se.vector(k.key)
+		}
+		se.bytes(s.Value)
+		se.i64(s.Cost)
+		se.i64(s.Size)
+		se.i64(s.TTL)
+		se.u64(s.Trace)
+		e.bytes(se.buf)
+	}
+	return e.buf
+}
+
+// DecodePutSubs parses a MsgMultiPut Value payload.
+func DecodePutSubs(buf []byte) ([]PutSub, error) {
+	d := decoder{buf: buf}
+	n, err := d.batchCount()
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]PutSub, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		sd := decoder{buf: d.sub()}
+		s := PutSub{Function: sd.str()}
+		if kn := sd.u32(); kn > 0 && sd.err == nil {
+			if uint64(kn) > uint64(sd.remaining()) {
+				return nil, errors.New("service: corrupt sub key map length")
+			}
+			s.Keys = make(map[string]vec.Vector, kn)
+			for j := uint32(0); j < kn && sd.err == nil; j++ {
+				name := sd.str()
+				s.Keys[name] = sd.vector()
+			}
+		}
+		s.Value = sd.bytes()
+		s.Cost = sd.i64()
+		s.Size = sd.i64()
+		s.TTL = sd.i64()
+		s.Trace = sd.u64()
+		if sd.err != nil {
+			return nil, sd.err
+		}
+		subs = append(subs, s)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return subs, nil
+}
+
+// EncodePutSubReplies serializes per-sub put outcomes.
+func EncodePutSubReplies(subs []PutSubReply) []byte {
+	var e encoder
+	e.u32(uint32(len(subs)))
+	var se encoder
+	for _, s := range subs {
+		se.buf = se.buf[:0]
+		se.str(s.Error)
+		se.u64(s.ID)
+		se.u64(s.Trace)
+		e.bytes(se.buf)
+	}
+	return e.buf
+}
+
+// DecodePutSubReplies parses a MsgReplyMultiPut Value payload.
+func DecodePutSubReplies(buf []byte) ([]PutSubReply, error) {
+	d := decoder{buf: buf}
+	n, err := d.batchCount()
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]PutSubReply, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		sd := decoder{buf: d.sub()}
+		subs = append(subs, PutSubReply{
+			Error: sd.str(),
+			ID:    sd.u64(),
+			Trace: sd.u64(),
+		})
+		if sd.err != nil {
+			return nil, sd.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return subs, nil
 }
 
 // WriteFrame writes a length-prefixed message.

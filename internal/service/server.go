@@ -364,6 +364,13 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 			reply = s.dispatchBounded(req)
 		}
 		err = s.writeReply(conn, reply)
+		if errors.Is(err, ErrMessageTooLarge) {
+			// WriteFrame rejects an oversize payload before writing a single
+			// byte, so the stream is still frame-aligned — degrade to an
+			// in-band error instead of cutting a healthy connection. (A batch
+			// of large hits can legitimately overflow one reply frame.)
+			err = s.writeReply(conn, &Reply{Type: MsgReplyError, Error: ErrMessageTooLarge.Error(), Trace: reply.Trace})
+		}
 		s.setBusy(st, false)
 		if err != nil {
 			s.countDroppedConn()
@@ -481,6 +488,10 @@ func (s *Server) dispatch(req *Request) *Reply {
 		return s.handlePut(req)
 	case MsgStats:
 		return s.handleStats()
+	case MsgMultiLookup:
+		return s.handleMultiLookup(req)
+	case MsgMultiPut:
+		return s.handleMultiPut(req)
 	default:
 		return &Reply{Type: MsgReplyError, Error: fmt.Sprintf("unknown request type %d", req.Type)}
 	}
@@ -562,6 +573,83 @@ func (s *Server) handlePut(req *Request) *Reply {
 		return &Reply{Type: MsgReplyError, Error: err.Error(), Trace: req.Trace}
 	}
 	return &Reply{Type: MsgReplyPut, ID: uint64(id), Trace: req.Trace}
+}
+
+// handleMultiLookup fans a batch of sub-lookups across the core's
+// worker group. Sub-op errors are reported per sub; only an undecodable
+// batch payload fails the whole request.
+func (s *Server) handleMultiLookup(req *Request) *Reply {
+	subs, err := DecodeLookupSubs(req.Value)
+	if err != nil {
+		return &Reply{Type: MsgReplyError, Error: err.Error(), Trace: req.Trace}
+	}
+	batch := make([]core.BatchLookup, len(subs))
+	for i, sub := range subs {
+		batch[i] = core.BatchLookup{
+			Function: sub.Function,
+			KeyType:  sub.KeyType,
+			Key:      sub.Key,
+			Opts: core.LookupOptions{
+				Accept: isByteValue,
+				Trace:  telemetry.TraceID(sub.Trace),
+			},
+		}
+	}
+	results := s.cache.MultiLookup(batch)
+	replies := make([]LookupSubReply, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			replies[i] = LookupSubReply{Error: r.Err.Error(), Trace: subs[i].Trace}
+			continue
+		}
+		sr := LookupSubReply{
+			Hit:       r.Hit,
+			Dropout:   r.Dropout,
+			Distance:  r.Distance,
+			Threshold: r.Threshold,
+			MissedAt:  r.MissedAt.UnixNano(),
+			Trace:     uint64(r.Trace),
+		}
+		if r.Hit {
+			sr.Value = r.Value.([]byte)
+		}
+		replies[i] = sr
+	}
+	return &Reply{Type: MsgReplyMultiLookup, Value: EncodeLookupSubReplies(replies), Trace: req.Trace}
+}
+
+// handleMultiPut inserts a batch of sub-puts through the core's worker
+// group, reporting per-sub IDs and errors.
+func (s *Server) handleMultiPut(req *Request) *Reply {
+	subs, err := DecodePutSubs(req.Value)
+	if err != nil {
+		return &Reply{Type: MsgReplyError, Error: err.Error(), Trace: req.Trace}
+	}
+	batch := make([]core.BatchPut, len(subs))
+	for i, sub := range subs {
+		batch[i] = core.BatchPut{
+			Function: sub.Function,
+			Req: core.PutRequest{
+				Keys:  sub.Keys,
+				Value: sub.Value,
+				Cost:  time.Duration(sub.Cost),
+				Size:  int(sub.Size),
+				TTL:   time.Duration(sub.TTL),
+				App:   req.App,
+				Trace: telemetry.TraceID(sub.Trace),
+			},
+		}
+	}
+	results := s.cache.MultiPut(batch)
+	replies := make([]PutSubReply, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			replies[i] = PutSubReply{Error: r.Err.Error(), Trace: subs[i].Trace}
+			continue
+		}
+		replies[i] = PutSubReply{ID: uint64(r.ID), Trace: subs[i].Trace}
+	}
+	return &Reply{Type: MsgReplyMultiPut, Value: EncodePutSubReplies(replies), Trace: req.Trace}
 }
 
 func (s *Server) handleStats() *Reply {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -23,6 +25,13 @@ type SpillStore struct {
 
 // NewSpillStore creates a store rooted at dir; values of threshold bytes
 // or more spill to disk. dir is created if missing.
+//
+// Opening scans the directory: the id counter resumes past the highest
+// existing entry file (handles held across a restart must never be
+// reassigned to new data, which would silently serve the wrong bytes),
+// and leftover files — spilled entries and temp files from a previous
+// run, none of which any live handle references — are swept so restarts
+// do not leak disk forever.
 func NewSpillStore(dir string, threshold int) (*SpillStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: spill dir: %w", err)
@@ -30,12 +39,42 @@ func NewSpillStore(dir string, threshold int) (*SpillStore, error) {
 	if threshold <= 0 {
 		threshold = 64 << 10
 	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: spill dir scan: %w", err)
+	}
+	var maxID uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if id, ok := spillEntryID(strings.TrimSuffix(name, ".tmp")); ok {
+			if id > maxID {
+				maxID = id
+			}
+			// Orphan from a previous run: nothing references it anymore.
+			// Removal is best-effort; resuming the counter past its id is
+			// what guarantees correctness.
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
 	return &SpillStore{
 		dir:       dir,
 		threshold: threshold,
+		nextID:    maxID,
 		inMem:     make(map[uint64][]byte),
 		onDisk:    make(map[uint64]string),
 	}, nil
+}
+
+// spillEntryID parses the id out of an "entry-<id>.bin" file name.
+func spillEntryID(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "entry-") || !strings.HasSuffix(name, ".bin") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "entry-"), ".bin"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
 }
 
 // Put stores a value and returns its handle.
@@ -54,9 +93,18 @@ func (s *SpillStore) Put(value []byte) (uint64, error) {
 	// Write the file before publishing its path: a concurrent Get that
 	// saw the handle early would read a missing or partially written
 	// file. The id is already reserved, so racing Puts cannot collide.
+	// The bytes land in a temp file first and rename into place, so a
+	// failed write can never leave a partial entry file behind for a
+	// later reader (or the restart sweep) to mistake for a whole one.
 	path := filepath.Join(s.dir, fmt.Sprintf("entry-%d.bin", id))
-	if err := os.WriteFile(path, value, 0o644); err != nil {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, value, 0o644); err != nil {
+		os.Remove(tmp)
 		return 0, fmt.Errorf("service: spill write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("service: spill rename: %w", err)
 	}
 	s.mu.Lock()
 	s.onDisk[id] = path

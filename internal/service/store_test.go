@@ -1,0 +1,94 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpillStoreRestartReuse is the restart regression: a reopened store
+// must resume its id counter past the previous run's files (a stale
+// handle must never alias new data) and sweep the orphaned files instead
+// of leaking them forever.
+func TestSpillStoreRestartReuse(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	big := bytes.Repeat([]byte("x"), 32)
+
+	s1, err := NewSpillStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastID uint64
+	for i := 0; i < 3; i++ {
+		if lastID, err = s1.Put(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray temp file from a crashed mid-write Put must be swept too.
+	if err := os.WriteFile(filepath.Join(dir, "entry-99.bin.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewSpillStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("reopen left %d orphan files in spill dir", len(left))
+	}
+	id, err := s2.Put(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The temp file's id (99) outranks the real entries; the counter must
+	// clear both so no previous run's handle can alias the new entry.
+	if id <= lastID || id <= 99 {
+		t.Errorf("post-restart id = %d, want > %d and > 99 (counter not resumed)", id, lastID)
+	}
+	got, err := s2.Get(id)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("post-restart Get = %q, %v", got, err)
+	}
+	// Old handles are gone, not silently remapped.
+	if _, err := s2.Get(lastID); err == nil {
+		t.Error("stale pre-restart handle resolved after reopen")
+	}
+}
+
+// TestSpillStorePutWriteFailure injects a write failure (a directory
+// squatting on the temp path) and checks Put fails cleanly: an error,
+// no partial entry file left behind, and the store keeps working.
+func TestSpillStorePutWriteFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	s, err := NewSpillStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first spill reserves id 1; make its temp path unwritable.
+	if err := os.MkdirAll(filepath.Join(dir, "entry-1.bin.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("y"), 32)
+	if _, err := s.Put(big); err == nil {
+		t.Fatal("Put succeeded despite injected write failure")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "entry-1.bin")); !os.IsNotExist(err) {
+		t.Errorf("failed Put left an entry file behind: %v", err)
+	}
+	// The store stays usable; the burned id is skipped, not reused.
+	id, err := s.Put(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("post-failure id = %d, want 2", id)
+	}
+	if got, err := s.Get(id); err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("Get after recovered Put = %q, %v", got, err)
+	}
+}

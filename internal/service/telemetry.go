@@ -11,7 +11,7 @@ import (
 // pre-created at Instrument time so the admin endpoint's /metrics is
 // fully shaped (histogram buckets included) from the first scrape, even
 // before any request arrives.
-var opNames = []string{"register", "lookup", "put", "stats", "unknown"}
+var opNames = []string{"register", "lookup", "put", "stats", "multilookup", "multiput", "unknown"}
 
 func opName(t MsgType) string {
 	switch t {
@@ -23,6 +23,10 @@ func opName(t MsgType) string {
 		return "put"
 	case MsgStats:
 		return "stats"
+	case MsgMultiLookup:
+		return "multilookup"
+	case MsgMultiPut:
+		return "multiput"
 	default:
 		return "unknown"
 	}

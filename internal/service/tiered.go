@@ -144,6 +144,126 @@ func (t *Tiered) LookupTraced(function, keyType string, key vec.Vector, trace te
 	return TieredResult{Hit: true, RemoteHit: true, Value: rres.Value, MissedAt: res.MissedAt, Trace: trace}, nil
 }
 
+// MultiLookup batches Lookup: one local batch probe over the core's
+// worker group, then the misses forwarded to the remote hub in ONE wire
+// frame (not one round trip per miss), with remote hits adopted locally
+// in one batch put. The whole remote hop costs a single breaker
+// Allow/Report, so a dead hub charges one failure per batch, not per
+// key. Results are index-aligned with keys.
+//
+// All sub-lookups share one function and key type, so a sub-op error
+// (unknown function, say) applies to every sibling and fails the batch
+// whole.
+func (t *Tiered) MultiLookup(function, keyType string, keys []vec.Vector) ([]TieredResult, error) {
+	batch := make([]core.BatchLookup, len(keys))
+	for i, k := range keys {
+		batch[i] = core.BatchLookup{
+			Function: function,
+			KeyType:  keyType,
+			Key:      k,
+			Opts:     core.LookupOptions{Accept: isByteValue},
+		}
+	}
+	local := t.Local.MultiLookup(batch)
+	out := make([]TieredResult, len(keys))
+	var missIdx []int
+	for i, r := range local {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = TieredResult{MissedAt: r.MissedAt, Trace: r.Trace}
+		switch {
+		case r.Hit:
+			out[i].Hit = true
+			out[i].Value = r.Value.([]byte)
+		case r.Dropout:
+			// Dropout propagates as a real miss, never forwarded: it is
+			// the quality control that keeps both tiers honest.
+		default:
+			missIdx = append(missIdx, i)
+		}
+	}
+	if t.Remote == nil || len(missIdx) == 0 || !t.breaker().Allow() {
+		return out, nil
+	}
+	subs := make([]LookupSub, len(missIdx))
+	for j, i := range missIdx {
+		subs[j] = LookupSub{Function: function, KeyType: keyType, Key: keys[i], Trace: uint64(out[i].Trace)}
+	}
+	rres, err := t.Remote.MultiLookup(subs)
+	t.breaker().Report(err)
+	if err != nil {
+		// Absorbed: the batch degrades to its local outcome.
+		t.remoteErrs.Add(1)
+		return out, nil
+	}
+	var adopt []core.BatchPut
+	for j, i := range missIdx {
+		r := rres[j]
+		if r.Err != nil || !r.Hit {
+			continue
+		}
+		out[i].Hit = true
+		out[i].RemoteHit = true
+		out[i].Value = r.Value
+		if out[i].Trace == 0 {
+			out[i].Trace = r.Trace
+		}
+		adopt = append(adopt, core.BatchPut{Function: function, Req: core.PutRequest{
+			Keys:  map[string]vec.Vector{keyType: keys[i]},
+			Value: r.Value,
+			TTL:   t.AdoptTTL,
+			App:   "remote-adopt",
+			Trace: out[i].Trace,
+		}})
+	}
+	if len(adopt) > 0 {
+		// Adoption is an optimization (see LookupTraced); per-sub put
+		// failures never fail the batch.
+		t.Local.MultiPut(adopt)
+	}
+	return out, nil
+}
+
+// MultiPut batches Put: one local batch insert, one remote frame. Like
+// Put, a remote failure does not undo the local writes; the first error
+// from either tier is returned so callers can surface it.
+func (t *Tiered) MultiPut(function string, subs []PutSub) error {
+	batch := make([]core.BatchPut, len(subs))
+	for i, sub := range subs {
+		batch[i] = core.BatchPut{Function: function, Req: core.PutRequest{
+			Keys:  sub.Keys,
+			Value: sub.Value,
+			Cost:  time.Duration(sub.Cost),
+			Size:  int(sub.Size),
+			TTL:   time.Duration(sub.TTL),
+			Trace: telemetry.TraceID(sub.Trace),
+		}}
+	}
+	var firstErr error
+	for _, r := range t.Local.MultiPut(batch) {
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+	}
+	if t.Remote == nil {
+		return firstErr
+	}
+	if !t.breaker().Allow() {
+		t.remoteErrs.Add(1)
+		return firstErr
+	}
+	_, err := t.Remote.MultiPut(subs)
+	t.breaker().Report(err)
+	if err != nil {
+		t.remoteErrs.Add(1)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Put writes through to both tiers. A remote failure does not undo the
 // local write; the error is returned so callers can surface it. While
 // the breaker is open the remote write is skipped entirely (counted in

@@ -127,7 +127,22 @@ type (
 	// Refiner adjusts a cached result to the exact current input
 	// (post-lookup incremental computation, §7).
 	Refiner = core.Refiner
+	// LookupSub is one sub-lookup of a batched Client.MultiLookup.
+	LookupSub = service.LookupSub
+	// PutSub is one sub-put of a batched Client.MultiPut.
+	PutSub = service.PutSub
+	// MultiLookupResult is the per-sub outcome of Client.MultiLookup.
+	MultiLookupResult = service.MultiLookupResult
+	// MultiPutResult is the per-sub outcome of Client.MultiPut.
+	MultiPutResult = service.MultiPutResult
+	// BatchLookup is one sub-lookup of an in-process Cache.MultiLookup.
+	BatchLookup = core.BatchLookup
+	// BatchPut is one sub-put of an in-process Cache.MultiPut.
+	BatchPut = core.BatchPut
 )
+
+// MaxBatch is the wire limit on sub-operations per batch frame.
+const MaxBatch = service.MaxBatch
 
 // NewServer wraps a cache in a service.
 func NewServer(cache *Cache) *Server { return service.NewServer(cache) }

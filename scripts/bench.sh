@@ -5,11 +5,21 @@
 # Usage:
 #   scripts/bench.sh [go-bench-regexp] [benchtime]          # record
 #   scripts/bench.sh compare [go-bench-regexp] [benchtime]  # diff
+#   scripts/bench.sh loadgen [single-rate] [batch-rate] [batch]  # serving
 #
 # Record mode defaults to the full suite at -benchtime=1s. Output lands
 # in BENCH_core.json at the repo root: a JSON document wrapping the raw
 # `go test -bench` text (benchmarks' native format survives untouched
 # for benchstat) plus the environment needed to interpret it.
+#
+# Loadgen mode measures end-to-end serving with cmd/potluck-loadgen:
+# an open-loop run at single-rate with single-op messages, then one at
+# batch-rate (default 2x) with MultiLookup frames of the given batch
+# size, each against a freshly started potluckd. Both reports are
+# spliced into BENCH_core.json under a "loadgen" key (run record mode
+# first), and the mode exits nonzero unless the batched run sustains
+# its offered rate within the SLO — the batching win the protocol is
+# supposed to buy.
 #
 # Compare mode reruns the benchmarks and diffs ns/op per benchmark
 # against the committed BENCH_core.json, printing a table and exiting
@@ -30,6 +40,79 @@ mode=record
 if [ "${1:-}" = "compare" ]; then
 	mode=compare
 	shift
+elif [ "${1:-}" = "loadgen" ]; then
+	mode=loadgen
+	shift
+fi
+
+if [ "$mode" = "loadgen" ]; then
+	single_rate="${1:-14000}"
+	batch_rate="${2:-28000}"
+	batch="${3:-16}"
+	out="BENCH_core.json"
+	work="$(mktemp -d)"
+	trap 'rm -rf "$work"; kill $daemon 2>/dev/null || true' EXIT
+	daemon=
+
+	go build -o "$work/potluckd" ./cmd/potluckd
+	go build -o "$work/loadgen" ./cmd/potluck-loadgen
+
+	# One fresh daemon per run: entries a run seeds or puts must not
+	# inflate lookup costs for the next one.
+	serve_one() { # rate batch report
+		rm -f "$work/p.sock"
+		"$work/potluckd" -addr "$work/p.sock" >"$work/potluckd.log" 2>&1 &
+		daemon=$!
+		i=0
+		while [ ! -S "$work/p.sock" ] && [ $i -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+		echo "loadgen: batch=$2 offered=$1 ops/s" >&2
+		"$work/loadgen" -addr "$work/p.sock" -rate "$1" -batch "$2" \
+			-duration 5s -warmup 1s -keys 8 -put-ratio 0 -slo 150ms >"$3"
+		status=$?
+		kill "$daemon" 2>/dev/null || true
+		wait "$daemon" 2>/dev/null || true
+		daemon=
+		grep -E '"throughput_ops_per_sec"|"p99"|"slo_met"' "$3" >&2
+		return $status
+	}
+
+	serve_one "$single_rate" 1 "$work/single.json" || true
+	if serve_one "$batch_rate" "$batch" "$work/batch.json"; then
+		batch_ok=0
+	else
+		batch_ok=1
+	fi
+
+	if [ -f "$out" ]; then
+		# Splice the two reports into the committed baseline under a
+		# "loadgen" key (replacing any previous one), after the bench
+		# "output" array so compare mode's line recovery is untouched.
+		awk -v single="$work/single.json" -v batchf="$work/batch.json" '
+			/^  "loadgen": \{$/ { skip = 1; next }
+			skip && /^  \},?$/ { skip = 0; next }
+			skip { next }
+			/^  \],?$/ {
+				print "  ],"
+				print "  \"loadgen\": {"
+				print "    \"single\":"
+				while ((getline line < single) > 0) print "    " line
+				print "    ,"
+				print "    \"batch\":"
+				while ((getline line < batchf) > 0) print "    " line
+				print "  }"
+				next
+			}
+			{ print }
+		' "$out" > "$work/spliced" && mv "$work/spliced" "$out"
+		echo "updated $out (loadgen section)" >&2
+	else
+		echo "bench.sh: no $out baseline; loadgen reports not recorded (run scripts/bench.sh first)" >&2
+	fi
+	if [ "$batch_ok" -ne 0 ]; then
+		echo "bench.sh: batched run missed its rate or SLO" >&2
+		exit 1
+	fi
+	exit 0
 fi
 
 pattern="${1:-.}"
