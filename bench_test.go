@@ -25,6 +25,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/nn"
 	"repro/internal/render"
+	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
@@ -546,6 +547,65 @@ func BenchmarkLookupParallel(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// BenchmarkDurablePut measures the write-path overhead of the durable
+// store: the same put stream against a purely in-memory cache, a cache
+// logging with the default interval fsync policy, and one syncing every
+// append. The "store-off" series is the bench.sh steady-state baseline
+// the 10% gate compares against.
+func BenchmarkDurablePut(b *testing.B) {
+	const dim = 4
+	for _, mode := range []string{"store-off", "store-interval", "store-always"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := core.Config{
+				DisableDropout: true,
+				Tuner:          core.TunerConfig{WarmupZ: 1},
+			}
+			var durable *store.Log
+			if mode != "store-off" {
+				policy := store.FsyncInterval
+				if mode == "store-always" {
+					policy = store.FsyncAlways
+				}
+				var err error
+				durable, err = store.Open(store.Config{Dir: b.TempDir(), Fsync: policy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Store = durable
+			}
+			cache := core.New(cfg)
+			if err := cache.RegisterFunction("f", core.KeyTypeSpec{Name: "k", Dim: dim}); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(13))
+			keys := make([]vec.Vector, 1024)
+			for i := range keys {
+				v := make(vec.Vector, dim)
+				for j := range v {
+					v[j] = rng.NormFloat64()
+				}
+				keys[i] = v
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cache.Put("f", core.PutRequest{
+					Keys:  map[string]vec.Vector{"k": keys[i%len(keys)]},
+					Value: i,
+					Cost:  time.Millisecond,
+					Size:  64,
+					TTL:   time.Minute,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if durable != nil {
+				durable.Close()
+			}
+		})
 	}
 }
 

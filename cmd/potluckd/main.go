@@ -12,9 +12,20 @@
 //	         [-max-conns N] [-max-handlers N] [-idle-timeout 2m]
 //	         [-read-timeout 10s] [-write-timeout 10s] [-drain-timeout 5s]
 //	         [-admin-addr 127.0.0.1:9744]
+//	         [-data-dir /var/lib/potluck] [-snapshot-interval 1m]
+//	         [-fsync always|interval|never] [-fsync-interval 100ms]
+//	         [-segment-bytes N]
 //
 // -admin-addr starts an HTTP observability endpoint serving /metrics
 // (Prometheus text), /stats and /trace (JSON), and /debug/pprof/.
+//
+// -data-dir enables the durable store (internal/store): every
+// registration, admission, and removal is appended to a crash-safe
+// segment log, snapshots are taken on -snapshot-interval, and at boot
+// the cache state — entries, per-function counters, and tuner
+// thresholds — is recovered before the socket opens. It subsumes the
+// older -snapshot single-file mechanism, which remains for experiment
+// compatibility.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/feature"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -48,6 +60,12 @@ func main() {
 		gamma      = flag.Float64("gamma", 0.8, "threshold loosening EWMA weight (γ)")
 		reputation = flag.Bool("reputation", false, "enable the cache-pollution reputation defence")
 		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at boot if present, written at shutdown")
+
+		dataDir       = flag.String("data-dir", "", "durable store directory: segment log + snapshots, recovered at boot (empty = in-memory only)")
+		snapInterval  = flag.Duration("snapshot-interval", time.Minute, "durable store snapshot+compaction cadence")
+		fsyncPolicy   = flag.String("fsync", "interval", "durable store fsync policy: always, interval, never")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence under -fsync interval")
+		segmentBytes  = flag.Int64("segment-bytes", 8<<20, "durable store segment roll size")
 
 		maxConns     = flag.Int("max-conns", 0, "connection cap (0 = default 1024, -1 = unlimited)")
 		maxHandlers  = flag.Int("max-handlers", 0, "concurrent request handler cap, the AppListener threadpool width (0 = default 256, -1 = unlimited)")
@@ -91,7 +109,42 @@ func main() {
 		// extraction latency on /metrics for any in-process extraction.
 		feature.Instrument(tel.Registry)
 	}
+	var durable *store.Log
+	if *dataDir != "" {
+		fsp, err := store.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		durable, err = store.Open(store.Config{
+			Dir:              *dataDir,
+			SegmentBytes:     *segmentBytes,
+			Fsync:            fsp,
+			FsyncInterval:    *fsyncInterval,
+			SnapshotInterval: *snapInterval,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("potluckd: %v", err)
+		}
+		cfg.Store = durable
+	}
 	cache := core.New(cfg)
+	if durable != nil {
+		// Recover BEFORE the socket opens, so the first lookup already
+		// sees the pre-crash entries and tuner thresholds.
+		state, rstats, err := durable.Recover()
+		if err != nil {
+			log.Fatalf("potluckd: recovery: %v", err)
+		}
+		st, err := cache.Restore(state)
+		if err != nil {
+			log.Fatalf("potluckd: restore: %v", err)
+		}
+		log.Printf("potluckd: recovered %d entries across %d functions in %s (expired=%d skipped=%d torn-tail=%v snapshot=%v)",
+			st.Entries, st.Functions, rstats.Duration.Round(time.Millisecond),
+			st.Expired, st.Skipped, rstats.TornTail, rstats.SnapshotUsed)
+	}
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			st, err := cache.ReadSnapshot(f)
@@ -117,10 +170,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The snapshot loop gets its own context: it must outlive the signal
+	// context so the final snapshot runs after the server has drained
+	// in-flight puts, not concurrently with them.
+	var storeDone chan struct{}
+	var storeStop context.CancelFunc
+	if durable != nil {
+		var storeCtx context.Context
+		storeCtx, storeStop = context.WithCancel(context.Background())
+		storeDone = make(chan struct{})
+		go func() {
+			defer close(storeDone)
+			durable.Run(storeCtx, cache)
+		}()
+	}
+
 	started := time.Now()
 	var admin *http.Server
 	if tel != nil {
 		srv.Instrument(tel)
+		if durable != nil {
+			durable.Instrument(tel.Registry)
+		}
 		admin = &http.Server{
 			Addr: *adminAddr,
 			Handler: telemetry.AdminHandlerConfig(tel, telemetry.AdminConfig{
@@ -143,6 +214,13 @@ func main() {
 		log.Fatalf("potluckd: %v", err)
 	}
 	srv.Close() // drain in-flight requests before snapshotting
+	if durable != nil {
+		storeStop() // Run takes its final snapshot on the way out
+		<-storeDone
+		if err := durable.Close(); err != nil {
+			log.Printf("potluckd: durable store close: %v", err)
+		}
+	}
 	if admin != nil {
 		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
 		admin.Shutdown(sctx)

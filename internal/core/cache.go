@@ -163,6 +163,12 @@ type Config struct {
 	// Reputation enables the Credence-style reputation defence against
 	// cache pollution (§3.5); nil disables it.
 	Reputation *ReputationConfig
+	// Store, when non-nil, attaches a durability layer: registrations,
+	// admissions, and pre-deadline removals are logged to it, and
+	// CaptureState/Restore round-trip the full cache state through it
+	// (see durable.go and internal/store). Nil — the default — keeps
+	// the cache purely in-memory at zero hot-path cost.
+	Store Store
 	// Telemetry, when non-nil, attaches the cache to a telemetry hub:
 	// per-(function, key type) metric series are exported to its
 	// registry, lookup latencies feed per-series histograms, and
@@ -279,6 +285,12 @@ type Cache struct {
 	nextID atomic.Uint64
 	ctr    counters
 
+	// store is the optional durability layer (nil when Config.Store was
+	// nil); restoring suppresses re-logging registrations and puts while
+	// Restore replays records that are already persisted.
+	store     Store
+	restoring atomic.Bool
+
 	// tel is the optional telemetry hub (nil when Config.Telemetry was
 	// nil); vecs caches the metric families registered with it. spans is
 	// tel's span recorder hoisted into its own field so the lookup hot
@@ -366,6 +378,7 @@ func New(cfg Config) *Cache {
 		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
 		equal:  cfg.Equal,
 		funcs:  make(map[string]*functionCache),
+		store:  cfg.Store,
 	}
 	_, c.realClk = c.clk.(clock.Real)
 	c.nextExpiry.Store(math.MaxInt64)
@@ -449,6 +462,16 @@ func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 		added = append(added, built[i])
 	}
 	c.funcs[fn] = fc
+	if c.store != nil && !c.restoring.Load() {
+		// Logged under funcsMu so any put that resolves this function
+		// appends after this record: replay can never see a put for a
+		// function it has not yet registered.
+		kts := make([]StoreKeyType, len(specs))
+		for i, s := range specs {
+			kts[i] = StoreKeyType{Name: s.Name, Metric: s.Metric.Name(), Index: string(s.Index), Dim: s.Dim}
+		}
+		c.store.LogRegister(fn, kts)
+	}
 	c.funcsMu.Unlock()
 
 	c.wireFunctionTelemetry(fn, fc.stats, added)
@@ -970,7 +993,33 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 		})
 		mark = c.nowFast()
 	}
+	var durRec *StoreEntry
+	if c.store != nil && !c.restoring.Load() {
+		durRec = &StoreEntry{
+			ID:              uint64(id),
+			Function:        fn,
+			App:             req.App,
+			CostNanos:       int64(cost),
+			Size:            size,
+			AccessCount:     1,
+			InsertedAtNanos: now.UnixNano(),
+			LastAccessNanos: now.UnixNano(),
+			ExpiresAtNanos:  e.expiresAt.UnixNano(),
+			Value:           req.Value,
+		}
+		for i := range kis {
+			if keys[i] != nil {
+				durRec.Keys = append(durRec.Keys, StoreKey{KeyType: fc.order[i], Key: keys[i]})
+			}
+		}
+	}
 	c.admitMu.Lock()
+	if durRec != nil {
+		// Under admitMu: a racing put's eviction pass could otherwise
+		// claim this just-published entry and log its delete record
+		// BEFORE this put record, resurrecting the entry at replay.
+		c.store.LogPut(*durRec)
+	}
 	c.expiry.push(expiryItem{at: e.expiresAt, id: id})
 	c.updateNextExpiryLocked()
 	evicted, cause := c.evictLocked(now, id)
@@ -1238,6 +1287,13 @@ func (c *Cache) removeEntryLocked(id ID) *entry {
 		return nil
 	}
 	c.unlinkEntry(e)
+	if c.store != nil {
+		// Evictions and invalidations remove entries before their
+		// deadline, so replay needs the tombstone; expirations (the
+		// purge path) are not logged — recovery drops them by their
+		// absolute deadline.
+		c.store.LogDelete(uint64(id))
+	}
 	c.staleExpiry++
 	c.maybeCompactExpiryLocked()
 	return e

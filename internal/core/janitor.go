@@ -22,27 +22,51 @@ import (
 type Janitor struct {
 	cache *Cache
 	// Poll bounds how long the janitor sleeps when no expiry is pending.
+	// Non-positive values are treated as the one-second default.
 	Poll time.Duration
+	// MinWait floors every sleep. Without it, an expiry that is already
+	// due but cannot be collected — its entry pinned by an in-flight
+	// lookup's expiry-filtering window, or the head heap item already
+	// purged lazily by a put while NextExpiry still reports it — clamps
+	// the computed wait to zero and turns the loop into a hot spin:
+	// clk.After(0) fires immediately, PurgeExpired finds nothing to do,
+	// and the loop burns a core until the state changes. Non-positive
+	// values are treated as the 10ms default.
+	MinWait time.Duration
 }
 
+// Default backstops for Janitor's tunables; see the field docs.
+const (
+	defaultJanitorPoll    = time.Second
+	defaultJanitorMinWait = 10 * time.Millisecond
+)
+
 // NewJanitor returns a janitor for the cache with a default idle poll of
-// one second.
+// one second and a minimum sleep of 10ms.
 func NewJanitor(c *Cache) *Janitor {
-	return &Janitor{cache: c, Poll: time.Second}
+	return &Janitor{cache: c, Poll: defaultJanitorPoll, MinWait: defaultJanitorMinWait}
 }
 
 // Run blocks until ctx is cancelled, waking at each pending expiration
-// time to purge expired entries.
+// time to purge expired entries. Every sleep is at least MinWait, so a
+// due-but-uncollectable expiry backs off instead of hot-spinning.
 func (j *Janitor) Run(ctx context.Context) {
+	poll, minWait := j.Poll, j.MinWait
+	if poll <= 0 {
+		poll = defaultJanitorPoll
+	}
+	if minWait <= 0 {
+		minWait = defaultJanitorMinWait
+	}
 	for {
 		var wait time.Duration
 		if at, ok := j.cache.NextExpiry(); ok {
 			wait = at.Sub(j.cache.clk.Now())
-			if wait < 0 {
-				wait = 0
-			}
 		} else {
-			wait = j.Poll
+			wait = poll
+		}
+		if wait < minWait {
+			wait = minWait
 		}
 		select {
 		case <-ctx.Done():

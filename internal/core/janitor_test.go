@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/vec"
+)
+
+// countingClock wraps a virtual clock and records every After call, so a
+// test can prove the janitor's loop is bounded without real sleeping.
+type countingClock struct {
+	*clock.Virtual
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (c *countingClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	c.waits = append(c.waits, d)
+	c.mu.Unlock()
+	return c.Virtual.After(d)
+}
+
+func (c *countingClock) snapshot() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.waits...)
+}
+
+// TestJanitorNoHotSpin is the regression test for the janitor busy-loop:
+// with Poll = 0 (previously "wait zero") and nothing to purge, the old
+// loop called clk.After(0), which fires immediately on both clocks, and
+// spun a core. The fixed loop must normalize Poll and floor every wait,
+// so against a never-advancing virtual clock it parks on its first
+// timer.
+func TestJanitorNoHotSpin(t *testing.T) {
+	cc := &countingClock{Virtual: clock.NewVirtual(time.Unix(0, 0))}
+	c := New(Config{Clock: cc, DisableDropout: true, Tuner: TunerConfig{WarmupZ: 1}})
+	registerScalar(t, c, "f")
+
+	j := NewJanitor(c)
+	j.Poll = 0    // pathological config: previously an After(0) hot spin
+	j.MinWait = 0 // normalized to the default, never a zero floor
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); j.Run(ctx) }()
+
+	// Give a spinning loop ample real time to rack up After calls.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	<-done
+
+	waits := cc.snapshot()
+	if len(waits) > 2 {
+		t.Fatalf("janitor called After %d times against a frozen clock — hot spin", len(waits))
+	}
+	for _, d := range waits {
+		if d <= 0 {
+			t.Fatalf("janitor slept %v, want every wait > 0", d)
+		}
+	}
+}
+
+// TestJanitorFloorsDueExpiry covers the other spin mouth: an expiry
+// already due computes a negative wait, which must be floored to MinWait
+// rather than clamped to zero.
+func TestJanitorFloorsDueExpiry(t *testing.T) {
+	cc := &countingClock{Virtual: clock.NewVirtual(time.Unix(0, 0))}
+	c := New(Config{Clock: cc, DisableDropout: true, Tuner: TunerConfig{WarmupZ: 1}})
+	registerScalar(t, c, "f")
+	c.Put("f", PutRequest{Keys: map[string]vec.Vector{"scalar": {1}}, Value: 1, TTL: time.Second})
+	cc.Advance(2 * time.Second) // entry now due; janitor not yet running
+
+	j := NewJanitor(c)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); j.Run(ctx) }()
+
+	// First iteration: due expiry → wait floored to MinWait; advancing
+	// past it fires the timer and the purge collects the entry.
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().Entries != 0 {
+		cc.Advance(j.MinWait)
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never purged the due entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	cc.Advance(time.Hour) // release any parked timer so Run observes ctx
+	<-done
+
+	for _, d := range cc.snapshot() {
+		if d <= 0 {
+			t.Fatalf("janitor slept %v with a due expiry pending, want >= MinWait", d)
+		}
+	}
+}

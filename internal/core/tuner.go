@@ -204,6 +204,50 @@ func (t *Tuner) ForceActivate(threshold float64) {
 	t.setThresholdLocked(threshold)
 }
 
+// TunerState is the tuner's complete durable state: everything needed
+// to resume Algorithm 1 after a restart without re-learning, including
+// the warm-up observations of a tuner that has not yet activated.
+type TunerState struct {
+	Threshold   float64
+	Active      bool
+	Puts        int
+	Tightenings int
+	Loosenings  int
+	WarmupSame  []float64
+	WarmupDiff  []float64
+}
+
+// ExportState captures the full state for persistence. The returned
+// slices are copies.
+func (t *Tuner) ExportState() TunerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TunerState{
+		Threshold:   t.threshold,
+		Active:      t.active,
+		Puts:        t.puts,
+		Tightenings: t.tightenings,
+		Loosenings:  t.loosenings,
+		WarmupSame:  append([]float64(nil), t.warmupSame...),
+		WarmupDiff:  append([]float64(nil), t.warmupDiff...),
+	}
+}
+
+// RestoreState replaces the tuner's state with a previously exported
+// one, so a restarted cache resumes tuning exactly where it left off —
+// threshold, activation, counters, and any in-flight warm-up samples.
+func (t *Tuner) RestoreState(s TunerState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.setThresholdLocked(s.Threshold)
+	t.active = s.Active
+	t.puts = s.Puts
+	t.tightenings = s.Tightenings
+	t.loosenings = s.Loosenings
+	t.warmupSame = append([]float64(nil), s.WarmupSame...)
+	t.warmupDiff = append([]float64(nil), s.WarmupDiff...)
+}
+
 // Stats reports counters for observability and experiment output.
 func (t *Tuner) Stats() TunerStats {
 	t.mu.Lock()

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // SpillStore is the optional second storage tier standing in for the
@@ -93,18 +95,14 @@ func (s *SpillStore) Put(value []byte) (uint64, error) {
 	// Write the file before publishing its path: a concurrent Get that
 	// saw the handle early would read a missing or partially written
 	// file. The id is already reserved, so racing Puts cannot collide.
-	// The bytes land in a temp file first and rename into place, so a
-	// failed write can never leave a partial entry file behind for a
-	// later reader (or the restart sweep) to mistake for a whole one.
+	// AtomicWriteFile lands the bytes in a temp file, fsyncs, renames
+	// into place, and fsyncs the parent directory — a failed write can
+	// never leave a partial entry file behind for a later reader (or
+	// the restart sweep) to mistake for a whole one, and a power cut
+	// after Put returns cannot lose the published file either.
 	path := filepath.Join(s.dir, fmt.Sprintf("entry-%d.bin", id))
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, value, 0o644); err != nil {
-		os.Remove(tmp)
+	if err := store.AtomicWriteFile(path, value, 0o644); err != nil {
 		return 0, fmt.Errorf("service: spill write: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return 0, fmt.Errorf("service: spill rename: %w", err)
 	}
 	s.mu.Lock()
 	s.onDisk[id] = path

@@ -6,6 +6,7 @@
 #   scripts/bench.sh [go-bench-regexp] [benchtime]          # record
 #   scripts/bench.sh compare [go-bench-regexp] [benchtime]  # diff
 #   scripts/bench.sh loadgen [single-rate] [batch-rate] [batch]  # serving
+#   scripts/bench.sh recovery [benchtime]                   # durable boot
 #
 # Record mode defaults to the full suite at -benchtime=1s. Output lands
 # in BENCH_core.json at the repo root: a JSON document wrapping the raw
@@ -20,6 +21,12 @@
 # first), and the mode exits nonzero unless the batched run sustains
 # its offered rate within the SLO — the batching win the protocol is
 # supposed to buy.
+#
+# Recovery mode times the durable store's boot path (open + replay +
+# restore, internal/store BenchmarkRecovery) and splices the measured
+# per-boot nanoseconds into BENCH_core.json under a "recovery" key (run
+# record mode first). The steady-state write-path overhead of the store
+# is covered by the regular record/compare gate via BenchmarkDurablePut.
 #
 # Compare mode reruns the benchmarks and diffs ns/op per benchmark
 # against the committed BENCH_core.json, printing a table and exiting
@@ -43,6 +50,66 @@ if [ "${1:-}" = "compare" ]; then
 elif [ "${1:-}" = "loadgen" ]; then
 	mode=loadgen
 	shift
+elif [ "${1:-}" = "recovery" ]; then
+	mode=recovery
+	shift
+fi
+
+if [ "$mode" = "recovery" ]; then
+	benchtime="${1:-10x}"
+	out="BENCH_core.json"
+	tmp="$(mktemp)"
+	trap 'rm -f "$tmp"' EXIT
+
+	echo "running: go test -run ^\$ -bench BenchmarkRecovery -benchtime $benchtime ./internal/store" >&2
+	go test -run '^$' -bench BenchmarkRecovery -benchtime "$benchtime" ./internal/store | tee "$tmp" >&2
+
+	# No "-N" suffix when GOMAXPROCS is 1, hence the (-|$).
+	ns1k=$(awk '$1 ~ /^BenchmarkRecovery\/entries-1000(-[0-9]+)?$/ && $4 == "ns/op" { print $3 }' "$tmp")
+	ns10k=$(awk '$1 ~ /^BenchmarkRecovery\/entries-10000(-[0-9]+)?$/ && $4 == "ns/op" { print $3 }' "$tmp")
+	if [ -z "$ns10k" ]; then
+		echo "bench.sh: BenchmarkRecovery produced no ns/op line" >&2
+		exit 1
+	fi
+
+	if [ -f "$out" ]; then
+		# Splice a "recovery" object into the baseline: replace an
+		# existing one in place (keeping its trailing comma, so the keys
+		# after it stay attached), else insert right after the bench
+		# "output" array. Compare mode's line recovery only reads the
+		# array, so the extra key is inert.
+		if grep -q '^  "recovery": {$' "$out"; then
+			replace=1
+		else
+			replace=0
+		fi
+		awk -v ns1k="${ns1k:-0}" -v ns10k="$ns10k" -v replace="$replace" \
+			-v benchtime="$benchtime" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+			function body() {
+				print "  \"recovery\": {"
+				printf "    \"date\": \"%s\",\n", date
+				printf "    \"benchtime\": \"%s\",\n", benchtime
+				printf "    \"boot_ns_1000_entries\": %s,\n", ns1k
+				printf "    \"boot_ns_10000_entries\": %s\n", ns10k
+			}
+			replace && /^  "recovery": \{$/ { body(); skip = 1; next }
+			skip && /^  \},?$/ { print; skip = 0; next }
+			skip { next }
+			!replace && !done && /^  \],?$/ {
+				comma = ($0 ~ /,$/) ? "," : ""
+				print "  ],"
+				body()
+				print "  }" comma
+				done = 1
+				next
+			}
+			{ print }
+		' "$out" > "$tmp.spliced" && mv "$tmp.spliced" "$out"
+		echo "updated $out (recovery section: ${ns10k} ns/boot at 10k entries)" >&2
+	else
+		echo "bench.sh: no $out baseline; recovery numbers not recorded (run scripts/bench.sh first)" >&2
+	fi
+	exit 0
 fi
 
 if [ "$mode" = "loadgen" ]; then
