@@ -11,6 +11,7 @@
 //	potluck-cli stats
 //	potluck-cli -admin http://127.0.0.1:9744 stats
 //	potluck-cli -admin http://127.0.0.1:9744 explain <function> [n]
+//	potluck-cli -admin http://127.0.0.1:9744 explain -trace <hexid>
 //
 // With -admin, stats is fetched from the daemon's HTTP observability
 // endpoint (/stats) instead of the wire protocol, and includes the
@@ -18,7 +19,10 @@
 // not carry. explain requires -admin: it renders the daemon's last n
 // retained lookup decisions for a function (/debug/explain) — distance
 // vs threshold, the live tuner window, and what would have flipped each
-// outcome.
+// outcome. explain -trace renders every retained span carrying one
+// trace ID (/trace/spans?trace=), which for a mesh-forwarded lookup
+// shows all hops — the server dispatch, the local core probe, and the
+// mesh fan-out with the answering peer — under a single ID.
 package main
 
 import (
@@ -28,12 +32,14 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -59,6 +65,12 @@ func main() {
 	if args[0] == "explain" {
 		if *admin == "" {
 			fail(fmt.Errorf("explain requires -admin (the daemon's HTTP observability endpoint)"))
+		}
+		if len(args) == 3 && args[1] == "-trace" {
+			if err := adminTrace(*admin, args[2]); err != nil {
+				fail(err)
+			}
+			return
 		}
 		if len(args) != 2 && len(args) != 3 {
 			usage()
@@ -251,6 +263,79 @@ func printExplain(w *os.File, rep core.ExplainReport) {
 	}
 }
 
+// adminTrace fetches every retained span carrying one trace ID from
+// /trace/spans and renders them oldest-first, one line per hop. A
+// lookup answered by a mesh peer produces (at least) a server span,
+// a core span, and a mesh span whose "peer" stage names the answering
+// node — all under the same ID, which is the whole point of printing
+// them together.
+func adminTrace(base, hexID string) error {
+	id, err := telemetry.ParseTraceID(hexID)
+	if err != nil {
+		return err
+	}
+	u := strings.TrimSuffix(base, "/") + "/trace/spans?trace=" + url.QueryEscape(id.String())
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var body struct {
+		Recorded uint64           `json:"recorded"`
+		Capacity int              `json:"capacity"`
+		Spans    []telemetry.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("decode %s: %w", u, err)
+	}
+	printTrace(os.Stdout, id, body.Spans)
+	return nil
+}
+
+func printTrace(w *os.File, id telemetry.TraceID, spans []telemetry.Span) {
+	if len(spans) == 0 {
+		fmt.Fprintf(w, "trace %s: no retained spans (the span ring may have rotated, or the lookup was not traced)\n", id)
+		return
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Seq < spans[j].Seq
+	})
+	fmt.Fprintf(w, "trace %s: %d spans\n", id, len(spans))
+	base := spans[0].Start
+	for _, sp := range spans {
+		loc := sp.Function
+		if sp.KeyType != "" {
+			loc += "/" + sp.KeyType
+		}
+		fmt.Fprintf(w, "  +%-9s %-8s %-8s %-24s %8s",
+			time.Duration(sp.Start-base).Round(time.Microsecond),
+			sp.Layer, sp.Outcome, loc,
+			time.Duration(sp.DurationNs).Round(time.Microsecond))
+		if sp.Outcome == "hit" {
+			fmt.Fprintf(w, "  distance=%.6g threshold=%.6g", sp.Distance, sp.Threshold)
+		}
+		if sp.Err != "" {
+			fmt.Fprintf(w, "  err=%q", sp.Err)
+		}
+		fmt.Fprintln(w)
+		for _, st := range sp.Stages {
+			detail := ""
+			if st.Detail != "" {
+				detail = "  " + st.Detail
+			}
+			fmt.Fprintf(w, "    · %-12s %8s%s\n",
+				st.Name, time.Duration(st.DurationNs).Round(time.Microsecond), detail)
+		}
+	}
+}
+
 func fmtLatency(d time.Duration) string {
 	return d.Round(time.Microsecond).String()
 }
@@ -275,7 +360,9 @@ func usage() {
   put      <function> <keytype> <k1,k2,...> <value> [cost]
   stats    (with -admin URL: fetch the rich JSON stats over HTTP)
   explain  <function> [n]   (requires -admin URL: render the daemon's
-           last n retained lookup decisions and what would flip them)`)
+           last n retained lookup decisions and what would flip them)
+  explain  -trace <hexid>   (requires -admin URL: render every retained
+           span for one trace ID — all hops of a mesh-forwarded lookup)`)
 	os.Exit(2)
 }
 

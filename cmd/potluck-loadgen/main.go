@@ -21,14 +21,23 @@
 // Usage:
 //
 //	potluck-loadgen [-network unix|tcp] [-addr /tmp/potluck.sock]
+//	                [-addrs /run/a.sock,/run/b.sock,/run/c.sock]
 //	                [-rate 2000] [-duration 10s] [-warmup 1s]
 //	                [-devices 4] [-apps 2] [-batch 1] [-keys 256]
 //	                [-dist exponential] [-put-ratio 0.05]
 //	                [-slo 5ms] [-seed 1]
 //
+// -addrs targets a mesh: connections round-robin across the listed
+// peers (overriding -addr), every peer is seeded, and the report breaks
+// throughput, hit rate, errors, and latency out per peer alongside the
+// aggregate — so killing one peer mid-run shows up as that peer's error
+// count, not as a poisoned aggregate.
+//
 // The run's report is written to stdout as JSON (progress goes to
 // stderr); the "throughput_ops_per_sec" and "slo_met" fields are the
-// machine-readable summary CI keys on.
+// machine-readable summary CI keys on. The "env" section (git revision,
+// Go version, GOMAXPROCS) plus the effective config make a report
+// reproducible across hosts.
 package main
 
 import (
@@ -38,7 +47,10 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +68,7 @@ func main() {
 	var (
 		network  = flag.String("network", "unix", `transport: "unix" or "tcp"`)
 		addr     = flag.String("addr", "/tmp/potluck.sock", "socket path (unix) or host:port (tcp)")
+		addrs    = flag.String("addrs", "", "comma-separated mesh peer addresses; connections round-robin across them (overrides -addr)")
 		rate     = flag.Float64("rate", 2000, "offered load in lookups/sec across all connections")
 		duration = flag.Duration("duration", 10*time.Second, "measured run length")
 		warmup   = flag.Duration("warmup", time.Second, "initial window excluded from the report")
@@ -77,14 +90,20 @@ func main() {
 	}
 
 	log.SetOutput(os.Stderr)
+	targets := parseTargets(*addrs, *addr)
 	pools := buildKeyPools(*devices, *keys, *seed)
 
 	// One connection per device×app pair: the paper's picture is many
 	// applications sharing one service, each over its own IPC socket.
+	// With multiple targets, a device's apps land on DIFFERENT mesh
+	// nodes (round-robin by connection index), so the same content is
+	// looked up via several nodes — the cross-node dedup the mesh exists
+	// for.
 	conns := make([]*service.Client, 0, *devices*(*apps))
 	for d := 0; d < *devices; d++ {
 		for a := 0; a < *apps; a++ {
-			cl, err := service.Dial(*network, *addr, fmt.Sprintf("dev%d-app%d", d, a))
+			ci := len(conns)
+			cl, err := service.Dial(*network, targets[ci%len(targets)], fmt.Sprintf("dev%d-app%d", d, a))
 			if err != nil {
 				log.Fatalf("potluck-loadgen: dial: %v", err)
 			}
@@ -92,14 +111,23 @@ func main() {
 			conns = append(conns, cl)
 		}
 	}
-	if err := conns[0].Register(function, service.KeyTypeDef{
-		Name:  feature.Downsample{}.Name(),
-		Index: "kdtree",
-		Dim:   feature.DownsampleDims,
-	}); err != nil {
-		log.Fatalf("potluck-loadgen: register: %v", err)
+	// Every target registers the function and holds the seed set, so the
+	// measured run starts from the same warm state on every peer.
+	for _, tgt := range targets {
+		cl, err := service.Dial(*network, tgt, "loadgen-seed")
+		if err != nil {
+			log.Fatalf("potluck-loadgen: dial %s: %v", tgt, err)
+		}
+		if err := cl.Register(function, service.KeyTypeDef{
+			Name:  feature.Downsample{}.Name(),
+			Index: "kdtree",
+			Dim:   feature.DownsampleDims,
+		}); err != nil {
+			log.Fatalf("potluck-loadgen: register %s: %v", tgt, err)
+		}
+		seedPools(cl, pools)
+		cl.Close()
 	}
-	seedPools(conns[0], pools)
 
 	r := run(conns, pools, runConfig{
 		rate:     *rate,
@@ -109,13 +137,17 @@ func main() {
 		dist:     workload.Distribution(*dist),
 		putRatio: *putRatio,
 		seed:     *seed,
+		targets:  targets,
 	})
 	r.SLOMs = float64(*slo) / float64(time.Millisecond)
 	r.SLOMet = r.Latency.P99 <= r.SLOMs
 	r.Config = reportConfig{
-		Rate: *rate, DurationSec: duration.Seconds(), Devices: *devices,
-		Apps: *apps, Batch: *batch, Keys: *keys, Dist: *dist, PutRatio: *putRatio,
+		Rate: *rate, DurationSec: duration.Seconds(), WarmupSec: warmup.Seconds(),
+		Devices: *devices, Apps: *apps, Batch: *batch, Keys: *keys, Dist: *dist,
+		PutRatio: *putRatio, Seed: *seed, SLOMs: float64(*slo) / float64(time.Millisecond),
+		Network: *network, Targets: targets,
 	}
+	r.Env = buildEnv()
 
 	out, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -125,6 +157,45 @@ func main() {
 	if !r.SLOMet {
 		os.Exit(1)
 	}
+}
+
+// parseTargets resolves the effective target list: -addrs entries when
+// given, else the single -addr.
+func parseTargets(addrs, addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{addr}
+	}
+	return out
+}
+
+// buildEnv captures the build and host facts that make a report
+// reproducible: which revision produced the numbers and how much
+// parallelism the host offered.
+func buildEnv() reportEnv {
+	env := reportEnv{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GitRevision: "unknown",
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				env.GitRevision = s.Value
+			case "vcs.modified":
+				env.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return env
 }
 
 // buildKeyPools extracts each device's key pool from its own correlated
@@ -183,6 +254,8 @@ type runConfig struct {
 	dist     workload.Distribution
 	putRatio float64
 	seed     int64
+	// targets mirrors the dial order: conn i talks to targets[i%len].
+	targets []string
 }
 
 // dispatch is one wire frame's worth of work: cfg.batch consecutive
@@ -194,11 +267,18 @@ type dispatch struct {
 	put    bool
 	warm   bool
 	target time.Time
+	// tgt indexes runConfig.targets: which peer this frame went to.
+	tgt int
 }
 
 type counters struct {
 	ops, puts, hits, errors, warmOps atomic.Int64
 	outstanding, peakOutstanding     atomic.Int64
+}
+
+// targetCounters aggregates one mesh peer's share of the run.
+type targetCounters struct {
+	ops, hits, errors atomic.Int64
 }
 
 func run(conns []*service.Client, pools [][]vec.Vector, cfg runConfig) *report {
@@ -211,10 +291,12 @@ func run(conns []*service.Client, pools [][]vec.Vector, cfg runConfig) *report {
 	seq := workload.Sequence(cfg.dist, perPool, total, rng)
 
 	var (
-		cnt  counters
-		mu   sync.Mutex
-		lats []time.Duration
-		wg   sync.WaitGroup
+		cnt     counters
+		perTgt  = make([]targetCounters, len(cfg.targets))
+		mu      sync.Mutex
+		lats    []time.Duration
+		tgtLats = make([][]time.Duration, len(cfg.targets))
+		wg      sync.WaitGroup
 	)
 	execute := func(d dispatch) {
 		defer wg.Done()
@@ -228,18 +310,22 @@ func run(conns []*service.Client, pools [][]vec.Vector, cfg runConfig) *report {
 		lat := time.Since(d.target) // from intended arrival: open-loop
 		n := int64(len(d.keys))
 		cnt.errors.Add(int64(errs))
+		perTgt[d.tgt].errors.Add(int64(errs))
 		if d.warm {
 			cnt.warmOps.Add(n)
 			return
 		}
 		cnt.ops.Add(n)
 		cnt.hits.Add(int64(hits))
+		perTgt[d.tgt].ops.Add(n)
+		perTgt[d.tgt].hits.Add(int64(hits))
 		if d.put {
 			cnt.puts.Add(n)
 		}
 		mu.Lock()
 		for i := 0; i < len(d.keys); i++ {
 			lats = append(lats, lat)
+			tgtLats[d.tgt] = append(tgtLats[d.tgt], lat)
 		}
 		mu.Unlock()
 	}
@@ -276,6 +362,7 @@ func run(conns []*service.Client, pools [][]vec.Vector, cfg runConfig) *report {
 			put:    rng.Float64() < cfg.putRatio,
 			warm:   target.Before(warmUntil),
 			target: target,
+			tgt:    ci % len(cfg.targets),
 		}
 		out := cnt.outstanding.Add(1)
 		for {
@@ -307,6 +394,22 @@ func run(conns []*service.Client, pools [][]vec.Vector, cfg runConfig) *report {
 		r.HitRate = float64(r.Hits) / float64(looks)
 	}
 	r.Latency = percentiles(lats)
+	for ti, tgt := range cfg.targets {
+		tr := targetReport{
+			Addr:    tgt,
+			Ops:     perTgt[ti].ops.Load(),
+			Hits:    perTgt[ti].hits.Load(),
+			Errors:  perTgt[ti].errors.Load(),
+			Latency: percentiles(tgtLats[ti]),
+		}
+		if elapsed > 0 {
+			tr.ThroughputOpsPerSec = float64(tr.Ops) / elapsed.Seconds()
+		}
+		if tr.Ops > 0 {
+			tr.HitRate = float64(tr.Hits) / float64(tr.Ops)
+		}
+		r.Targets = append(r.Targets, tr)
+	}
 	return r
 }
 
@@ -394,30 +497,61 @@ func percentiles(lats []time.Duration) latencyMs {
 	}
 }
 
+// reportConfig is the effective workload configuration, complete enough
+// to re-run the exact same load on another host.
 type reportConfig struct {
-	Rate        float64 `json:"rate"`
-	DurationSec float64 `json:"duration_sec"`
-	Devices     int     `json:"devices"`
-	Apps        int     `json:"apps"`
-	Batch       int     `json:"batch"`
-	Keys        int     `json:"keys"`
-	Dist        string  `json:"dist"`
-	PutRatio    float64 `json:"put_ratio"`
+	Rate        float64  `json:"rate"`
+	DurationSec float64  `json:"duration_sec"`
+	WarmupSec   float64  `json:"warmup_sec"`
+	Devices     int      `json:"devices"`
+	Apps        int      `json:"apps"`
+	Batch       int      `json:"batch"`
+	Keys        int      `json:"keys"`
+	Dist        string   `json:"dist"`
+	PutRatio    float64  `json:"put_ratio"`
+	Seed        int64    `json:"seed"`
+	SLOMs       float64  `json:"slo_ms"`
+	Network     string   `json:"network"`
+	Targets     []string `json:"targets"`
+}
+
+// reportEnv records the build and host the numbers came from, so a
+// BENCH_core.json splice is attributable across machines.
+type reportEnv struct {
+	GitRevision string `json:"git_revision"`
+	GitDirty    bool   `json:"git_dirty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+}
+
+// targetReport is one mesh peer's share of the run.
+type targetReport struct {
+	Addr                string    `json:"addr"`
+	Ops                 int64     `json:"ops"`
+	Hits                int64     `json:"hits"`
+	HitRate             float64   `json:"hit_rate"`
+	Errors              int64     `json:"errors"`
+	ThroughputOpsPerSec float64   `json:"throughput_ops_per_sec"`
+	Latency             latencyMs `json:"latency_ms"`
 }
 
 type report struct {
-	Config              reportConfig `json:"config"`
-	Ops                 int64        `json:"ops"`
-	Puts                int64        `json:"puts"`
-	Hits                int64        `json:"hits"`
-	HitRate             float64      `json:"hit_rate"`
-	Errors              int64        `json:"errors"`
-	WarmupOps           int64        `json:"warmup_ops"`
-	PeakOutstanding     int64        `json:"peak_outstanding"`
-	ElapsedSec          float64      `json:"elapsed_sec"`
-	OfferedOpsPerSec    float64      `json:"offered_ops_per_sec"`
-	ThroughputOpsPerSec float64      `json:"throughput_ops_per_sec"`
-	Latency             latencyMs    `json:"latency_ms"`
-	SLOMs               float64      `json:"slo_ms"`
-	SLOMet              bool         `json:"slo_met"`
+	Config              reportConfig   `json:"config"`
+	Env                 reportEnv      `json:"env"`
+	Ops                 int64          `json:"ops"`
+	Puts                int64          `json:"puts"`
+	Hits                int64          `json:"hits"`
+	HitRate             float64        `json:"hit_rate"`
+	Errors              int64          `json:"errors"`
+	WarmupOps           int64          `json:"warmup_ops"`
+	PeakOutstanding     int64          `json:"peak_outstanding"`
+	ElapsedSec          float64        `json:"elapsed_sec"`
+	OfferedOpsPerSec    float64        `json:"offered_ops_per_sec"`
+	ThroughputOpsPerSec float64        `json:"throughput_ops_per_sec"`
+	Latency             latencyMs      `json:"latency_ms"`
+	SLOMs               float64        `json:"slo_ms"`
+	SLOMet              bool           `json:"slo_met"`
+	Targets             []targetReport `json:"targets"`
 }

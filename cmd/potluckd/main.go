@@ -15,6 +15,17 @@
 //	         [-data-dir /var/lib/potluck] [-snapshot-interval 1m]
 //	         [-fsync always|interval|never] [-fsync-interval 100ms]
 //	         [-segment-bytes N]
+//	         [-node-id A] [-peers B=/run/b.sock,C=/run/c.sock]
+//	         [-replicas 2] [-peer-timeout 2s] [-peer-failures 3]
+//	         [-peer-cooldown 5s]
+//
+// -peers joins the daemon to a cache mesh: each entry is id=addr (the
+// peer's -node-id and socket, dialed over the same -network transport).
+// Ownership of every (function, keyType) namespace is rendezvous-hashed
+// across the members; lookups that miss locally are forwarded to the
+// namespace's owner peers and puts are replicated to -replicas owners.
+// A per-peer circuit breaker demotes dead peers and re-admits them
+// after recovery.
 //
 // -admin-addr starts an HTTP observability endpoint serving /metrics
 // (Prometheus text), /stats and /trace (JSON), and /debug/pprof/.
@@ -36,9 +47,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/feature"
 	"repro/internal/service"
@@ -75,6 +88,13 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 0, "graceful-shutdown drain budget for in-flight requests (0 = default 5s)")
 
 		adminAddr = flag.String("admin-addr", "", "HTTP observability endpoint address, e.g. 127.0.0.1:9744 (empty = disabled)")
+
+		nodeID       = flag.String("node-id", "", "this node's mesh identity (default: the listen address)")
+		peers        = flag.String("peers", "", "mesh peers as comma-separated id=addr pairs, dialed over -network (empty = standalone)")
+		replicas     = flag.Int("replicas", 2, "mesh replication factor K: owner peers per (function, keyType) namespace")
+		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "per-frame deadline on mesh peer calls")
+		peerFailures = flag.Int("peer-failures", 0, "consecutive peer failures that trip its circuit breaker (0 = default 3)")
+		peerCooldown = flag.Duration("peer-cooldown", 0, "breaker open duration before a half-open probe (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -157,6 +177,10 @@ func main() {
 			}
 		}
 	}
+	self := *nodeID
+	if self == "" {
+		self = *addr
+	}
 	srv := service.NewServerConfig(cache, service.ServerConfig{
 		IdleTimeout:  *idleTimeout,
 		ReadTimeout:  *readTimeout,
@@ -164,8 +188,37 @@ func main() {
 		MaxConns:     *maxConns,
 		MaxHandlers:  *maxHandlers,
 		DrainTimeout: *drainTimeout,
+		NodeID:       self,
 	})
 	srv.Logf = log.Printf
+
+	var mesh *cluster.Mesh
+	if *peers != "" {
+		specs, err := parsePeers(*peers, *network)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		mesh, err = cluster.New(cluster.Config{
+			NodeID:           self,
+			Local:            cache,
+			Peers:            specs,
+			Replicas:         *replicas,
+			FailureThreshold: *peerFailures,
+			Cooldown:         *peerCooldown,
+			AdoptTTL:         *ttl,
+			Client: service.ClientConfig{
+				RequestTimeout: *peerTimeout,
+				DialTimeout:    *peerTimeout,
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		srv.SetRemote(mesh)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -192,10 +245,22 @@ func main() {
 		if durable != nil {
 			durable.Instrument(tel.Registry)
 		}
+		if mesh != nil {
+			mesh.Instrument(tel)
+		}
 		admin = &http.Server{
 			Addr: *adminAddr,
 			Handler: telemetry.AdminHandlerConfig(tel, telemetry.AdminConfig{
-				Stats:   func() any { return srv.AdminStats(started) },
+				Stats: func() any {
+					st := srv.AdminStats(started)
+					if mesh == nil {
+						return st
+					}
+					return struct {
+						service.AdminStats
+						MeshPeers []cluster.PeerState `json:"meshPeers"`
+					}{st, mesh.Peers()}
+				},
 				Explain: func(fn string, n int) (any, error) { return cache.Explain(fn, n) },
 			}),
 			ReadHeaderTimeout: 5 * time.Second,
@@ -207,6 +272,10 @@ func main() {
 			}
 		}()
 	}
+	if mesh != nil {
+		mesh.Start()
+		log.Printf("potluckd: mesh node %q with %d peers (replicas=%d)", self, len(mesh.Members())-1, *replicas)
+	}
 	scfg := srv.Config()
 	log.Printf("potluckd: listening on %s %s (policy=%s ttl=%s dropout=%.2f max-conns=%d max-handlers=%d idle=%s)",
 		*network, *addr, *policy, *ttl, *dropout, scfg.MaxConns, scfg.MaxHandlers, scfg.IdleTimeout)
@@ -214,6 +283,9 @@ func main() {
 		log.Fatalf("potluckd: %v", err)
 	}
 	srv.Close() // drain in-flight requests before snapshotting
+	if mesh != nil {
+		mesh.Close()
+	}
 	if durable != nil {
 		storeStop() // Run takes its final snapshot on the way out
 		<-storeDone
@@ -241,4 +313,25 @@ func main() {
 		}
 	}
 	log.Printf("potluckd: shut down")
+}
+
+// parsePeers parses the -peers flag: comma-separated id=addr pairs, all
+// dialed over the daemon's own transport.
+func parsePeers(s, network string) ([]cluster.PeerSpec, error) {
+	var out []cluster.PeerSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("potluckd: bad -peers entry %q, want id=addr", entry)
+		}
+		out = append(out, cluster.PeerSpec{ID: id, Network: network, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("potluckd: -peers %q contains no entries", s)
+	}
+	return out, nil
 }

@@ -1,0 +1,76 @@
+// Package cluster generalizes the service layer's local+hub Tiered pair
+// into an N-peer cache mesh: rendezvous-hashed ownership assigns each
+// (function, keyType) namespace to K owner nodes, lookups that miss
+// locally fan one batched frame to the nearest healthy owner, and puts
+// replicate K-way. Membership is a static peer list; liveness is the
+// per-peer circuit breaker (open breaker ⇒ the peer is skipped and
+// rendezvous order naturally falls through to the next owner).
+package cluster
+
+import "sort"
+
+// FNV-1a 64-bit parameters (hash/fnv is not used directly so the scoring
+// function stays a pure, documented formula — the owner assignment is
+// part of the mesh's wire-visible contract and must never drift with a
+// library change).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hrwScore is the rendezvous (highest-random-weight) score of one member
+// for one namespace: FNV-1a over peerID, function, and keyType with NUL
+// separators so ("ab","c") never collides with ("a","bc"). Every node
+// computes the same scores from the same member list, so ownership needs
+// no coordination.
+func hrwScore(peerID, function, keyType string) uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime64
+		}
+		h ^= 0 // NUL separator
+		h *= fnvPrime64
+	}
+	mix(peerID)
+	mix(function)
+	mix(keyType)
+	return h
+}
+
+// Owners returns the namespace's owner nodes: the k members with the
+// highest rendezvous scores, best first. Ties break on member ID so the
+// order is total and identical on every node. k <= 0 returns nil;
+// k >= len(members) returns all members (still in preference order).
+//
+// The defining rendezvous property — removing a member only reassigns
+// the namespaces that member owned — is what lets a breaker-demoted peer
+// drop out of the route without reshuffling the rest of the mesh.
+func Owners(members []string, function, keyType string, k int) []string {
+	if k <= 0 || len(members) == 0 {
+		return nil
+	}
+	type scored struct {
+		id    string
+		score uint64
+	}
+	all := make([]scored, len(members))
+	for i, id := range members {
+		all[i] = scored{id: id, score: hrwScore(id, function, keyType)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnersOrderIndependent(t *testing.T) {
+	a := Owners([]string{"n1", "n2", "n3", "n4"}, "recog", "feat", 2)
+	b := Owners([]string{"n4", "n2", "n1", "n3"}, "recog", "feat", 2)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("owner counts = %d, %d, want 2", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("owner order depends on member order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestOwnersBounds(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	if got := Owners(members, "f", "k", 0); got != nil {
+		t.Errorf("k=0 → %v, want nil", got)
+	}
+	if got := Owners(nil, "f", "k", 2); got != nil {
+		t.Errorf("no members → %v, want nil", got)
+	}
+	got := Owners(members, "f", "k", 10)
+	if len(got) != 3 {
+		t.Errorf("k beyond members → %d owners, want all 3", len(got))
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Errorf("duplicate owner %q in %v", id, got)
+		}
+		seen[id] = true
+	}
+}
+
+// TestOwnersBalance checks the rendezvous hash spreads primary ownership
+// roughly evenly: over many namespaces no member of a 4-node mesh should
+// own fewer than half or more than double its fair share.
+func TestOwnersBalance(t *testing.T) {
+	members := []string{"node-a", "node-b", "node-c", "node-d"}
+	counts := map[string]int{}
+	const namespaces = 4000
+	for i := 0; i < namespaces; i++ {
+		fn := fmt.Sprintf("fn-%d", i)
+		counts[Owners(members, fn, "feat", 1)[0]]++
+	}
+	fair := namespaces / len(members)
+	for _, id := range members {
+		if c := counts[id]; c < fair/2 || c > fair*2 {
+			t.Errorf("member %s owns %d of %d namespaces (fair share %d): skewed hash", id, c, namespaces, fair)
+		}
+	}
+}
+
+// TestOwnersMinimalReassignment pins the defining rendezvous property:
+// dropping one member only reassigns the namespaces that member owned.
+// Namespaces it did not own keep their owner list unchanged, which is
+// why a breaker-demoted peer reroutes only its own traffic.
+func TestOwnersMinimalReassignment(t *testing.T) {
+	members := []string{"node-a", "node-b", "node-c", "node-d"}
+	without := []string{"node-a", "node-b", "node-d"} // node-c removed
+	for i := 0; i < 500; i++ {
+		fn := fmt.Sprintf("fn-%d", i)
+		before := Owners(members, fn, "feat", 2)
+		after := Owners(without, fn, "feat", 2)
+		hadC := before[0] == "node-c" || before[1] == "node-c"
+		if !hadC {
+			if before[0] != after[0] || before[1] != after[1] {
+				t.Fatalf("fn %s: owners changed from %v to %v though node-c owned nothing here", fn, before, after)
+			}
+			continue
+		}
+		// node-c's slot must be taken over without disturbing the
+		// surviving owner's position relative to the newcomer.
+		for _, id := range after {
+			if id == "node-c" {
+				t.Fatalf("fn %s: removed member still an owner: %v", fn, after)
+			}
+		}
+	}
+}

@@ -34,7 +34,7 @@ func register(e Experiment) { registry = append(registry, e) }
 var paperOrder = []string{
 	"fig2", "table1", "fig6", "fig7", "fig8", "table2", "ipc", "space",
 	"fig9", "fig10a", "fig10b", "fig10c", "mnist16x",
-	"ablation-dropout", "ablation-index", "ablation-k", "crossdevice",
+	"ablation-dropout", "ablation-index", "ablation-k", "crossdevice", "mesh",
 }
 
 // All returns the experiments in paper order (artifacts not in the

@@ -121,6 +121,27 @@ func TestFastExperimentsRun(t *testing.T) {
 	}
 }
 
+// TestMeshExperimentShape runs the 3-node mesh extension end to end
+// over real sockets and asserts the headline: pooled capacity lifts
+// the aggregate hit rate strictly above the single-node baseline.
+func TestMeshExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mesh boots seven socket-backed nodes across three topologies")
+	}
+	e, err := ByID("mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "K=2 pays a capacity tax vs K=1): true") {
+		t.Errorf("mesh shape check failed:\n%s", out)
+	}
+}
+
 func TestInitialThresholdDegenerate(t *testing.T) {
 	if got := initialThreshold(nil, vec.EuclideanMetric{}); got != 0 {
 		t.Errorf("empty entries: %v", got)

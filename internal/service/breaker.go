@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -22,6 +23,11 @@ type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time
+	// jitter yields a value in [0, 1); each trip extends the cooldown by
+	// up to 50% of itself so a fleet of breakers guarding the same dead
+	// peer spreads its half-open probes instead of thundering back in
+	// lockstep on the same tick.
+	jitter func() float64
 
 	mu        sync.Mutex
 	failures  int
@@ -48,7 +54,18 @@ func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Br
 	if now == nil {
 		now = time.Now
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown, now: now, lastState: BreakerClosed}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now,
+		jitter: rand.Float64, lastState: BreakerClosed}
+}
+
+// SetJitterSource replaces the half-open jitter source (values in
+// [0, 1); the cooldown stretches by up to half of itself). Tests inject
+// a deterministic source; production keeps the default math/rand. Call
+// before the breaker is shared.
+func (b *Breaker) SetJitterSource(fn func() float64) {
+	b.mu.Lock()
+	b.jitter = fn
+	b.mu.Unlock()
 }
 
 // SetNotify registers fn to receive state transitions as (from, to)
@@ -124,7 +141,11 @@ func (b *Breaker) Report(err error) {
 	} else {
 		b.failures++
 		if b.failures >= b.threshold {
-			b.openUntil = b.now().Add(b.cooldown)
+			// Jittered cooldown: [cooldown, 1.5*cooldown). N breakers that
+			// tripped on the same dead peer at the same instant re-admit
+			// their probes at different ticks.
+			d := b.cooldown + time.Duration(b.jitter()*float64(b.cooldown)/2)
+			b.openUntil = b.now().Add(d)
 		}
 	}
 	note := b.observeLocked()

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenJitter pins the thundering-herd defence: N breakers
+// that trip on the same dead peer at the same instant must spread their
+// half-open probes across [cooldown, 1.5*cooldown) according to their
+// jitter draw, instead of re-admitting them on the same tick.
+func TestBreakerHalfOpenJitter(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	fail := errors.New("peer down")
+
+	trip := func(j float64) *Breaker {
+		b := NewBreaker(1, time.Second, clock)
+		b.SetJitterSource(func() float64 { return j })
+		b.Allow()
+		b.Report(fail)
+		return b
+	}
+
+	early := trip(0.0)  // re-admits at exactly cooldown
+	mid := trip(0.5)    // cooldown + 250ms
+	late := trip(0.999) // just under 1.5*cooldown
+
+	for _, b := range []*Breaker{early, mid, late} {
+		if b.State() != BreakerOpen {
+			t.Fatalf("state after trip = %s, want open", b.State())
+		}
+	}
+
+	// At the bare cooldown only the zero-jitter breaker probes.
+	now = time.Unix(0, 0).Add(time.Second)
+	if !early.Allow() {
+		t.Error("zero-jitter breaker refused its probe at cooldown")
+	}
+	if mid.Allow() || late.Allow() {
+		t.Error("jittered breakers probed on the same tick as the zero-jitter one")
+	}
+
+	// Halfway through the jitter window the mid draw joins, the late one
+	// still waits.
+	now = time.Unix(0, 0).Add(time.Second + 251*time.Millisecond)
+	if !mid.Allow() {
+		t.Error("mid-jitter breaker refused its probe after its jittered cooldown")
+	}
+	if late.Allow() {
+		t.Error("late-jitter breaker probed before its jittered cooldown elapsed")
+	}
+
+	// The jitter is bounded: every breaker probes by 1.5*cooldown.
+	now = time.Unix(0, 0).Add(1500 * time.Millisecond)
+	if !late.Allow() {
+		t.Error("late-jitter breaker refused its probe at the jitter bound")
+	}
+}
+
+// TestBreakerJitterRearmsPerTrip checks that each re-trip draws fresh
+// jitter: a failed probe's re-opened cooldown is jittered independently
+// of the first trip's draw.
+func TestBreakerJitterRearmsPerTrip(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, time.Second, func() time.Time { return now })
+	draws := []float64{0.0, 0.8}
+	b.SetJitterSource(func() float64 {
+		d := draws[0]
+		if len(draws) > 1 {
+			draws = draws[1:]
+		}
+		return d
+	})
+	fail := errors.New("peer down")
+
+	b.Allow()
+	b.Report(fail) // trip 1: jitter 0.0 → re-admit at +1s
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("first probe refused at its un-jittered cooldown")
+	}
+	b.Report(fail) // probe fails: re-trip with jitter 0.8 → +1.4s
+
+	now = now.Add(time.Second + 300*time.Millisecond)
+	if b.Allow() {
+		t.Fatal("second probe admitted before its re-drawn jitter elapsed")
+	}
+	now = now.Add(150 * time.Millisecond) // 1.45s > 1.4s
+	if !b.Allow() {
+		t.Fatal("second probe refused after its jittered cooldown")
+	}
+	b.Report(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %s, want closed", b.State())
+	}
+}

@@ -277,6 +277,16 @@ func DialConfig(network, addr, app string, cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
+// NewLazyClient returns a client that has not dialed yet: the first
+// request triggers the connect. A mesh boots its peer clients this way
+// because peers come up in arbitrary order — an eager dial at daemon
+// start would fail on any peer that is not listening yet, while the
+// breaker in front of a lazy client absorbs early connection failures
+// and re-probes on its own schedule.
+func NewLazyClient(network, addr, app string, cfg ClientConfig) *Client {
+	return &Client{app: app, cfg: cfg.withDefaults(), network: network, addr: addr}
+}
+
 // NewClientConn wraps an existing connection (e.g. a net.Pipe in tests).
 // Such a client cannot redial: once the connection is poisoned, requests
 // fail with ErrConnBroken.
@@ -612,6 +622,23 @@ func (c *Client) Put(function string, keys map[string]vec.Vector, value []byte, 
 		return 0, err
 	}
 	return reply.ID, nil
+}
+
+// PeerInfo exchanges mesh handshakes with the service: it sends this
+// node's descriptor and returns the peer's. An old-style server answers
+// the unknown message type with an in-band error (the connection stays
+// healthy), which surfaces here as a normal error — callers treat it as
+// "legacy peer, no mesh protocol".
+func (c *Client) PeerInfo(info PeerInfo) (PeerInfo, error) {
+	reply, err := c.roundTrip(&Request{Type: MsgPeerInfo, Value: EncodePeerInfo(&info)})
+	if err != nil {
+		return PeerInfo{}, err
+	}
+	theirs, err := DecodePeerInfo(reply.Value)
+	if err != nil {
+		return PeerInfo{}, fmt.Errorf("service: peer info reply: %w", err)
+	}
+	return *theirs, nil
 }
 
 // Stats fetches the service's cache counters.

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Peer-handshake wire hardening: the PeerInfo payload decoder against
+// hostile bytes, and the MsgPeerInfo envelope against peers from before
+// the mesh existed (both directions of the mixed-version matrix).
+
+// FuzzDecodePeerInfo hardens the handshake payload decoder: never
+// panic, and anything accepted must survive an encode/decode round
+// trip with identical fields. The decoder is trailing-tolerant, so the
+// comparison is structural, not byte-for-byte.
+func FuzzDecodePeerInfo(f *testing.F) {
+	f.Add(EncodePeerInfo(&PeerInfo{Version: MeshProtocolVersion, NodeID: "node-a", Replicas: 2}))
+	f.Add(EncodePeerInfo(&PeerInfo{}))
+	f.Add(EncodePeerInfo(&PeerInfo{Version: 7, NodeID: strings.Repeat("n", 300), Replicas: 99}))
+	// A future encoder appends fields; today's decoder must ignore them.
+	f.Add(append(EncodePeerInfo(&PeerInfo{Version: 2, NodeID: "x", Replicas: 3}), 0xde, 0xad, 0xbe, 0xef))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1}) // version only, truncated before NodeID
+	// Hostile NodeID length with almost nothing behind it.
+	f.Add(hostilePeerInfoFrame(0xFFFFFFFF))
+	f.Add(hostilePeerInfoFrame(0x7FFFFFFF))
+	f.Add(hostilePeerInfoFrame(0x80000000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePeerInfo(data)
+		if err != nil {
+			return
+		}
+		p2, err := DecodePeerInfo(EncodePeerInfo(p))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if *p != *p2 {
+			t.Fatalf("round trip changed payload: %+v vs %+v", p, p2)
+		}
+	})
+}
+
+// hostilePeerInfoFrame builds a handshake payload whose NodeID length
+// field is the given value with a single byte behind it.
+func hostilePeerInfoFrame(n uint32) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, MeshProtocolVersion)
+	buf = binary.BigEndian.AppendUint32(buf, n)
+	return append(buf, 'x')
+}
+
+// A mesh client handshaking with a pre-mesh server must get the
+// server's clean in-band error — the signature the cluster layer reads
+// as "legacy peer" — and the SAME connection must keep serving the
+// messages the old server does understand.
+func TestPeerInfoAgainstOldServer(t *testing.T) {
+	cconn, sconn := net.Pipe()
+	go oldStyleServe(sconn)
+	cl := NewClientConn(cconn, PeerAppPrefix+"node-a")
+	cl.cfg.RequestTimeout = 2 * time.Second
+	defer cl.Close()
+
+	_, err := cl.PeerInfo(PeerInfo{Version: MeshProtocolVersion, NodeID: "node-a", Replicas: 2})
+	if err == nil {
+		t.Fatal("handshake against pre-mesh server succeeded")
+	}
+	if errors.Is(err, ErrConnBroken) {
+		t.Fatalf("handshake against pre-mesh server broke the connection: %v", err)
+	}
+	if !strings.Contains(err.Error(), "unknown request type") {
+		t.Fatalf("handshake error = %v, want the server's unknown-type reply", err)
+	}
+	// The legacy peer still serves plain traffic on the same connection.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("connection unusable after rejected handshake: %v", err)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("stats reply mangled after rejected handshake: %+v", st)
+	}
+}
+
+// The other direction of the matrix: a pre-mesh decoder must parse
+// both handshake envelopes cleanly. The request rides its Value field
+// as opaque bytes and the reply likewise, so an old replica relaying
+// or logging these frames never tears a connection over them.
+func TestOldDecoderReadsPeerInfoEnvelopes(t *testing.T) {
+	info := &PeerInfo{Version: MeshProtocolVersion, NodeID: "node-a", Replicas: 2}
+	req := &Request{Type: MsgPeerInfo, App: PeerAppPrefix + "node-a", Value: EncodePeerInfo(info)}
+	old, err := oldDecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatalf("old decoder rejected a handshake request: %v", err)
+	}
+	if old.Type != MsgPeerInfo || old.App != req.App {
+		t.Fatalf("old decoder mangled the envelope: %+v", old)
+	}
+	back, err := DecodePeerInfo(old.Value)
+	if err != nil || *back != *info {
+		t.Fatalf("payload did not survive the old decoder: %+v, %v", back, err)
+	}
+
+	reply := &Reply{Type: MsgReplyPeerInfo, Value: EncodePeerInfo(info)}
+	oldReply, err := oldDecodeReply(EncodeReply(reply))
+	if err != nil {
+		t.Fatalf("old decoder rejected a handshake reply: %v", err)
+	}
+	if oldReply.Type != MsgReplyPeerInfo {
+		t.Fatalf("old decoder mangled the reply type: %+v", oldReply)
+	}
+	if back, err := DecodePeerInfo(oldReply.Value); err != nil || *back != *info {
+		t.Fatalf("reply payload did not survive the old decoder: %+v, %v", back, err)
+	}
+}
+
+// A raw wire-level handshake against today's server: the reply carries
+// the server's configured node identity and protocol generation, and a
+// malformed payload gets an in-band error, not a torn connection.
+func TestServerAnswersPeerInfo(t *testing.T) {
+	_, sock := startServerCfg(t, testConfig(), ServerConfig{NodeID: "srv-1"})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	exchange := func(req *Request) *Reply {
+		t.Helper()
+		if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := DecodeReply(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+
+	r := exchange(&Request{Type: MsgPeerInfo, Value: EncodePeerInfo(&PeerInfo{Version: MeshProtocolVersion, NodeID: "node-a"})})
+	if r.Type != MsgReplyPeerInfo {
+		t.Fatalf("handshake reply = %+v", r)
+	}
+	theirs, err := DecodePeerInfo(r.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theirs.NodeID != "srv-1" || theirs.Version != MeshProtocolVersion {
+		t.Fatalf("server identity = %+v, want srv-1 at version %d", theirs, MeshProtocolVersion)
+	}
+
+	// Garbage payload: in-band error, connection survives.
+	if r := exchange(&Request{Type: MsgPeerInfo, Value: []byte{1}}); r.Type != MsgReplyError {
+		t.Fatalf("malformed handshake reply = %+v, want in-band error", r)
+	}
+	if r := exchange(&Request{Type: MsgStats}); r.Type != MsgReplyStats {
+		t.Fatalf("connection dead after malformed handshake: %+v", r)
+	}
+}

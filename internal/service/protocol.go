@@ -41,11 +41,76 @@ const (
 	MsgMultiPut
 	MsgReplyMultiLookup
 	MsgReplyMultiPut
+	// Peer handshake (added with the cluster mesh). A MsgPeerInfo frame
+	// is an ordinary Request envelope whose Value carries an encoded
+	// PeerInfo, so an old-style peer parses the envelope cleanly and
+	// replies MsgReplyError ("unknown request type") on a healthy
+	// connection — the mesh reads that as "legacy peer" and keeps using
+	// the plain lookup/put messages it does understand.
+	MsgPeerInfo
+	MsgReplyPeerInfo
 )
 
 // MaxMessageSize bounds a single wire message (16 MiB), protecting the
 // server from malformed or hostile length prefixes.
 const MaxMessageSize = 16 << 20
+
+// MeshProtocolVersion is the peer-routing protocol generation this build
+// speaks, exchanged in the MsgPeerInfo handshake. Peers with a different
+// version still interoperate over the envelope rules (trailing fields
+// are skipped, unknown message types get in-band errors); the version is
+// diagnostic, not a gate.
+const MeshProtocolVersion = 1
+
+// PeerAppPrefix marks requests issued by a mesh peer rather than an
+// application. The server never fans a peer-originated lookup back out
+// to the mesh (the sender already routed it to an owner) and never
+// re-replicates a peer-originated put — both would amplify or loop.
+// The prefix rides in the envelope's existing App field, so the marking
+// is understood by construction on every protocol generation.
+const PeerAppPrefix = "mesh:"
+
+// IsPeerApp reports whether an App name marks a mesh-peer request.
+func IsPeerApp(app string) bool {
+	return len(app) >= len(PeerAppPrefix) && app[:len(PeerAppPrefix)] == PeerAppPrefix
+}
+
+// PeerInfo is the payload of the MsgPeerInfo handshake: who a node is
+// and what it speaks. Sent by a mesh client when it first reaches a
+// peer; the peer answers with its own. NodeID is the rendezvous-hash
+// identity — a mismatch against the dialed peer's configured ID means
+// the membership lists disagree and is surfaced as a warning.
+type PeerInfo struct {
+	Version uint32
+	NodeID  string
+	// Replicas advertises the sender's replication factor K, for
+	// diagnosing asymmetric mesh configurations.
+	Replicas uint32
+}
+
+// EncodePeerInfo serializes a handshake payload (the Value of a
+// MsgPeerInfo/MsgReplyPeerInfo envelope).
+func EncodePeerInfo(p *PeerInfo) []byte {
+	var e encoder
+	e.u32(p.Version)
+	e.str(p.NodeID)
+	e.u32(p.Replicas)
+	return e.buf
+}
+
+// DecodePeerInfo parses a handshake payload. Trailing bytes beyond the
+// known fields are ignored, so future encoders can append fields without
+// breaking this decoder — the same rule as the Request/Reply envelopes.
+func DecodePeerInfo(buf []byte) (*PeerInfo, error) {
+	d := decoder{buf: buf}
+	p := &PeerInfo{Version: d.u32()}
+	p.NodeID = d.str()
+	p.Replicas = d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return p, nil
+}
 
 // ErrMessageTooLarge is returned when a frame exceeds MaxMessageSize.
 var ErrMessageTooLarge = errors.New("service: message exceeds size limit")

@@ -42,6 +42,9 @@ type ServerConfig struct {
 	// finish before force-closing their connections. Idle connections are
 	// closed immediately. 0 = 5s; < 0 = wait forever.
 	DrainTimeout time.Duration
+	// NodeID is this node's mesh identity, echoed in the MsgPeerInfo
+	// handshake. Empty is fine for a standalone daemon.
+	NodeID string
 }
 
 func (cfg ServerConfig) withDefaults() ServerConfig {
@@ -93,6 +96,11 @@ type Server struct {
 	// before Serve and read without a lock by the request path.
 	met *serverMetrics
 
+	// remote, when set, is the cluster tier: consulted on local lookup
+	// misses and offered admitted puts for replication. Set before Serve
+	// via SetRemote; read without a lock by the request path.
+	remote RemoteTier
+
 	// limiter rate-limits Logf on hot error paths (oversize frames,
 	// deadline evictions, connection-cap rejects).
 	limiter *logLimiter
@@ -136,6 +144,33 @@ func NewServerConfig(cache *core.Cache, cfg ServerConfig) *Server {
 	}
 	return s
 }
+
+// RemoteTier is the cluster mesh as the server sees it: a second tier
+// consulted after the local cache. Implementations absorb their own
+// failures — a dead or slow peer degrades a lookup to its local outcome
+// and is never surfaced to the application as an error.
+//
+// The server only consults the tier for application traffic: requests
+// whose App name carries PeerAppPrefix came from another mesh node and
+// stay strictly local, so routing can never loop or amplify.
+type RemoteTier interface {
+	// RemoteLookup resolves one local miss against the key's owner
+	// peers. ok reports a remote hit; the reply carries the owner's
+	// value and decision inputs. trace is the span trace ID the lookup
+	// runs under (0 = untraced).
+	RemoteLookup(function, keyType string, key vec.Vector, trace uint64) (LookupSubReply, bool)
+	// RemoteMultiLookup resolves a batch of local misses. The result is
+	// index-aligned with subs; entries that stayed misses have Hit
+	// false.
+	RemoteMultiLookup(subs []LookupSub) []LookupSubReply
+	// ReplicatePut offers locally admitted puts for K-way replication to
+	// their owner peers. It must not block beyond one peer round trip
+	// (the first ack); further fan-out is fire-and-forget.
+	ReplicatePut(subs []PutSub)
+}
+
+// SetRemote installs the cluster tier. Call before Serve.
+func (s *Server) SetRemote(r RemoteTier) { s.remote = r }
 
 // Cache returns the underlying cache (for in-process inspection).
 func (s *Server) Cache() *core.Cache { return s.cache }
@@ -492,6 +527,8 @@ func (s *Server) dispatch(req *Request) *Reply {
 		return s.handleMultiLookup(req)
 	case MsgMultiPut:
 		return s.handleMultiPut(req)
+	case MsgPeerInfo:
+		return s.handlePeerInfo(req)
 	default:
 		return &Reply{Type: MsgReplyError, Error: fmt.Sprintf("unknown request type %d", req.Type)}
 	}
@@ -554,8 +591,42 @@ func (s *Server) handleLookup(req *Request) *Reply {
 	}
 	if res.Hit {
 		reply.Value = res.Value.([]byte)
+		return reply
+	}
+	// A local miss from an application falls through to the cluster
+	// tier; dropouts propagate as real misses (the quality control must
+	// stay honest across nodes), and peer-originated lookups never re-fan
+	// (the sender already routed to an owner).
+	if !res.Dropout && s.remote != nil && !IsPeerApp(req.App) {
+		trace := uint64(res.Trace)
+		if trace == 0 {
+			trace = req.Trace
+		}
+		if sr, ok := s.remote.RemoteLookup(req.Function, req.KeyType, req.Key, trace); ok {
+			reply.Hit = true
+			reply.Value = sr.Value
+			reply.Distance = sr.Distance
+			reply.Threshold = sr.Threshold
+			// MissedAt stays the local miss time: the caller's cost
+			// accounting is against this node's clock.
+		}
 	}
 	return reply
+}
+
+// handlePeerInfo answers the mesh handshake with this node's identity.
+func (s *Server) handlePeerInfo(req *Request) *Reply {
+	if _, err := DecodePeerInfo(req.Value); err != nil {
+		return &Reply{Type: MsgReplyError, Error: err.Error(), Trace: req.Trace}
+	}
+	return &Reply{
+		Type: MsgReplyPeerInfo,
+		Value: EncodePeerInfo(&PeerInfo{
+			Version: MeshProtocolVersion,
+			NodeID:  s.cfg.NodeID,
+		}),
+		Trace: req.Trace,
+	}
 }
 
 func (s *Server) handlePut(req *Request) *Reply {
@@ -571,6 +642,20 @@ func (s *Server) handlePut(req *Request) *Reply {
 	id, err := s.cache.Put(req.Function, putReq)
 	if err != nil {
 		return &Reply{Type: MsgReplyError, Error: err.Error(), Trace: req.Trace}
+	}
+	// An admitted application put is offered to the cluster tier for
+	// K-way replication; peer-originated puts (replication traffic) stay
+	// local or the mesh would re-replicate its own writes forever.
+	if s.remote != nil && !IsPeerApp(req.App) {
+		s.remote.ReplicatePut([]PutSub{{
+			Function: req.Function,
+			Keys:     req.Keys,
+			Value:    req.Value,
+			Cost:     req.Cost,
+			Size:     req.Size,
+			TTL:      req.TTL,
+			Trace:    req.Trace,
+		}})
 	}
 	return &Reply{Type: MsgReplyPut, ID: uint64(id), Trace: req.Trace}
 }
@@ -597,6 +682,7 @@ func (s *Server) handleMultiLookup(req *Request) *Reply {
 	}
 	results := s.cache.MultiLookup(batch)
 	replies := make([]LookupSubReply, len(results))
+	var missIdx []int
 	for i, r := range results {
 		if r.Err != nil {
 			replies[i] = LookupSubReply{Error: r.Err.Error(), Trace: subs[i].Trace}
@@ -612,8 +698,34 @@ func (s *Server) handleMultiLookup(req *Request) *Reply {
 		}
 		if r.Hit {
 			sr.Value = r.Value.([]byte)
+		} else if !r.Dropout {
+			missIdx = append(missIdx, i)
 		}
 		replies[i] = sr
+	}
+	// Local misses fall through to the cluster tier in one fan-out; the
+	// mesh groups them by owner so each owner peer sees ONE MultiLookup
+	// frame, not one round trip per miss.
+	if len(missIdx) > 0 && s.remote != nil && !IsPeerApp(req.App) {
+		fwd := make([]LookupSub, len(missIdx))
+		for j, i := range missIdx {
+			fwd[j] = LookupSub{
+				Function: subs[i].Function,
+				KeyType:  subs[i].KeyType,
+				Key:      subs[i].Key,
+				Trace:    replies[i].Trace,
+			}
+		}
+		for j, rr := range s.remote.RemoteMultiLookup(fwd) {
+			if !rr.Hit {
+				continue
+			}
+			i := missIdx[j]
+			replies[i].Hit = true
+			replies[i].Value = rr.Value
+			replies[i].Distance = rr.Distance
+			replies[i].Threshold = rr.Threshold
+		}
 	}
 	return &Reply{Type: MsgReplyMultiLookup, Value: EncodeLookupSubReplies(replies), Trace: req.Trace}
 }
@@ -642,12 +754,17 @@ func (s *Server) handleMultiPut(req *Request) *Reply {
 	}
 	results := s.cache.MultiPut(batch)
 	replies := make([]PutSubReply, len(results))
+	var admitted []PutSub
 	for i, r := range results {
 		if r.Err != nil {
 			replies[i] = PutSubReply{Error: r.Err.Error(), Trace: subs[i].Trace}
 			continue
 		}
 		replies[i] = PutSubReply{ID: uint64(r.ID), Trace: subs[i].Trace}
+		admitted = append(admitted, subs[i])
+	}
+	if len(admitted) > 0 && s.remote != nil && !IsPeerApp(req.App) {
+		s.remote.ReplicatePut(admitted)
 	}
 	return &Reply{Type: MsgReplyMultiPut, Value: EncodePutSubReplies(replies), Trace: req.Trace}
 }

@@ -11,7 +11,7 @@ import (
 // pre-created at Instrument time so the admin endpoint's /metrics is
 // fully shaped (histogram buckets included) from the first scrape, even
 // before any request arrives.
-var opNames = []string{"register", "lookup", "put", "stats", "multilookup", "multiput", "unknown"}
+var opNames = []string{"register", "lookup", "put", "stats", "multilookup", "multiput", "peerinfo", "unknown"}
 
 func opName(t MsgType) string {
 	switch t {
@@ -27,6 +27,8 @@ func opName(t MsgType) string {
 		return "multilookup"
 	case MsgMultiPut:
 		return "multiput"
+	case MsgPeerInfo:
+		return "peerinfo"
 	default:
 		return "unknown"
 	}

@@ -174,6 +174,123 @@ func TestCrashTornPublishedSnapshot(t *testing.T) {
 	}
 }
 
+// saveDataFiles snapshots every segment and snapshot file in dir so a
+// test can undo compaction and keep older generations on disk.
+func saveDataFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	saved := map[string][]byte{}
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range segs {
+		p := segPath(dir, seq)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[p] = b
+	}
+	for _, seq := range snaps {
+		p := snapPath(dir, seq)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[p] = b
+	}
+	return saved
+}
+
+// restoreMissingFiles writes back only the saved files compaction
+// removed, leaving the live log's active segment untouched.
+func restoreMissingFiles(t *testing.T, dir string, saved map[string][]byte) {
+	t.Helper()
+	for p, b := range saved {
+		if _, err := os.Stat(p); err == nil {
+			continue
+		}
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoveryFallsBackTwoSnapshotGenerations corrupts the two newest
+// of three published snapshot generations. Recovery must skip both,
+// boot from the oldest survivor, and replay every tail segment between
+// that snapshot and the crash — the tails behind the two dead
+// generations plus the final pre-crash tail — so no committed put is
+// lost even when two consecutive snapshot cycles rot on disk.
+func TestRecoveryFallsBackTwoSnapshotGenerations(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir)
+	c, _ := newCache(l, time.Unix(0, 0))
+	register(t, c)
+
+	for i := 0; i < 30; i++ {
+		put(t, c, float64(i), fmt.Sprintf("v%d", i))
+	}
+	if _, err := l.Snapshot(c); err != nil { // generation 1: the survivor
+		t.Fatal(err)
+	}
+	for i := 30; i < 50; i++ { // tail behind generation 2
+		put(t, c, float64(i), fmt.Sprintf("v%d", i))
+	}
+	saved := saveDataFiles(t, dir)
+	if _, err := l.Snapshot(c); err != nil { // generation 2
+		t.Fatal(err)
+	}
+	restoreMissingFiles(t, dir, saved)
+
+	for i := 50; i < 65; i++ { // tail behind generation 3
+		put(t, c, float64(i), fmt.Sprintf("v%d", i))
+	}
+	saved = saveDataFiles(t, dir)
+	if _, err := l.Snapshot(c); err != nil { // generation 3
+		t.Fatal(err)
+	}
+	restoreMissingFiles(t, dir, saved)
+
+	for i := 65; i < 70; i++ { // final tail, never snapshotted
+		put(t, c, float64(i), fmt.Sprintf("v%d", i))
+	}
+
+	// Crash, then disk corruption eats the two NEWEST snapshots.
+	_, snaps, err := scanDir(dir)
+	if err != nil || len(snaps) != 3 {
+		t.Fatalf("snaps=%v err=%v, want 3 generations on disk", snaps, err)
+	}
+	for _, seq := range snaps[1:] {
+		p := snapPath(dir, seq)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, _, rstats := recoverInto(t, dir, time.Unix(0, 0).Add(time.Minute))
+	if rstats.InvalidSnapshots != 2 {
+		t.Fatalf("invalid snapshots = %d, want 2: %+v", rstats.InvalidSnapshots, rstats)
+	}
+	if !rstats.SnapshotUsed || rstats.SnapshotSeq != snaps[0] {
+		t.Fatalf("recovery shape = %+v, want fallback to snapshot %d", rstats, snaps[0])
+	}
+	if rstats.SegmentsReplayed < 3 {
+		t.Fatalf("replayed %d segments, want at least the three tails: %+v", rstats.SegmentsReplayed, rstats)
+	}
+	if rstats.Entries != 70 {
+		t.Fatalf("recovered %d entries, want 70", rstats.Entries)
+	}
+	for i := 0; i < 70; i++ {
+		wantHit(t, c2, float64(i), fmt.Sprintf("v%d", i))
+	}
+}
+
 func TestCrashBeforeCompaction(t *testing.T) {
 	dir := t.TempDir()
 	l := openTest(t, dir)

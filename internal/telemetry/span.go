@@ -99,6 +99,7 @@ const (
 	StageRefine  = "refine"  // post-lookup incremental computation
 	StageIPC     = "ipc"     // client round trip to the service
 	StageServe   = "serve"   // server-side dispatch (handler-pool wait included)
+	StagePeer    = "peer"    // mesh hop to an owner peer (Detail = peer ID)
 	StageResolve = "resolve" // put: key resolution / extraction
 	StageTune    = "tune"    // put: Algorithm-1 tuner feed
 	StageInsert  = "insert"  // put: index insertion + publication

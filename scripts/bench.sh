@@ -7,6 +7,7 @@
 #   scripts/bench.sh compare [go-bench-regexp] [benchtime]  # diff
 #   scripts/bench.sh loadgen [single-rate] [batch-rate] [batch]  # serving
 #   scripts/bench.sh recovery [benchtime]                   # durable boot
+#   scripts/bench.sh mesh                                   # 1-vs-3 nodes
 #
 # Record mode defaults to the full suite at -benchtime=1s. Output lands
 # in BENCH_core.json at the repo root: a JSON document wrapping the raw
@@ -21,6 +22,14 @@
 # first), and the mode exits nonzero unless the batched run sustains
 # its offered rate within the SLO — the batching win the protocol is
 # supposed to buy.
+#
+# Mesh mode runs the 3-node cluster experiment (internal/experiments
+# "mesh"): capacity-bounded nodes, the same recurring workload against
+# one isolated node and against a 3-node rendezvous mesh at K=1 and
+# K=2. The hit-rate curve is spliced into BENCH_core.json under a
+# "mesh" key (run record mode first), and the mode exits nonzero
+# unless both mesh topologies beat the single node — the pooling win
+# the cluster subsystem is supposed to buy.
 #
 # Recovery mode times the durable store's boot path (open + replay +
 # restore, internal/store BenchmarkRecovery) and splices the measured
@@ -53,6 +62,75 @@ elif [ "${1:-}" = "loadgen" ]; then
 elif [ "${1:-}" = "recovery" ]; then
 	mode=recovery
 	shift
+elif [ "${1:-}" = "mesh" ]; then
+	mode=mesh
+	shift
+fi
+
+if [ "$mode" = "mesh" ]; then
+	out="BENCH_core.json"
+	tmp="$(mktemp)"
+	trap 'rm -f "$tmp" "$tmp.spliced"' EXIT
+
+	echo "running: go run ./cmd/potluck-experiments mesh" >&2
+	go run ./cmd/potluck-experiments mesh | tee "$tmp" >&2
+
+	# Hit rates sit third-from-last on each topology row (rate,
+	# predicted, peer reuses).
+	single=$(awk '/^1 node/ { print $(NF-2) }' "$tmp")
+	k1=$(awk '/^3-node mesh, K=1/ { print $(NF-2) }' "$tmp")
+	k2=$(awk '/^3-node mesh, K=2/ { print $(NF-2) }' "$tmp")
+	if [ -z "$single" ] || [ -z "$k1" ] || [ -z "$k2" ]; then
+		echo "bench.sh: mesh experiment produced no hit-rate rows" >&2
+		exit 1
+	fi
+
+	if [ -f "$out" ]; then
+		# Splice a "mesh" object into the baseline, same discipline as
+		# the recovery key: replace in place, else insert after the
+		# bench "output" array (inert to compare mode's line recovery).
+		if grep -q '^  "mesh": {$' "$out"; then
+			replace=1
+		else
+			replace=0
+		fi
+		awk -v single="$single" -v k1="$k1" -v k2="$k2" -v replace="$replace" \
+			-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+			function body() {
+				print "  \"mesh\": {"
+				printf "    \"date\": \"%s\",\n", date
+				printf "    \"hit_rate_1_node\": %s,\n", single
+				printf "    \"hit_rate_3_node_k1\": %s,\n", k1
+				printf "    \"hit_rate_3_node_k2\": %s\n", k2
+			}
+			replace && /^  "mesh": \{$/ { body(); skip = 1; next }
+			skip && /^  \},?$/ { print; skip = 0; next }
+			skip { next }
+			!replace && !done && /^  \],?$/ {
+				comma = ($0 ~ /,$/) ? "," : ""
+				print "  ],"
+				body()
+				print "  }" comma
+				done = 1
+				next
+			}
+			{ print }
+		' "$out" > "$tmp.spliced" && mv "$tmp.spliced" "$out"
+		echo "updated $out (mesh section: $single -> $k1 (K=1) / $k2 (K=2))" >&2
+	else
+		echo "bench.sh: no $out baseline; mesh curve not recorded (run scripts/bench.sh first)" >&2
+	fi
+
+	# The gate: pooled capacity must strictly beat the isolated node.
+	awk -v single="$single" -v k1="$k1" -v k2="$k2" 'BEGIN {
+		if (k1 + 0 > single + 0 && k2 + 0 > single + 0) {
+			printf "bench.sh: mesh lifts hit rate %s -> %s (K=1), %s (K=2)\n", single, k1, k2
+			exit 0
+		}
+		printf "bench.sh: mesh hit rate not above single node (%s vs %s/%s)\n", single, k1, k2
+		exit 1
+	}'
+	exit $?
 fi
 
 if [ "$mode" = "recovery" ]; then
