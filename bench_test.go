@@ -156,6 +156,111 @@ func BenchmarkTable2Lookup(b *testing.B) {
 			lin.Nearest(query)
 		}
 	})
+	// Entry-count sweep for the sub-linear kinds (Table 2 extended past
+	// paper scale). The index for each (kind, scale) is built once per
+	// process — Go re-invokes the sub-benchmark with growing b.N, and
+	// rebuilding a 10^5-entry graph on each ramp-up would dominate wall
+	// time without being measured.
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		for _, kind := range []index.Kind{index.KindHNSW, index.KindIVF} {
+			b.Run(fmt.Sprintf("%s-%d", kind, n), func(b *testing.B) {
+				idx, q := sweepIndex(b, kind, n, dim)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := idx.Nearest(q); !ok {
+						b.Fatal("no result")
+					}
+				}
+			})
+		}
+	}
+}
+
+// sweepCache holds the indexes BenchmarkTable2Lookup's sweep has already
+// built this process, keyed by kind-scale.
+var sweepCache = map[string]index.Index{}
+
+func sweepIndex(b *testing.B, kind index.Kind, n, dim int) (index.Index, vec.Vector) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	keys := make([]vec.Vector, n)
+	for i := range keys {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		keys[i] = v
+	}
+	q := keys[42%n].Clone()
+	q[0] += 0.01
+	ck := fmt.Sprintf("%s-%d", kind, n)
+	if idx, ok := sweepCache[ck]; ok {
+		return idx, q
+	}
+	idx, err := index.New(kind, vec.EuclideanMetric{}, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := idx.Insert(index.ID(i), k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sweepCache[ck] = idx
+	return idx, q
+}
+
+// BenchmarkIndexMemory reports the key-store footprint per entry for the
+// flat and product-quantized stores at 10 000 entries (keyB/entry), with
+// lookup time as ns/op. PQ kinds run with an external resolver — the
+// cache-core deployment, where the members table supplies exact vectors
+// for re-ranking — so the PQ store's reported bytes are the real
+// incremental index cost.
+func BenchmarkIndexMemory(b *testing.B) {
+	const entries, dim = 10_000, 16
+	for _, kind := range []index.Kind{index.KindHNSW, index.KindHNSWPQ, index.KindIVF, index.KindIVFPQ} {
+		b.Run(string(kind), func(b *testing.B) {
+			idx, err := index.New(kind, vec.EuclideanMetric{}, dim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			members := make(map[index.ID]vec.Vector, entries)
+			if rs, ok := idx.(index.ResolverSetter); ok {
+				rs.SetKeyResolver(func(id index.ID) (vec.Vector, bool) {
+					v, ok := members[id]
+					return v, ok
+				})
+			}
+			rng := rand.New(rand.NewSource(16))
+			var q vec.Vector
+			for i := 0; i < entries; i++ {
+				v := make(vec.Vector, dim)
+				for j := range v {
+					v[j] = rng.NormFloat64()
+				}
+				if err := idx.Insert(index.ID(i), v); err != nil {
+					b.Fatal(err)
+				}
+				members[index.ID(i)] = v
+				if i == 42 {
+					q = v.Clone()
+					q[0] += 0.01
+				}
+			}
+			mr, ok := idx.(index.MemoryReporter)
+			if !ok {
+				b.Fatalf("%s does not report key memory", kind)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := idx.Nearest(q); !ok {
+					b.Fatal("no result")
+				}
+			}
+			// After ResetTimer (which clears extra metrics).
+			b.ReportMetric(float64(mr.KeyBytes())/entries, "keyB/entry")
+		})
+	}
 }
 
 // BenchmarkIPCRoundTrip times one lookup round trip over the Unix-socket

@@ -5,7 +5,7 @@
 //
 //	potluck-cli [-network unix] [-addr /tmp/potluck.sock] [-app cli] <cmd> ...
 //
-//	potluck-cli register <function> <keytype>[,<keytype>...]
+//	potluck-cli register <function> <keytype>[:<index>][,<keytype>[:<index>]...]
 //	potluck-cli lookup   <function> <keytype> <k1,k2,...>
 //	potluck-cli put      <function> <keytype> <k1,k2,...> <value> [cost]
 //	potluck-cli stats
@@ -102,7 +102,14 @@ func main() {
 		}
 		var defs []service.KeyTypeDef
 		for _, name := range strings.Split(args[2], ",") {
-			defs = append(defs, service.KeyTypeDef{Name: name})
+			// "<name>:<index>" selects an index kind (kdtree, linear,
+			// lsh, treemap, hash, hnsw, ivf, hnsw-pq, ivf-pq); bare
+			// names take the server default.
+			def := service.KeyTypeDef{Name: name}
+			if i := strings.IndexByte(name, ':'); i >= 0 {
+				def.Name, def.Index = name[:i], name[i+1:]
+			}
+			defs = append(defs, def)
 		}
 		if err := cl.Register(args[1], defs...); err != nil {
 			fail(err)
@@ -355,7 +362,7 @@ func parseKey(s string) (vec.Vector, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: potluck-cli [flags] <command>
-  register <function> <keytype>[,<keytype>...]
+  register <function> <keytype>[:<index>][,<keytype>[:<index>]...]
   lookup   <function> <keytype> <k1,k2,...>
   put      <function> <keytype> <k1,k2,...> <value> [cost]
   stats    (with -admin URL: fetch the rich JSON stats over HTTP)

@@ -54,6 +54,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/feature"
+	"repro/internal/index"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -95,6 +96,16 @@ func main() {
 		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "per-frame deadline on mesh peer calls")
 		peerFailures = flag.Int("peer-failures", 0, "consecutive peer failures that trip its circuit breaker (0 = default 3)")
 		peerCooldown = flag.Duration("peer-cooldown", 0, "breaker open duration before a half-open probe (0 = default 5s)")
+
+		hnswM    = flag.Int("hnsw-m", 0, "HNSW max links per node per layer (0 = default 16)")
+		hnswEfc  = flag.Int("hnsw-efc", 0, "HNSW construction candidate-pool width (0 = default 128)")
+		hnswEfs  = flag.Int("hnsw-efs", 0, "HNSW search candidate-pool width (0 = default 64)")
+		ivfCells = flag.Int("ivf-cells", 0, "IVF coarse-quantizer cell count (0 = default 256)")
+		ivfProbe = flag.Int("ivf-nprobe", 0, "IVF cells scanned per query (0 = default 16)")
+		ivfTrain = flag.Int("ivf-train", 0, "IVF inserts buffered before centroid training (0 = default 4096)")
+		pqSubs   = flag.Int("pq-subspaces", 0, "PQ sub-quantizer count, one code byte each (0 = derive dim/4)")
+		pqTrain  = flag.Int("pq-train", 0, "PQ inserts buffered before codebook training (0 = default 1024)")
+		pqRerank = flag.Int("pq-rerank", 0, "PQ extra candidates re-ranked with exact distances (0 = default 32)")
 	)
 	flag.Parse()
 
@@ -109,6 +120,11 @@ func main() {
 		DropoutRate: *dropout,
 		Policy:      core.PolicyKind(*policy),
 		Tuner:       core.TunerConfig{WarmupZ: *warmup, K: *tightenK, Gamma: *gamma},
+		IndexOptions: index.Options{
+			HNSW: index.HNSWConfig{M: *hnswM, EfConstruction: *hnswEfc, EfSearch: *hnswEfs},
+			IVF:  index.IVFConfig{Cells: *ivfCells, NProbe: *ivfProbe, TrainAfter: *ivfTrain},
+			PQ:   index.PQConfig{Subspaces: *pqSubs, TrainSize: *pqTrain, ReRank: *pqRerank},
+		},
 	}
 	if *dropout <= 0 {
 		cfg.DisableDropout = true

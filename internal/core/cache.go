@@ -169,6 +169,11 @@ type Config struct {
 	// (see durable.go and internal/store). Nil — the default — keeps
 	// the cache purely in-memory at zero hot-path cost.
 	Store Store
+	// IndexOptions tunes the parameterized index kinds (LSH, HNSW, IVF
+	// and their PQ variants) for every key type registered with this
+	// cache. Zero-value fields take each kind's defaults; kinds without
+	// tuning knobs ignore it.
+	IndexOptions index.Options
 	// Telemetry, when non-nil, attaches the cache to a telemetry hub:
 	// per-(function, key type) metric series are exported to its
 	// registry, lookup latencies feed per-series histograms, and
@@ -424,18 +429,30 @@ func (c *Cache) RegisterFunction(fn string, keyTypes ...KeyTypeSpec) error {
 	}
 	built := make([]*keyIndex, len(specs))
 	for i, spec := range specs {
-		idx, err := index.New(spec.Index, spec.Metric, spec.Dim)
+		idx, err := index.NewWithOptions(spec.Index, spec.Metric, spec.Dim, c.cfg.IndexOptions)
 		if err != nil {
 			return fmt.Errorf("core: key type %q: %w", spec.Name, err)
 		}
 		probed, _ := idx.(index.ProbedSearcher)
-		built[i] = &keyIndex{
+		ki := &keyIndex{
 			spec:    spec,
 			idx:     idx,
 			probed:  probed,
 			tuner:   NewTuner(c.cfg.Tuner),
 			members: make(map[ID]vec.Vector),
 		}
+		if rs, ok := idx.(index.ResolverSetter); ok {
+			// The members table keeps every key uncompressed under the
+			// same ki.mu that guards the index, so a product-quantized
+			// store can drop its own uncompressed copies and re-rank
+			// against members — this is where PQ's memory win is
+			// realized in deployment.
+			rs.SetKeyResolver(func(id index.ID) (vec.Vector, bool) {
+				v, ok := ki.members[ID(id)]
+				return v, ok
+			})
+		}
+		built[i] = ki
 	}
 
 	c.funcsMu.Lock()

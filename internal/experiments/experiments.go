@@ -32,7 +32,7 @@ func register(e Experiment) { registry = append(registry, e) }
 
 // paperOrder lists the artifacts in the order they appear in the paper.
 var paperOrder = []string{
-	"fig2", "table1", "fig6", "fig7", "fig8", "table2", "ipc", "space",
+	"fig2", "table1", "fig6", "fig7", "fig8", "table2", "table2scale", "ipc", "space",
 	"fig9", "fig10a", "fig10b", "fig10c", "mnist16x",
 	"ablation-dropout", "ablation-index", "ablation-k", "crossdevice", "mesh",
 }

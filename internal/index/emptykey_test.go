@@ -12,7 +12,7 @@ import (
 // on it (split-axis selection divides by the key length); the other
 // kinds silently indexed an unmatchable vector.
 func TestInsertRejectsEmptyKey(t *testing.T) {
-	for _, kind := range []Kind{KindLinear, KindKDTree, KindLSH, KindTreeMap, KindHash} {
+	for _, kind := range allKinds() {
 		t.Run(string(kind), func(t *testing.T) {
 			idx, err := New(kind, vec.EuclideanMetric{}, 2)
 			if err != nil {

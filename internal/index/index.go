@@ -64,30 +64,64 @@ type Index interface {
 // types (§3.7) and in experiment output.
 type Kind string
 
-// The index kinds from Figure 5 of the paper.
+// The index kinds from Figure 5 of the paper, plus the sub-linear ANN
+// kinds added for million-entry scale (ROADMAP item 3).
 const (
 	KindLinear  Kind = "linear"  // naive enumeration (Table 2 baseline)
 	KindKDTree  Kind = "kdtree"  // spatial k-d tree
 	KindLSH     Kind = "lsh"     // locality-sensitive hashing
 	KindTreeMap Kind = "treemap" // balanced BST over lexicographic order
 	KindHash    Kind = "hash"    // exact-match hash map
+	KindHNSW    Kind = "hnsw"    // hierarchical navigable-small-world graph
+	KindIVF     Kind = "ivf"     // inverted file (coarse quantizer cells)
+	KindHNSWPQ  Kind = "hnsw-pq" // HNSW over product-quantized key codes
+	KindIVFPQ   Kind = "ivf-pq"  // IVF over product-quantized key codes
 )
 
-// New constructs an index of the given kind using metric m. Dim is the
-// expected key dimensionality; LSH uses it to size its projections (pass
-// 0 to let the index learn the dimension from the first insert).
+// Options carries per-kind tuning parameters for NewWithOptions. The
+// zero value means defaults everywhere: each embedded config's zero
+// fields resolve via its withDefaults.
+type Options struct {
+	LSH  LSHConfig
+	HNSW HNSWConfig
+	IVF  IVFConfig
+	PQ   PQConfig
+}
+
+// New constructs an index of the given kind using metric m and default
+// tuning. Dim is the expected key dimensionality; LSH uses it to size
+// its projections (pass 0 to let the index learn the dimension from the
+// first insert).
 func New(kind Kind, m vec.Metric, dim int) (Index, error) {
+	return NewWithOptions(kind, m, dim, Options{})
+}
+
+// NewWithOptions constructs an index of the given kind using metric m
+// and the supplied tuning options (zero-value fields fall back to each
+// kind's defaults).
+func NewWithOptions(kind Kind, m vec.Metric, dim int, opts Options) (Index, error) {
 	switch kind {
 	case KindLinear:
 		return NewLinear(m), nil
 	case KindKDTree:
 		return NewKDTree(m), nil
 	case KindLSH:
-		return NewLSH(m, dim, DefaultLSHConfig()), nil
+		if opts.LSH == (LSHConfig{}) {
+			opts.LSH = DefaultLSHConfig()
+		}
+		return NewLSH(m, dim, opts.LSH), nil
 	case KindTreeMap:
 		return NewTreeMap(m), nil
 	case KindHash:
 		return NewHash(m), nil
+	case KindHNSW:
+		return NewHNSW(m, opts.HNSW), nil
+	case KindIVF:
+		return NewIVF(m, opts.IVF), nil
+	case KindHNSWPQ:
+		return NewHNSWPQ(m, opts.HNSW, opts.PQ), nil
+	case KindIVFPQ:
+		return NewIVFPQ(m, opts.IVF, opts.PQ), nil
 	}
 	return nil, fmt.Errorf("index: unknown kind %q", kind)
 }

@@ -18,7 +18,10 @@ func randomVec(rng *rand.Rand, dim int) vec.Vector {
 }
 
 func allKinds() []Kind {
-	return []Kind{KindLinear, KindKDTree, KindLSH, KindTreeMap, KindHash}
+	return []Kind{
+		KindLinear, KindKDTree, KindLSH, KindTreeMap, KindHash,
+		KindHNSW, KindIVF, KindHNSWPQ, KindIVFPQ,
+	}
 }
 
 func TestNewKinds(t *testing.T) {

@@ -3,6 +3,7 @@ package index
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/vec"
 )
@@ -232,7 +233,16 @@ func (l *LSH) KNearestProbed(key vec.Vector, k int) ([]Neighbor, int) {
 }
 
 func sortNeighbors(ns []Neighbor) {
-	// Insertion sort is fine: candidate sets are small by design.
+	// Insertion sort for the small candidate sets LSH produces by
+	// design; comparison sort beyond that (IVF cell scans and LSH
+	// fallback buckets reach thousands of candidates, where insertion
+	// sort's quadratic cost dominates the whole query). less() is a
+	// total order (Dist, then ID), so the result is deterministic
+	// either way.
+	if len(ns) > 48 {
+		sort.Slice(ns, func(i, j int) bool { return less(ns[i], ns[j]) })
+		return
+	}
 	for i := 1; i < len(ns); i++ {
 		for j := i; j > 0 && less(ns[j], ns[j-1]); j-- {
 			ns[j], ns[j-1] = ns[j-1], ns[j]

@@ -11,7 +11,7 @@ import (
 // examined to answer a query — it feeds countQuery — so returning that
 // count to the caller is free. Span tracing uses it to attribute probe
 // work to individual lookups instead of only to the aggregate counters.
-// All five kinds implement it.
+// All kinds implement it.
 type ProbedSearcher interface {
 	// NearestProbed is Nearest plus the entries examined by this query.
 	NearestProbed(key vec.Vector) (Neighbor, int, bool)
@@ -38,6 +38,23 @@ var (
 	_ ProbedSearcher = (*KDTree)(nil)
 	_ ProbedSearcher = (*LSH)(nil)
 	_ ProbedSearcher = (*TreeMap)(nil)
+	_ ProbedSearcher = (*HNSW)(nil)
+	_ ProbedSearcher = (*IVF)(nil)
+)
+
+var (
+	_ RadiusSearcher = (*Linear)(nil)
+	_ RadiusSearcher = (*KDTree)(nil)
+	_ RadiusSearcher = (*LSH)(nil)
+	_ RadiusSearcher = (*HNSW)(nil)
+	_ RadiusSearcher = (*IVF)(nil)
+)
+
+var (
+	_ ResolverSetter = (*HNSW)(nil)
+	_ ResolverSetter = (*IVF)(nil)
+	_ MemoryReporter = (*HNSW)(nil)
+	_ MemoryReporter = (*IVF)(nil)
 )
 
 // probeCounter is embedded by every index implementation to satisfy

@@ -9,7 +9,7 @@ import (
 // TestProbeStatsCounted checks that every index kind records query and
 // probe counts for the full query surface (Nearest, KNearest, Radius).
 func TestProbeStatsCounted(t *testing.T) {
-	for _, kind := range []Kind{KindLinear, KindKDTree, KindLSH, KindTreeMap, KindHash} {
+	for _, kind := range allKinds() {
 		t.Run(string(kind), func(t *testing.T) {
 			idx, err := New(kind, vec.EuclideanMetric{}, 3)
 			if err != nil {

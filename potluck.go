@@ -87,13 +87,18 @@ const (
 	PolicyFIFO       = core.PolicyFIFO
 )
 
-// Index kinds for KeyTypeSpec.Index (Figure 5 of the paper).
+// Index kinds for KeyTypeSpec.Index (Figure 5 of the paper, plus the
+// sub-linear ANN kinds for million-entry key sets).
 const (
 	IndexLinear  = index.KindLinear
 	IndexKDTree  = index.KindKDTree
 	IndexLSH     = index.KindLSH
 	IndexTreeMap = index.KindTreeMap
 	IndexHash    = index.KindHash
+	IndexHNSW    = index.KindHNSW
+	IndexIVF     = index.KindIVF
+	IndexHNSWPQ  = index.KindHNSWPQ
+	IndexIVFPQ   = index.KindIVFPQ
 )
 
 // Built-in metrics.

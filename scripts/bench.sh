@@ -8,6 +8,7 @@
 #   scripts/bench.sh loadgen [single-rate] [batch-rate] [batch]  # serving
 #   scripts/bench.sh recovery [benchtime]                   # durable boot
 #   scripts/bench.sh mesh                                   # 1-vs-3 nodes
+#   scripts/bench.sh indexsweep [max-entries]               # ANN scaling
 #
 # Record mode defaults to the full suite at -benchtime=1s. Output lands
 # in BENCH_core.json at the repo root: a JSON document wrapping the raw
@@ -30,6 +31,16 @@
 # "mesh" key (run record mode first), and the mode exits nonzero
 # unless both mesh topologies beat the single node — the pooling win
 # the cluster subsystem is supposed to buy.
+#
+# Indexsweep mode runs the table2scale experiment (internal/experiments):
+# every index kind measured across entry counts up to max-entries
+# (default the full 10^6 sweep; pass 1000 for a CI smoke). The full
+# table plus the gate figures are spliced into BENCH_core.json under an
+# "indexsweep" key (run record mode first), and the mode exits nonzero
+# unless, at the largest scale each kind was measured at, HNSW and IVF
+# both probe at least 5x fewer entries than the linear scan while
+# keeping recall@1 >= 0.95 — the sub-linear win those kinds are
+# supposed to buy (ISSUE 9 / ROADMAP item 3).
 #
 # Recovery mode times the durable store's boot path (open + replay +
 # restore, internal/store BenchmarkRecovery) and splices the measured
@@ -65,6 +76,99 @@ elif [ "${1:-}" = "recovery" ]; then
 elif [ "${1:-}" = "mesh" ]; then
 	mode=mesh
 	shift
+elif [ "${1:-}" = "indexsweep" ]; then
+	mode=indexsweep
+	shift
+fi
+
+if [ "$mode" = "indexsweep" ]; then
+	max="${1:-1000000}"
+	out="BENCH_core.json"
+	tmp="$(mktemp)"
+	trap 'rm -f "$tmp" "$tmp.spliced"' EXIT
+
+	echo "running: POTLUCK_SWEEP_MAX=$max go run ./cmd/potluck-experiments table2scale" >&2
+	POTLUCK_SWEEP_MAX="$max" go run ./cmd/potluck-experiments table2scale | tee "$tmp" >&2
+
+	# Per kind, keep the largest scale it was measured at (rows are
+	# "entries kind us/query probes recall keyB build"; skipped scales
+	# hold "-"). The linear row at each scale is the probe yardstick.
+	eval "$(awk '
+		$1 ~ /^[0-9]+$/ && $3 != "-" {
+			n = $1 + 0
+			if ($2 == "linear") lin[n] = $4
+			if (n > top[$2]) { top[$2] = n; probes[$2] = $4; recall[$2] = $5 }
+		}
+		END {
+			printf "hnsw_n=%d hnsw_probes=%s hnsw_recall=%s hnsw_lin=%s\n", \
+				top["hnsw"], probes["hnsw"], recall["hnsw"], lin[top["hnsw"]]
+			printf "ivf_n=%d ivf_probes=%s ivf_recall=%s ivf_lin=%s\n", \
+				top["ivf"], probes["ivf"], recall["ivf"], lin[top["ivf"]]
+		}
+	' "$tmp")"
+	if [ "${hnsw_n:-0}" = 0 ] || [ "${ivf_n:-0}" = 0 ]; then
+		echo "bench.sh: table2scale produced no hnsw/ivf rows" >&2
+		exit 1
+	fi
+
+	if [ -f "$out" ]; then
+		# Splice an "indexsweep" object into the baseline, same
+		# discipline as the mesh/recovery keys: replace in place, else
+		# insert after the bench "output" array (inert to compare mode).
+		if grep -q '^  "indexsweep": {$' "$out"; then
+			replace=1
+		else
+			replace=0
+		fi
+		awk -v replace="$replace" -v max="$max" \
+			-v hn="$hnsw_n" -v hp="$hnsw_probes" -v hr="$hnsw_recall" -v hl="$hnsw_lin" \
+			-v in_="$ivf_n" -v ip="$ivf_probes" -v ir="$ivf_recall" -v il="$ivf_lin" \
+			-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+			function body() {
+				print "  \"indexsweep\": {"
+				printf "    \"date\": \"%s\",\n", date
+				printf "    \"max_entries\": %s,\n", max
+				printf "    \"hnsw\": {\"entries\": %s, \"probes\": %s, \"recall\": %s, \"linear_probes\": %s},\n", hn, hp, hr, hl
+				printf "    \"ivf\": {\"entries\": %s, \"probes\": %s, \"recall\": %s, \"linear_probes\": %s}\n", in_, ip, ir, il
+			}
+			replace && /^  "indexsweep": \{$/ { body(); skip = 1; next }
+			skip && /^  \},?$/ { print; skip = 0; next }
+			skip { next }
+			!replace && !done && /^  \],?$/ {
+				comma = ($0 ~ /,$/) ? "," : ""
+				print "  ],"
+				body()
+				print "  }" comma
+				done = 1
+				next
+			}
+			{ print }
+		' "$out" > "$tmp.spliced" && mv "$tmp.spliced" "$out"
+		echo "updated $out (indexsweep section: ivf $ivf_probes vs linear $ivf_lin probes at $ivf_n)" >&2
+	else
+		echo "bench.sh: no $out baseline; sweep not recorded (run scripts/bench.sh first)" >&2
+	fi
+
+	# The gate: both sub-linear kinds must probe >=5x less than the
+	# linear scan at their largest measured scale, at recall >= 0.95.
+	# The probe ratio only has to hold from 10^5 up (small caches are
+	# where approximate search hasn't paid for itself yet — the CI smoke
+	# at 10^3 checks recall and that the sweep runs, nothing more).
+	awk -v hn="$hnsw_n" -v hp="$hnsw_probes" -v hr="$hnsw_recall" -v hl="$hnsw_lin" \
+		-v in_="$ivf_n" -v ip="$ivf_probes" -v ir="$ivf_recall" -v il="$ivf_lin" 'BEGIN {
+		ok = 1
+		if (hn + 0 >= 100000 && hp * 5 > hl) { printf "bench.sh: hnsw probes %s not 5x under linear %s at %s entries\n", hp, hl, hn; ok = 0 }
+		if (hr + 0 < 0.95) { printf "bench.sh: hnsw recall %s below 0.95\n", hr; ok = 0 }
+		if (in_ + 0 >= 100000 && ip * 5 > il) { printf "bench.sh: ivf probes %s not 5x under linear %s at %s entries\n", ip, il, in_; ok = 0 }
+		if (ir + 0 < 0.95) { printf "bench.sh: ivf recall %s below 0.95\n", ir; ok = 0 }
+		if (hn + 0 < 100000 && in_ + 0 < 100000) printf "bench.sh: sweep below 10^5 entries; probe-ratio gate skipped\n"
+		if (ok) {
+			printf "bench.sh: sub-linear gate holds (hnsw %s, ivf %s vs linear %s/%s probes; recall %s/%s)\n", hp, ip, hl, il, hr, ir
+			exit 0
+		}
+		exit 1
+	}'
+	exit $?
 fi
 
 if [ "$mode" = "mesh" ]; then
@@ -236,7 +340,10 @@ if [ "$mode" = "loadgen" ]; then
 			/^  "loadgen": \{$/ { skip = 1; next }
 			skip && /^  \},?$/ { skip = 0; next }
 			skip { next }
-			/^  \],?$/ {
+			!done && /^  \],?$/ {
+				# Carry the comma: keys spliced by the other modes may
+				# already follow the output array.
+				comma = ($0 ~ /,$/) ? "," : ""
 				print "  ],"
 				print "  \"loadgen\": {"
 				print "    \"single\":"
@@ -244,7 +351,8 @@ if [ "$mode" = "loadgen" ]; then
 				print "    ,"
 				print "    \"batch\":"
 				while ((getline line < batchf) > 0) print "    " line
-				print "  }"
+				print "  }" comma
+				done = 1
 				next
 			}
 			{ print }
