@@ -29,6 +29,7 @@ import (
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
@@ -653,6 +654,228 @@ func BenchmarkLookupParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkWhatIfOverhead measures what attaching the what-if profiler
+// costs the hot path, against the same mixed workload shape as
+// BenchmarkLookupParallel (one function, 90% lookups / 10% puts), with
+// one worker per core: "detached" is the no-tap baseline (the gate:
+// zero extra allocations, ns/op within bench.sh's compare window),
+// "attached" taps at the default 1-in-64 sample rate (the gate: ≤5%
+// over detached, judged by scripts/bench.sh whatif on the median of
+// paired att/det runs), and "attached-full" at rate 1 bounds the worst
+// case. The consumer worker runs during the attached modes, as it does
+// in the daemon.
+func BenchmarkWhatIfOverhead(b *testing.B) {
+	const dim, entries = 4, 128
+	for _, mode := range []string{"detached", "attached", "attached-full"} {
+		b.Run(mode, func(b *testing.B) {
+			// MaxEntries pins the index size: TTL-based churn would make
+			// the live set (and so the per-op scan cost) proportional to
+			// throughput, coupling ns/op to machine speed instead of to
+			// the profiler under test.
+			cfg := core.Config{
+				MaxEntries:     2 * entries,
+				DisableDropout: true,
+				Tuner:          core.TunerConfig{WarmupZ: 1},
+			}
+			var prof *whatif.Profiler
+			if mode != "detached" {
+				rate := whatif.DefaultRate
+				if mode == "attached-full" {
+					rate = 1
+				}
+				prof = whatif.New(whatif.Config{Rate: rate, Capacity: entries})
+				prof.Start()
+				defer prof.Close()
+				cfg.Tap = prof
+			}
+			cache := core.New(cfg)
+			rng := rand.New(rand.NewSource(11))
+			keys := make([]vec.Vector, entries)
+			for i := range keys {
+				v := make(vec.Vector, dim)
+				for j := range v {
+					v[j] = rng.NormFloat64()
+				}
+				keys[i] = v
+			}
+			if err := cache.RegisterFunction("f", core.KeyTypeSpec{Name: "k", Dim: dim}); err != nil {
+				b.Fatal(err)
+			}
+			for i, v := range keys {
+				if _, err := cache.Put("f", core.PutRequest{
+					Keys:  map[string]vec.Vector{"k": v},
+					Value: i,
+					Cost:  time.Millisecond,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := cache.ForceThreshold("f", "k", 1e9); err != nil {
+				b.Fatal(err)
+			}
+			// Unlike BenchmarkLookupParallel this deliberately does NOT
+			// oversubscribe workers past GOMAXPROCS: the gate compares
+			// attached to detached ns/op, and scheduler churn from
+			// 8-goroutines-per-core drowns the few-percent signal on
+			// small hosts.
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := int(worker.Add(1)) - 1
+				rng := rand.New(rand.NewSource(int64(g) + 100))
+				putKeys := make(map[string]vec.Vector, 1)
+				for i := 0; pb.Next(); i++ {
+					key := keys[rng.Intn(len(keys))]
+					if rng.Intn(10) == 0 {
+						nk := make(vec.Vector, dim)
+						for j := range nk {
+							nk[j] = rng.NormFloat64()
+						}
+						putKeys["k"] = nk
+						if _, err := cache.Put("f", core.PutRequest{
+							Keys:  putKeys,
+							Value: i,
+							Cost:  time.Millisecond,
+						}); err != nil {
+							b.Error(err)
+							return
+						}
+					} else if _, err := cache.Lookup("f", "k", key); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+
+	// "paired" is the series the ≤5% gate reads: it alternates ~16k-op
+	// batches between an untapped and a tapped cache inside one run,
+	// accumulating wall time per mode, so second-scale machine-speed
+	// drift (shared hosts) cancels at batch granularity instead of
+	// biasing whole series. Each attached batch ends with a synchronous
+	// Drain, billing the consumer's simulation work to the attached
+	// side — conservative on multi-core hosts where the consumer runs
+	// on a spare core. The overhead-% metric is (att/det − 1)·100.
+	b.Run("paired", func(b *testing.B) {
+		build := func(tap *whatif.Profiler) *core.Cache {
+			cfg := core.Config{
+				MaxEntries:     2 * entries,
+				DisableDropout: true,
+				Tuner:          core.TunerConfig{WarmupZ: 1},
+			}
+			if tap != nil {
+				cfg.Tap = tap
+			}
+			cache := core.New(cfg)
+			if err := cache.RegisterFunction("f", core.KeyTypeSpec{Name: "k", Dim: dim}); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < entries; i++ {
+				v := make(vec.Vector, dim)
+				for j := range v {
+					v[j] = rng.NormFloat64()
+				}
+				if _, err := cache.Put("f", core.PutRequest{
+					Keys:  map[string]vec.Vector{"k": v},
+					Value: i,
+					Cost:  time.Millisecond,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := cache.ForceThreshold("f", "k", 1e9); err != nil {
+				b.Fatal(err)
+			}
+			return cache
+		}
+		prof := whatif.New(whatif.Config{Rate: whatif.DefaultRate, Capacity: entries})
+		prof.Start()
+		defer prof.Close()
+		type driver struct {
+			cache   *core.Cache
+			rng     *rand.Rand
+			keys    []vec.Vector
+			putKeys map[string]vec.Vector
+			ops     int
+			ns      int64
+		}
+		mk := func(cache *core.Cache) *driver {
+			rng := rand.New(rand.NewSource(11))
+			keys := make([]vec.Vector, entries)
+			for i := range keys {
+				v := make(vec.Vector, dim)
+				for j := range v {
+					v[j] = rng.NormFloat64()
+				}
+				keys[i] = v
+			}
+			return &driver{
+				cache: cache, keys: keys,
+				rng:     rand.New(rand.NewSource(100)),
+				putKeys: make(map[string]vec.Vector, 1),
+			}
+		}
+		det, att := mk(build(nil)), mk(build(prof))
+		batch := func(d *driver, n int, drain bool) {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				key := d.keys[d.rng.Intn(len(d.keys))]
+				if d.rng.Intn(10) == 0 {
+					nk := make(vec.Vector, dim)
+					for j := range nk {
+						nk[j] = d.rng.NormFloat64()
+					}
+					d.putKeys["k"] = nk
+					if _, err := d.cache.Put("f", core.PutRequest{
+						Keys:  d.putKeys,
+						Value: i,
+						Cost:  time.Millisecond,
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				} else if _, err := d.cache.Lookup("f", "k", key); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if drain {
+				prof.Drain()
+			}
+			d.ns += time.Since(start).Nanoseconds()
+			d.ops += n
+		}
+		const batchOps = 16384
+		batch(det, batchOps, false) // warm both caches and the ghosts
+		batch(att, batchOps, true)
+		det.ops, det.ns, att.ops, att.ns = 0, 0, 0, 0
+		b.ResetTimer()
+		for left, turn := b.N, 0; left > 0; turn++ {
+			n := batchOps
+			if n > left {
+				n = left
+			}
+			if turn%2 == 0 {
+				batch(det, n, false)
+			} else {
+				batch(att, n, true)
+			}
+			left -= n
+		}
+		b.StopTimer()
+		if det.ops > 0 && att.ops > 0 {
+			detNs := float64(det.ns) / float64(det.ops)
+			attNs := float64(att.ns) / float64(att.ops)
+			b.ReportMetric(detNs, "det-ns/op")
+			b.ReportMetric(attNs, "att-ns/op")
+			b.ReportMetric((attNs/detNs-1)*100, "overhead-%")
+		}
+	})
 }
 
 // BenchmarkDurablePut measures the write-path overhead of the durable

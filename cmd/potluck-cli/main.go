@@ -10,6 +10,7 @@
 //	potluck-cli put      <function> <keytype> <k1,k2,...> <value> [cost]
 //	potluck-cli stats
 //	potluck-cli -admin http://127.0.0.1:9744 stats
+//	potluck-cli -admin http://127.0.0.1:9744 whatif
 //	potluck-cli -admin http://127.0.0.1:9744 explain <function> [n]
 //	potluck-cli -admin http://127.0.0.1:9744 explain -trace <hexid>
 //
@@ -23,6 +24,11 @@
 // trace ID (/trace/spans?trace=), which for a mesh-forwarded lookup
 // shows all hops — the server dispatch, the local core probe, and the
 // mesh fan-out with the answering peer — under a single ID.
+//
+// whatif (also -admin only) renders the counterfactual profiler's
+// report (/whatif): the miss-ratio curve across ghost capacities and
+// policies, the per-series threshold sweeps, and the predicted-vs-
+// measured hit rates. Requires the daemon to run with -whatif.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
+	"repro/internal/whatif"
 )
 
 func main() {
@@ -58,6 +65,15 @@ func main() {
 
 	if args[0] == "stats" && *admin != "" {
 		if err := adminStats(*admin); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if args[0] == "whatif" {
+		if *admin == "" {
+			fail(fmt.Errorf("whatif requires -admin (the daemon's HTTP observability endpoint)"))
+		}
+		if err := adminWhatIf(*admin); err != nil {
 			fail(err)
 		}
 		return
@@ -270,6 +286,80 @@ func printExplain(w *os.File, rep core.ExplainReport) {
 	}
 }
 
+// adminWhatIf fetches the counterfactual profiler's /whatif report and
+// renders its three sections: miss-ratio curve, threshold sweeps, and
+// predicted-vs-measured.
+func adminWhatIf(base string) error {
+	u := strings.TrimSuffix(base, "/") + "/whatif"
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("GET %s: 404 — the daemon is running without -whatif", u)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var rep whatif.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("decode %s: %w", u, err)
+	}
+	printWhatIf(os.Stdout, rep)
+	return nil
+}
+
+func printWhatIf(w *os.File, rep whatif.Report) {
+	fmt.Fprintf(w, "sample rate %g (scale ×%g)\n", rep.Rate, rep.Scale)
+	fmt.Fprintf(w, "sampled     %d lookups / %d puts", rep.SampledLookups, rep.SampledPuts)
+	if rep.RingDrops > 0 {
+		fmt.Fprintf(w, " (%d dropped: ring backed up)", rep.RingDrops)
+	}
+	if rep.SeriesOverflow > 0 {
+		fmt.Fprintf(w, " (%d beyond series bound)", rep.SeriesOverflow)
+	}
+	fmt.Fprintln(w)
+
+	if rep.GhostsDisabled {
+		fmt.Fprintln(w, "\nmiss-ratio curve: disabled (cache has no capacity bound)")
+	} else if len(rep.MissRatioCurve) > 0 {
+		fmt.Fprintf(w, "\nmiss-ratio curve (capacity %d entries / %d bytes):\n",
+			rep.CapacityEntries, rep.CapacityBytes)
+		fmt.Fprintf(w, "  %6s %-12s %9s %9s %10s %9s\n",
+			"MULT", "POLICY", "HITS", "MISSES", "EVICTIONS", "HITRATE")
+		for _, pt := range rep.MissRatioCurve {
+			fmt.Fprintf(w, "  %5g× %-12s %9d %9d %10d %8.1f%%\n",
+				pt.Mult, pt.Policy, pt.Hits, pt.Misses, pt.Evictions, pt.HitRate*100)
+		}
+	}
+
+	for _, sw := range rep.ThresholdSweeps {
+		fmt.Fprintf(w, "\nthreshold sweep %s/%s (%d probes, %d with no neighbour):\n",
+			sw.Function, sw.KeyType, sw.Total, sw.NoNeighbor)
+		for _, pt := range sw.Points {
+			fmt.Fprintf(w, "  %5g×θ %9d hits  %6.1f%%\n", pt.Mult, pt.Hits, pt.HitRate*100)
+		}
+	}
+
+	if len(rep.Predictions) > 0 {
+		fmt.Fprintf(w, "\npredicted vs measured (tolerance %.2f):\n", rep.Tolerance)
+		fmt.Fprintf(w, "  %-16s %-12s %8s %9s %9s %9s %s\n",
+			"FUNCTION", "KEYTYPE", "SAMPLES", "PREDICT", "MEASURE", "DIVERGE", "")
+		for _, pr := range rep.Predictions {
+			flag := ""
+			if pr.Diverged {
+				flag = "DIVERGED"
+			}
+			fmt.Fprintf(w, "  %-16s %-12s %8d %8.1f%% %8.1f%% %9.3f %s\n",
+				pr.Function, pr.KeyType, pr.Samples,
+				pr.Predicted*100, pr.Measured*100, pr.Divergence, flag)
+		}
+		fmt.Fprintf(w, "max divergence %.3f\n", rep.MaxDivergence)
+	}
+}
+
 // adminTrace fetches every retained span carrying one trace ID from
 // /trace/spans and renders them oldest-first, one line per hop. A
 // lookup answered by a mesh peer produces (at least) a server span,
@@ -366,6 +456,8 @@ func usage() {
   lookup   <function> <keytype> <k1,k2,...>
   put      <function> <keytype> <k1,k2,...> <value> [cost]
   stats    (with -admin URL: fetch the rich JSON stats over HTTP)
+  whatif   (requires -admin URL: render the counterfactual profiler's
+           miss-ratio curve, threshold sweeps, predicted-vs-measured)
   explain  <function> [n]   (requires -admin URL: render the daemon's
            last n retained lookup decisions and what would flip them)
   explain  -trace <hexid>   (requires -admin URL: render every retained

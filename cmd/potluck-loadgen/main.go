@@ -37,7 +37,11 @@
 // stderr); the "throughput_ops_per_sec" and "slo_met" fields are the
 // machine-readable summary CI keys on. The "env" section (git revision,
 // Go version, GOMAXPROCS) plus the effective config make a report
-// reproducible across hosts.
+// reproducible across hosts. The "servers" section is each target's own
+// view of the run, scraped over the wire protocol at run end — cache
+// hit/miss/dropout counters, entry count, and saved compute — so a
+// client-vs-server hit-rate mismatch (e.g. dropped frames, mesh
+// forwarding) is visible in one document.
 package main
 
 import (
@@ -148,6 +152,7 @@ func main() {
 		Network: *network, Targets: targets,
 	}
 	r.Env = buildEnv()
+	r.Servers = scrapeServers(*network, targets)
 
 	out, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -157,6 +162,41 @@ func main() {
 	if !r.SLOMet {
 		os.Exit(1)
 	}
+}
+
+// scrapeServers fetches each target's wire-protocol stats at run end.
+// A scrape failure is reported in the row, not fatal: the load numbers
+// are already collected and a peer that died mid-run is exactly the
+// case the per-target breakdown exists for.
+func scrapeServers(network string, targets []string) []serverReport {
+	out := make([]serverReport, 0, len(targets))
+	for _, tgt := range targets {
+		row := serverReport{Addr: tgt}
+		cl, err := service.Dial(network, tgt, "loadgen-stats")
+		if err != nil {
+			row.Err = err.Error()
+			out = append(out, row)
+			continue
+		}
+		st, err := cl.Stats()
+		cl.Close()
+		if err != nil {
+			row.Err = err.Error()
+			out = append(out, row)
+			continue
+		}
+		row.Hits, row.Misses, row.Dropouts = st.Hits, st.Misses, st.Dropouts
+		row.Puts, row.Evictions, row.Expirations = st.Puts, st.Evictions, st.Expirations
+		row.Entries, row.Bytes = st.Entries, st.Bytes
+		row.SavedComputeSec = float64(st.SavedComputeN) / float64(time.Second)
+		if total := st.Hits + st.Misses; total > 0 {
+			// Same convention as core.Stats.HitRate: dropouts are counted
+			// separately, not as misses.
+			row.HitRate = float64(st.Hits) / float64(total)
+		}
+		out = append(out, row)
+	}
+	return out
 }
 
 // parseTargets resolves the effective target list: -addrs entries when
@@ -526,6 +566,25 @@ type reportEnv struct {
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 }
 
+// serverReport is one target daemon's own counters, scraped over the
+// wire protocol when the run ends. These are server-lifetime totals
+// (seeding included), not a warmup-excluded window like the client-side
+// numbers — the two views answer different questions.
+type serverReport struct {
+	Addr            string  `json:"addr"`
+	Hits            int64   `json:"hits"`
+	Misses          int64   `json:"misses"`
+	Dropouts        int64   `json:"dropouts"`
+	HitRate         float64 `json:"hit_rate"`
+	Puts            int64   `json:"puts"`
+	Evictions       int64   `json:"evictions"`
+	Expirations     int64   `json:"expirations"`
+	Entries         int64   `json:"entries"`
+	Bytes           int64   `json:"bytes"`
+	SavedComputeSec float64 `json:"saved_compute_sec"`
+	Err             string  `json:"err,omitempty"`
+}
+
 // targetReport is one mesh peer's share of the run.
 type targetReport struct {
 	Addr                string    `json:"addr"`
@@ -554,4 +613,5 @@ type report struct {
 	SLOMs               float64        `json:"slo_ms"`
 	SLOMet              bool           `json:"slo_met"`
 	Targets             []targetReport `json:"targets"`
+	Servers             []serverReport `json:"servers"`
 }

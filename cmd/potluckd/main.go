@@ -18,6 +18,9 @@
 //	         [-node-id A] [-peers B=/run/b.sock,C=/run/c.sock]
 //	         [-replicas 2] [-peer-timeout 2s] [-peer-failures 3]
 //	         [-peer-cooldown 5s]
+//	         [-whatif] [-whatif-rate 0.015625]
+//	         [-whatif-capacities 0.25,0.5,1,2,4]
+//	         [-whatif-grid 0,0.25,0.5,0.75,1,1.5,2,3,4]
 //
 // -peers joins the daemon to a cache mesh: each entry is id=addr (the
 // peer's -node-id and socket, dialed over the same -network transport).
@@ -29,6 +32,14 @@
 //
 // -admin-addr starts an HTTP observability endpoint serving /metrics
 // (Prometheus text), /stats and /trace (JSON), and /debug/pprof/.
+//
+// -whatif attaches the online counterfactual profiler (internal/whatif):
+// lookups are sampled spatially at -whatif-rate and drive ghost caches
+// at the -whatif-capacities multiples of the real capacity (LRU at
+// every multiple, importance at 1x), a threshold sweep over the -whatif-grid
+// multipliers, and the Che-approximation predicted-vs-measured check.
+// The report is served at /whatif on the admin endpoint (and by
+// potluck-cli whatif).
 //
 // -data-dir enables the durable store (internal/store): every
 // registration, admission, and removal is appended to a crash-safe
@@ -47,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -58,6 +70,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/whatif"
 )
 
 func main() {
@@ -96,6 +109,11 @@ func main() {
 		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "per-frame deadline on mesh peer calls")
 		peerFailures = flag.Int("peer-failures", 0, "consecutive peer failures that trip its circuit breaker (0 = default 3)")
 		peerCooldown = flag.Duration("peer-cooldown", 0, "breaker open duration before a half-open probe (0 = default 5s)")
+
+		whatIf           = flag.Bool("whatif", false, "attach the counterfactual profiler (served at /whatif)")
+		whatIfRate       = flag.Float64("whatif-rate", whatif.DefaultRate, "what-if spatial sample rate in (0,1]")
+		whatIfCapacities = flag.String("whatif-capacities", "0.25,0.5,1,2,4", "what-if ghost-cache capacity multiples")
+		whatIfGrid       = flag.String("whatif-grid", "0,0.25,0.5,0.75,1,1.5,2,3,4", "what-if threshold-sweep multipliers")
 
 		hnswM    = flag.Int("hnsw-m", 0, "HNSW max links per node per layer (0 = default 16)")
 		hnswEfc  = flag.Int("hnsw-efc", 0, "HNSW construction candidate-pool width (0 = default 128)")
@@ -144,6 +162,30 @@ func main() {
 		// Key generation is the hit path's fixed cost: expose per-extractor
 		// extraction latency on /metrics for any in-process extraction.
 		feature.Instrument(tel.Registry)
+		// Process-level health: goroutines, heap, GC pauses, build info.
+		telemetry.RegisterRuntime(tel.Registry, tel.Started)
+	}
+	var prof *whatif.Profiler
+	if *whatIf {
+		caps, err := parseFloats(*whatIfCapacities, "-whatif-capacities")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		grid, err := parseFloats(*whatIfGrid, "-whatif-grid")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		prof = whatif.New(whatif.Config{
+			Rate:          *whatIfRate,
+			Capacity:      *maxEntries,
+			CapacityBytes: *maxBytes,
+			Multiples:     caps,
+			Grid:          grid,
+			Telemetry:     tel,
+		})
+		cfg.Tap = prof
 	}
 	var durable *store.Log
 	if *dataDir != "" {
@@ -264,25 +306,31 @@ func main() {
 		if mesh != nil {
 			mesh.Instrument(tel)
 		}
+		acfg := telemetry.AdminConfig{
+			Stats: func() any {
+				st := srv.AdminStats(started)
+				if mesh == nil {
+					return st
+				}
+				return struct {
+					service.AdminStats
+					MeshPeers []cluster.PeerState `json:"meshPeers"`
+				}{st, mesh.Peers()}
+			},
+			Explain: func(fn string, n int) (any, error) { return cache.Explain(fn, n) },
+		}
+		if prof != nil {
+			// Left nil when the profiler is detached so /whatif serves 404
+			// rather than a null report.
+			acfg.WhatIf = func() any { return prof.Snapshot() }
+		}
 		admin = &http.Server{
-			Addr: *adminAddr,
-			Handler: telemetry.AdminHandlerConfig(tel, telemetry.AdminConfig{
-				Stats: func() any {
-					st := srv.AdminStats(started)
-					if mesh == nil {
-						return st
-					}
-					return struct {
-						service.AdminStats
-						MeshPeers []cluster.PeerState `json:"meshPeers"`
-					}{st, mesh.Peers()}
-				},
-				Explain: func(fn string, n int) (any, error) { return cache.Explain(fn, n) },
-			}),
+			Addr:    *adminAddr,
+			Handler: telemetry.AdminHandlerConfig(tel, acfg),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("potluckd: admin endpoint on http://%s (/metrics /stats /trace /trace/spans /debug/explain /debug/pprof/)", *adminAddr)
+			log.Printf("potluckd: admin endpoint on http://%s (/metrics /stats /trace /trace/spans /whatif /debug/explain /debug/pprof/)", *adminAddr)
 			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("potluckd: admin endpoint: %v", err)
 			}
@@ -291,6 +339,11 @@ func main() {
 	if mesh != nil {
 		mesh.Start()
 		log.Printf("potluckd: mesh node %q with %d peers (replicas=%d)", self, len(mesh.Members())-1, *replicas)
+	}
+	if prof != nil {
+		prof.Start()
+		log.Printf("potluckd: what-if profiler attached (rate=%g capacities=%s grid=%s)",
+			*whatIfRate, *whatIfCapacities, *whatIfGrid)
 	}
 	scfg := srv.Config()
 	log.Printf("potluckd: listening on %s %s (policy=%s ttl=%s dropout=%.2f max-conns=%d max-handlers=%d idle=%s)",
@@ -301,6 +354,9 @@ func main() {
 	srv.Close() // drain in-flight requests before snapshotting
 	if mesh != nil {
 		mesh.Close()
+	}
+	if prof != nil {
+		prof.Close()
 	}
 	if durable != nil {
 		storeStop() // Run takes its final snapshot on the way out
@@ -329,6 +385,27 @@ func main() {
 		}
 	}
 	log.Printf("potluckd: shut down")
+}
+
+// parseFloats parses a comma-separated list of non-negative floats, as
+// used by the -whatif-capacities and -whatif-grid flags.
+func parseFloats(s, flagName string) ([]float64, error) {
+	var out []float64
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(entry, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("potluckd: bad %s entry %q, want a non-negative number", flagName, entry)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("potluckd: %s %q contains no entries", flagName, s)
+	}
+	return out, nil
 }
 
 // parsePeers parses the -peers flag: comma-separated id=addr pairs, all

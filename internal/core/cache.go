@@ -182,6 +182,11 @@ type Config struct {
 	// its internal counters only; see telemetry.go for the overhead
 	// budget.
 	Telemetry *telemetry.Telemetry
+	// Tap, when non-nil, observes the post-dropout decision stream for
+	// counterfactual profiling (internal/whatif). Nil — the default —
+	// costs the hot paths one nil check; see the Tap interface for the
+	// attached-cost contract.
+	Tap Tap
 }
 
 // normalized returns cfg with defaults applied and out-of-range values
@@ -303,6 +308,11 @@ type Cache struct {
 	tel   *telemetry.Telemetry
 	vecs  *telemetryVecs
 	spans *telemetry.SpanRecorder
+
+	// tap is the optional decision-stream observer (nil when Config.Tap
+	// was nil), hoisted like spans so hot paths test it with one nil
+	// check.
+	tap Tap
 }
 
 // entryTable wraps sync.Map with the entry types spelled out.
@@ -384,6 +394,7 @@ func New(cfg Config) *Cache {
 		equal:  cfg.Equal,
 		funcs:  make(map[string]*functionCache),
 		store:  cfg.Store,
+		tap:    cfg.Tap,
 	}
 	_, c.realClk = c.clk.(clock.Real)
 	c.nextExpiry.Store(math.MaxInt64)
@@ -718,6 +729,9 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector, opts LookupOptions) (
 		if ki.lat != nil && n&latSampleMask == 0 {
 			ki.lat.Observe(c.since(now))
 		}
+		if c.tap != nil {
+			c.tap.TapLookup(fn, keyType, key, dist, res.Threshold, false, now.UnixNano())
+		}
 		if c.tel != nil {
 			c.tel.RecordEvent(telemetry.Event{
 				At: now.UnixNano(), Kind: telemetry.EventMiss,
@@ -744,6 +758,9 @@ func (c *Cache) lookup(fn, keyType string, key vec.Vector, opts LookupOptions) (
 		ki.lat.Observe(c.since(now))
 	}
 	c.ctr.savedCompute.Add(int64(e.cost))
+	if c.tap != nil {
+		c.tap.TapLookup(fn, keyType, key, dist, res.Threshold, true, now.UnixNano())
+	}
 	if c.tel != nil && n&hitTraceSampleMask == 0 {
 		c.tel.RecordEvent(telemetry.Event{
 			At: now.UnixNano(), Kind: telemetry.EventHit,
@@ -1042,6 +1059,22 @@ func (c *Cache) Put(fn string, req PutRequest) (ID, error) {
 	evicted, cause := c.evictLocked(now, id)
 	c.admitMu.Unlock()
 	fc.stats.puts.Add(1)
+	if c.tap != nil {
+		// Pooled slices under the branch (the tap only borrows them;
+		// see Tap.TapPut): building from keysBuf directly would make
+		// the stack buffer escape on every untapped put, and fresh
+		// slices per call would make every put feed the GC.
+		tb := tapBufPool.Get().(*tapBuf)
+		tb.kts, tb.keys = tb.kts[:0], tb.keys[:0]
+		for i := range kis {
+			if keys[i] != nil {
+				tb.kts = append(tb.kts, fc.order[i])
+				tb.keys = append(tb.keys, keys[i])
+			}
+		}
+		c.tap.TapPut(fn, tb.kts, tb.keys, uint64(id), size, int64(cost), now.UnixNano())
+		tapBufPool.Put(tb)
+	}
 	if c.tel != nil {
 		c.tel.RecordEvent(telemetry.Event{
 			At: now.UnixNano(), Kind: telemetry.EventPut,

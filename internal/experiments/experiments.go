@@ -35,6 +35,7 @@ var paperOrder = []string{
 	"fig2", "table1", "fig6", "fig7", "fig8", "table2", "table2scale", "ipc", "space",
 	"fig9", "fig10a", "fig10b", "fig10c", "mnist16x",
 	"ablation-dropout", "ablation-index", "ablation-k", "crossdevice", "mesh",
+	"whatif",
 }
 
 // All returns the experiments in paper order (artifacts not in the

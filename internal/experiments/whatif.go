@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/vec"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "whatif",
+		Title: "What-if profiler: counterfactual answers vs ground-truth re-runs",
+		Paper: "not a paper artifact — validates the online what-if profiler " +
+			"(internal/whatif): each ghost-cache capacity estimate is checked " +
+			"against a real re-run of the same trace at that capacity, and the " +
+			"Che-approximation prediction against the measured hit rate",
+		Run: runWhatIf,
+	})
+}
+
+const (
+	wifCapacity  = 200
+	wifPool      = 1200
+	wifOps       = 15000
+	wifThreshold = 0.25
+	wifSeed      = 11
+	// wifMRCTolerance is the acceptance gate: every ghost estimate must
+	// land within 3 absolute hit-rate points of its ground-truth re-run.
+	wifMRCTolerance = 0.03
+)
+
+// wifKey spreads ids at least 1 apart in key space, so with θ = 0.25
+// only identical keys match: the ghost simulation and the ground-truth
+// runs then see the same reuse structure with no similarity cross-talk,
+// isolating the capacity question this experiment asks.
+func wifKey(id int) vec.Vector {
+	return vec.Vector{float64(id), float64(id % 31)}
+}
+
+// wifDrive replays one request sequence against a fresh cache of the
+// given capacity (compute-on-miss: every miss is followed by a put),
+// returning the measured hit rate. The profiler, when non-nil, rides
+// along as the cache's tap. LRU everywhere — the policy the Che model
+// and the SHARDS construction are stated for.
+func wifDrive(capacity int, seq []int, prof *whatif.Profiler) (float64, error) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	cfg := core.Config{
+		Clock:          clk,
+		Seed:           wifSeed,
+		MaxEntries:     capacity,
+		Policy:         core.PolicyLRU,
+		DisableDropout: true,
+		// The tuner must not move the threshold mid-run: a drifting θ
+		// would make the ground-truth runs answer a different question
+		// than the ghosts simulated.
+		Tuner: core.TunerConfig{WarmupZ: 1 << 30},
+	}
+	if prof != nil {
+		cfg.Tap = prof
+	}
+	cache := core.New(cfg)
+	if err := cache.RegisterFunction("wf", core.KeyTypeSpec{Name: "frame", Dim: 2}); err != nil {
+		return 0, err
+	}
+	if err := cache.ForceThreshold("wf", "frame", wifThreshold); err != nil {
+		return 0, err
+	}
+	hits := 0
+	for i, id := range seq {
+		// Advance virtual time per request so LRU recency and the Che
+		// model's request rates are well defined.
+		clk.Advance(time.Millisecond)
+		key := wifKey(id)
+		res, err := cache.Lookup("wf", "frame", key)
+		if err != nil {
+			return 0, err
+		}
+		if res.Hit {
+			hits++
+			continue
+		}
+		if _, err := cache.Put("wf", core.PutRequest{
+			Keys:  map[string]vec.Vector{"frame": key},
+			Value: fmt.Sprintf("r%d", id),
+			Cost:  time.Duration(5+id%10) * time.Millisecond,
+		}); err != nil {
+			return 0, err
+		}
+		if prof != nil && i%512 == 0 {
+			prof.Drain() // keep the ring from backing up; no worker here
+		}
+	}
+	return float64(hits) / float64(len(seq)), nil
+}
+
+// runWhatIf attaches the profiler at sample rate 1 (where the SHARDS
+// simulation is exact), replays a stationary Zipf trace, and then
+// re-runs the identical trace against real caches at each ghost
+// multiple. Every LRU ghost estimate must match its ground truth within
+// wifMRCTolerance, and the Che prediction must match the measured hit
+// rate within the profiler's divergence tolerance.
+func runWhatIf(w io.Writer) error {
+	rng := rand.New(rand.NewSource(wifSeed))
+	seq := workload.Sequence(workload.Zipf, wifPool, wifOps, rng)
+
+	mults := []float64{0.5, 1, 2, 4}
+	prof := whatif.New(whatif.Config{
+		Rate:      1,
+		Capacity:  wifCapacity,
+		Multiples: mults,
+	})
+	measured, err := wifDrive(wifCapacity, seq, prof)
+	if err != nil {
+		return err
+	}
+	rep := prof.Snapshot()
+
+	ghostRate := make(map[float64]float64, len(mults))
+	for _, pt := range rep.MissRatioCurve {
+		if pt.Policy == "lru" {
+			ghostRate[pt.Mult] = pt.HitRate
+		}
+	}
+
+	rows := make([][]string, 0, len(mults))
+	worst := 0.0
+	for _, m := range mults {
+		truth, err := wifDrive(int(m*wifCapacity), seq, nil)
+		if err != nil {
+			return err
+		}
+		est := ghostRate[m]
+		diff := math.Abs(est - truth)
+		if diff > worst {
+			worst = diff
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%g× (%d)", m, int(m*wifCapacity)),
+			fmt.Sprintf("%.1f%%", est*100),
+			fmt.Sprintf("%.1f%%", truth*100),
+			fmt.Sprintf("%.1f pts", diff*100),
+		})
+	}
+	table(w, []string{"capacity", "ghost estimate", "ground truth", "error"}, rows)
+	fmt.Fprintf(w, "\nmeasured hit rate at 1× was %.1f%%; worst ghost error %.1f points\n",
+		measured*100, worst*100)
+
+	if len(rep.Predictions) != 1 {
+		return fmt.Errorf("whatif: expected 1 prediction series, got %d", len(rep.Predictions))
+	}
+	pred := rep.Predictions[0]
+	fmt.Fprintf(w, "Che prediction %.1f%% vs measured %.1f%% (divergence %.3f, tolerance %.2f)\n",
+		pred.Predicted*100, pred.Measured*100, pred.Divergence, rep.Tolerance)
+
+	// The acceptance gates: counterfactual answers must agree with the
+	// ground truth they claim to predict.
+	if worst > wifMRCTolerance {
+		return fmt.Errorf("whatif: ghost estimate off by %.1f points, gate is %.0f",
+			worst*100, wifMRCTolerance*100)
+	}
+	if pred.Divergence > rep.Tolerance {
+		return fmt.Errorf("whatif: Che divergence %.3f exceeds tolerance %.2f",
+			pred.Divergence, rep.Tolerance)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty: every quantile of an empty histogram is 0, and so
+// is the summary.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+	sum := s.Summary()
+	if sum.Count != 0 || sum.Mean != 0 || sum.P50 != 0 || sum.P99 != 0 || sum.Max != 0 {
+		t.Fatalf("empty summary not all-zero: %+v", sum)
+	}
+}
+
+// TestQuantileSingleBucket: with every observation in one bucket, all
+// quantiles collapse to that bucket's bound clamped by the recorded
+// max, and out-of-range q values are clamped rather than panicking.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(700 * time.Nanosecond) // bucket (512, 1024]
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{-0.5, 0, 0.001, 0.5, 0.999, 1, 2.5} {
+		if got := s.Quantile(q); got != 700*time.Nanosecond {
+			// The bucket upper bound is 1024 ns but Max (700 ns) is the
+			// tighter honest bound.
+			t.Fatalf("Quantile(%v) = %v, want 700ns (max-clamped)", q, got)
+		}
+	}
+}
+
+// TestQuantileOverflowOnly: observations past the last bucket's range
+// all land in the unbounded overflow bucket; quantiles must report the
+// recorded max, not the bucket's MaxInt64 sentinel.
+func TestQuantileOverflowOnly(t *testing.T) {
+	var h Histogram
+	biggest := 30 * time.Minute // far beyond the 2^39 ns ≈ 9.2 min top bucket
+	h.Observe(20 * time.Minute)
+	h.Observe(biggest)
+	s := h.Snapshot()
+	if s.Buckets[histBuckets-1] != 2 {
+		t.Fatalf("overflow bucket holds %d, want 2", s.Buckets[histBuckets-1])
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		got := s.Quantile(q)
+		if got != biggest {
+			t.Fatalf("Quantile(%v) = %v, want recorded max %v", q, got, biggest)
+		}
+		if got == time.Duration(math.MaxInt64) {
+			t.Fatalf("Quantile(%v) leaked the MaxInt64 sentinel", q)
+		}
+	}
+}
+
+// TestCardinalityOverflowConcurrent registers far more label vectors
+// than the family bound from many goroutines at once: the family must
+// stay within maxSeries+1 materialized series (the +1 is the shared
+// overflow series), every increment must land somewhere (no lost
+// counts), and concurrent first-touches of the same vector must not
+// double-materialize it. Run with -race.
+func TestCardinalityOverflowConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetMaxSeries(8)
+	vec := reg.CounterVec("edge_overflow_total", "t", "fn", "kt")
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Worker-skewed label space: plenty of distinct vectors,
+				// with overlap across workers on the low indexes.
+				fn := fmt.Sprintf("fn-%d", (w*perWorker+i)%64)
+				vec.With(fn, "feat").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total float64
+	series := 0
+	sawOverflow := false
+	for _, sv := range reg.Gather() {
+		if sv.Name != "edge_overflow_total" {
+			continue
+		}
+		series++
+		total += sv.Value
+		if sv.Labels["fn"] == "_overflow" && sv.Labels["kt"] == "_overflow" {
+			sawOverflow = true
+		}
+	}
+	if series > 9 {
+		t.Fatalf("materialized %d series, bound is 8 + overflow", series)
+	}
+	if !sawOverflow {
+		t.Fatal("no overflow series despite 64 label vectors against a bound of 8")
+	}
+	if want := float64(workers * perWorker); total != want {
+		t.Fatalf("counts lost in overflow collapse: got %v, want %v", total, want)
+	}
+}

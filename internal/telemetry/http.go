@@ -32,6 +32,10 @@ type AdminConfig struct {
 	// Explain supplies the /debug/explain payload for a function name
 	// and a decision count (nil → endpoint returns 404).
 	Explain func(fn string, n int) (any, error)
+	// WhatIf supplies the /whatif payload — the counterfactual
+	// profiler's report (nil → endpoint returns 404, the profiler is
+	// detached).
+	WhatIf func() any
 }
 
 // AdminHandler builds the daemon's observability endpoint with just a
@@ -48,6 +52,9 @@ func AdminHandler(t *Telemetry, stats func() any) http.Handler {
 //	/trace          JSON dump of the event ring, oldest first (?n= caps items)
 //	/trace/spans    JSON dump of retained request spans; filters:
 //	                ?fn= ?layer= ?outcome= ?min= (duration) ?trace= (hex) ?n=
+//	/whatif         JSON report of the counterfactual profiler (miss-ratio
+//	                curve, threshold sweeps, predicted-vs-measured); 404
+//	                when the daemon runs without -whatif
 //	/debug/explain  last-N decision report for one function: ?fn= (required) ?n=
 //	/debug/pprof    the standard Go profiler surface
 //
@@ -131,6 +138,13 @@ func AdminHandlerConfig(t *Telemetry, cfg AdminConfig) http.Handler {
 		}
 		writeJSON(w, v)
 	})
+	mux.HandleFunc("/whatif", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.WhatIf == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.WhatIf())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -142,7 +156,7 @@ func AdminHandlerConfig(t *Telemetry, cfg AdminConfig) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("potluckd admin endpoint\n\n/metrics\n/stats\n/trace\n/trace/spans\n/debug/explain\n/debug/pprof/\n"))
+		w.Write([]byte("potluckd admin endpoint\n\n/metrics\n/stats\n/trace\n/trace/spans\n/whatif\n/debug/explain\n/debug/pprof/\n"))
 	})
 	return noStore(mux)
 }

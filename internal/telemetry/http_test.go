@@ -210,3 +210,31 @@ func TestTraceEndpointCap(t *testing.T) {
 		t.Fatalf("capped trace wrong: %+v", out)
 	}
 }
+
+func TestWhatIfEndpoint(t *testing.T) {
+	tel := New()
+	srv := httptest.NewServer(AdminHandlerConfig(tel, AdminConfig{
+		WhatIf: func() any { return map[string]float64{"maxDivergence": 0.02} },
+	}))
+	defer srv.Close()
+	resp, body := getResp(t, srv, "/whatif")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/whatif status %d", resp.StatusCode)
+	}
+	var payload map[string]float64
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/whatif body not JSON: %v", err)
+	}
+	if payload["maxDivergence"] != 0.02 {
+		t.Fatalf("/whatif payload: %v", payload)
+	}
+
+	// Without the callback the profiler is detached: 404, like
+	// /debug/explain without its callback.
+	bare := httptest.NewServer(AdminHandlerConfig(New(), AdminConfig{}))
+	defer bare.Close()
+	resp, _ = getResp(t, bare, "/whatif")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("detached /whatif status %d, want 404", resp.StatusCode)
+	}
+}

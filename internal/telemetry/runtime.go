@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime.MemStats snapshot and feeds GC
+// pauses into a histogram. ReadMemStats stops the world briefly, so a
+// scrape hitting several memstats-backed gauges must not pay it per
+// gauge — refresh() serves all of them from one read, refreshed at
+// most once per second.
+type runtimeSampler struct {
+	mu        sync.Mutex
+	ms        runtime.MemStats
+	refreshed time.Time
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+// refresh returns a copy of the (at most once-per-second refreshed)
+// memstats snapshot. A copy, not a pointer: a later refresh rewrites
+// s.ms, and a caller still holding a pointer from the previous scrape
+// would race with it.
+func (s *runtimeSampler) refresh() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.refreshed) < time.Second && s.refreshed != (time.Time{}) {
+		return s.ms
+	}
+	runtime.ReadMemStats(&s.ms)
+	s.refreshed = time.Now()
+	// Feed the GC pauses observed since the previous refresh into the
+	// histogram. PauseNs is a circular buffer of the last 256 pauses
+	// keyed by GC cycle number; if more than 256 cycles elapsed between
+	// refreshes, the overwritten ones are lost (counted as observed
+	// cycles is still exact via NumGC, but their durations are gone —
+	// acceptable for a 1 Hz-scraped gauge endpoint).
+	from := s.lastNumGC
+	if s.ms.NumGC > from+256 {
+		from = s.ms.NumGC - 256
+	}
+	if s.pauses != nil {
+		for gc := from + 1; gc <= s.ms.NumGC; gc++ {
+			s.pauses.Observe(time.Duration(s.ms.PauseNs[(gc+255)%256]))
+		}
+	}
+	s.lastNumGC = s.ms.NumGC
+	return s.ms
+}
+
+// RegisterRuntime exposes process-level health series on reg:
+//
+//	potluck_goroutines            current goroutine count
+//	potluck_heap_bytes            bytes of live heap (HeapAlloc)
+//	potluck_heap_sys_bytes        bytes obtained from the OS for heap
+//	potluck_gc_runs_total         completed GC cycles
+//	potluck_gc_pause_seconds      histogram of stop-the-world pauses
+//	potluck_uptime_seconds        seconds since start
+//	potluck_build_info            constant 1, labeled with the Go
+//	                              version and VCS revision
+//
+// started anchors the uptime gauge (the daemon passes its Telemetry
+// hub's Started). Everything is func-backed: idle cost is zero, and a
+// scrape costs one cached ReadMemStats per second at most.
+func RegisterRuntime(reg *Registry, started time.Time) {
+	s := &runtimeSampler{}
+	reg.Gauge("potluck_goroutines", "Current number of goroutines.").
+		SetFunc(func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.Gauge("potluck_heap_bytes", "Bytes of allocated heap objects (HeapAlloc).").
+		SetFunc(func() float64 { return float64(s.refresh().HeapAlloc) })
+	reg.Gauge("potluck_heap_sys_bytes", "Bytes of heap memory obtained from the OS.").
+		SetFunc(func() float64 { return float64(s.refresh().HeapSys) })
+	reg.Counter("potluck_gc_runs_total", "Completed garbage collection cycles.").
+		SetFunc(func() int64 { return int64(s.refresh().NumGC) })
+	reg.Gauge("potluck_uptime_seconds", "Seconds since the process started.").
+		SetFunc(func() float64 { return time.Since(started).Seconds() })
+
+	// Registered after the memstats gauges so a single Gather pass —
+	// which walks families in registration order — sees the pauses
+	// those gauges' refresh just fed in. Assigned under the sampler
+	// lock because refresh reads it there.
+	pauses := reg.Histogram("potluck_gc_pause_seconds",
+		"Stop-the-world garbage collection pause durations.")
+	s.mu.Lock()
+	s.pauses = pauses
+	s.mu.Unlock()
+
+	goversion, revision, modified := buildInfo()
+	reg.GaugeVec("potluck_build_info",
+		"Build metadata; the value is always 1.",
+		"goversion", "revision", "modified").
+		With(goversion, revision, modified).Set(1)
+}
+
+// buildInfo extracts the Go version and VCS stamp from the binary's
+// embedded build information ("unknown" when built without VCS
+// metadata, e.g. from a test binary or a tarball).
+func buildInfo() (goversion, revision, modified string) {
+	goversion, revision, modified = runtime.Version(), "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	return
+}

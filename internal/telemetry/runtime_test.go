@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegisterRuntimeSeries(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg, time.Now().Add(-3*time.Second))
+	runtime.GC() // guarantee at least one pause for the histogram
+
+	byName := map[string]SeriesValue{}
+	for _, sv := range reg.Gather() {
+		byName[sv.Name] = sv
+	}
+	for _, name := range []string{
+		"potluck_goroutines", "potluck_heap_bytes", "potluck_heap_sys_bytes",
+		"potluck_gc_runs_total", "potluck_gc_pause_seconds",
+		"potluck_uptime_seconds", "potluck_build_info",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing runtime series %s", name)
+		}
+	}
+	if v := byName["potluck_goroutines"].Value; v < 1 {
+		t.Fatalf("goroutines gauge: %v", v)
+	}
+	if v := byName["potluck_heap_bytes"].Value; v <= 0 {
+		t.Fatalf("heap gauge: %v", v)
+	}
+	if v := byName["potluck_uptime_seconds"].Value; v < 3 {
+		t.Fatalf("uptime gauge: %v, want ≥ 3", v)
+	}
+	bi := byName["potluck_build_info"]
+	if bi.Value != 1 {
+		t.Fatalf("build_info value: %v, want 1", bi.Value)
+	}
+	if !strings.HasPrefix(bi.Labels["goversion"], "go") {
+		t.Fatalf("build_info goversion label: %q", bi.Labels["goversion"])
+	}
+	if v := byName["potluck_gc_runs_total"].Value; v < 1 {
+		t.Fatalf("gc_runs counter: %v, want ≥ 1 after runtime.GC", v)
+	}
+	if lat := byName["potluck_gc_pause_seconds"].Latency; lat == nil || lat.Count < 1 {
+		t.Fatalf("gc pause histogram empty after runtime.GC: %+v", lat)
+	}
+}
+
+// TestRuntimeSamplerCaching checks that a burst of gauge reads shares
+// one ReadMemStats: the cached snapshot must not go backwards in NumGC
+// and a second immediate refresh must return the same snapshot.
+func TestRuntimeSamplerCaching(t *testing.T) {
+	s := &runtimeSampler{pauses: &Histogram{}}
+	first := s.refresh()
+	numGC := first.NumGC
+	runtime.GC()
+	// Within the 1 s window the cached snapshot is served: NumGC must
+	// not have advanced yet.
+	if got := s.refresh().NumGC; got != numGC {
+		t.Fatalf("refresh within TTL re-read memstats: NumGC %d → %d", numGC, got)
+	}
+	s.refreshed = time.Time{} // expire the cache
+	if got := s.refresh().NumGC; got < numGC+1 {
+		t.Fatalf("expired refresh did not observe the forced GC: NumGC %d → %d", numGC, got)
+	}
+}
+
+// TestRuntimeSamplerConcurrent hammers refresh from many goroutines
+// (as concurrent scrapes would) under -race.
+func TestRuntimeSamplerConcurrent(t *testing.T) {
+	s := &runtimeSampler{pauses: &Histogram{}}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if ms := s.refresh(); ms.HeapAlloc == 0 {
+					t.Error("refresh returned zero snapshot")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,171 @@
+package whatif
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// predictSeries holds the sampled request catalog for one (function,
+// keyType), feeding the Che-approximation hit-rate estimator of Ben
+// Mazziane et al. ("Computing the Hit Rate of Similarity Caching";
+// "Performance Model for Similarity Caching" — see PAPERS.md): under
+// the independent reference model, an LRU-like similarity cache with
+// characteristic time T serves a request for content n from cache with
+// probability ≈ 1 − e^(−Λ_n·T), where Λ_n aggregates the arrival rates
+// of every catalog content within the similarity threshold of n, and T
+// solves Σ_m (1 − e^(−λ_m·T)) = C over the whole catalog.
+type predictSeries struct {
+	// contents maps exact-key hashes to sampled contents. Bounded: past
+	// maxContents new keys are counted as uncovered instead of grown, so
+	// a high-cardinality workload degrades coverage, not memory.
+	contents  map[uint64]*content
+	uncovered uint64
+
+	sampledHits    uint64 // measured side, over the same sampled stream
+	sampledLookups uint64
+
+	thresholdSum float64 // running mean of the live threshold (the θ of the ball)
+	thresholdN   uint64
+
+	firstAt int64
+	lastAt  int64
+}
+
+type content struct {
+	key   vec.Vector
+	count uint64
+}
+
+func newPredictSeries() *predictSeries {
+	return &predictSeries{contents: make(map[uint64]*content)}
+}
+
+// observe records one sampled probe into the catalog.
+func (p *predictSeries) observe(keyHash uint64, key vec.Vector, threshold float64, hit bool, atNanos int64, maxContents int) {
+	p.sampledLookups++
+	if hit {
+		p.sampledHits++
+	}
+	p.thresholdSum += threshold
+	p.thresholdN++
+	if p.firstAt == 0 {
+		p.firstAt = atNanos
+	}
+	p.lastAt = atNanos
+	if c := p.contents[keyHash]; c != nil {
+		c.count++
+		return
+	}
+	if len(p.contents) >= maxContents {
+		p.uncovered++
+		return
+	}
+	p.contents[keyHash] = &content{key: key, count: 1}
+}
+
+func (p *predictSeries) measured() float64 {
+	if p.sampledLookups == 0 {
+		return 0
+	}
+	return float64(p.sampledHits) / float64(p.sampledLookups)
+}
+
+func (p *predictSeries) meanThreshold() float64 {
+	if p.thresholdN == 0 {
+		return 0
+	}
+	return p.thresholdSum / float64(p.thresholdN)
+}
+
+// rates converts the catalog's counts into arrival rates over the
+// observation window. Returns nil when the window is too short to
+// define a rate.
+func (p *predictSeries) rates() []float64 {
+	elapsed := float64(p.lastAt-p.firstAt) / 1e9
+	if elapsed <= 0 || len(p.contents) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(p.contents))
+	for _, c := range p.contents {
+		out = append(out, float64(c.count)/elapsed)
+	}
+	return out
+}
+
+// solveCharTime finds the Che characteristic time T such that the
+// expected cache occupancy Σ_m (1 − e^(−λ_m·T)) equals capacity. The
+// left side is increasing in T, so bisection on an exponentially
+// widened bracket converges; when even T→∞ cannot fill the cache (the
+// catalog fits entirely), it returns +Inf — nothing is ever evicted.
+func solveCharTime(rates []float64, capacity float64) float64 {
+	if capacity <= 0 || len(rates) == 0 {
+		return 0
+	}
+	if float64(len(rates)) <= capacity {
+		return math.Inf(1)
+	}
+	occupancy := func(t float64) float64 {
+		var s float64
+		for _, r := range rates {
+			s += 1 - math.Exp(-r*t)
+		}
+		return s
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200 && occupancy(hi) < capacity; i++ {
+		hi *= 2
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if occupancy(mid) < capacity {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// predict computes the series' expected hit rate at characteristic
+// time T and similarity threshold θ: for each content n, Λ_n sums the
+// arrival rates of contents within θ of n (including n itself), and
+// the request-weighted average of 1 − e^(−Λ_n·T) is the predicted
+// rate. elapsed is the observation window in seconds (the same window
+// rates() used, so Λ_n and T live on the same time base). O(K²) in the
+// catalog size, which the maxContents bound keeps small; this runs at
+// snapshot time, never on the data path.
+func (p *predictSeries) predict(t, theta, elapsed float64) float64 {
+	if len(p.contents) == 0 || elapsed <= 0 {
+		return 0
+	}
+	keys := make([]*content, 0, len(p.contents))
+	var totalCount float64
+	for _, c := range p.contents {
+		keys = append(keys, c)
+		totalCount += float64(c.count)
+	}
+	if totalCount == 0 {
+		return 0
+	}
+	var weighted float64
+	for _, n := range keys {
+		var ballRate float64
+		for _, m := range keys {
+			if len(n.key) == len(m.key) && euclid.Distance(n.key, m.key) <= theta {
+				ballRate += float64(m.count) / elapsed
+			}
+		}
+		pHit := 1.0
+		if !math.IsInf(t, 1) {
+			pHit = 1 - math.Exp(-ballRate*t)
+		}
+		weighted += float64(n.count) * pHit
+	}
+	return weighted / totalCount
+}
+
+// elapsedSeconds is the series' observation window.
+func (p *predictSeries) elapsedSeconds() float64 {
+	return float64(p.lastAt-p.firstAt) / 1e9
+}

@@ -1,0 +1,376 @@
+package whatif
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+)
+
+func TestSampleHashSpatial(t *testing.T) {
+	a := vec.Vector{1, 2, 3}
+	b := vec.Vector{1, 2, 3}
+	if sampleHash(a) != sampleHash(b) {
+		t.Fatal("identical keys must hash identically")
+	}
+	if sampleHash(vec.Vector{1, 2, 3.0001}) == sampleHash(a) {
+		t.Fatal("distinct keys should (overwhelmingly) hash differently")
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	p := New(Config{Rate: 0.25})
+	rng := rand.New(rand.NewSource(7))
+	sampled := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := vec.Vector{rng.Float64(), rng.Float64()}
+		if sampleHash(k) <= p.sampleMax {
+			sampled++
+		}
+	}
+	got := float64(sampled) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("sample rate: got %.3f, want ≈0.25", got)
+	}
+}
+
+func TestRingOrderAndOverflow(t *testing.T) {
+	r := newRing(3) // 8 slots
+	for i := 0; i < 8; i++ {
+		if !r.push(event{id: uint64(i)}) {
+			t.Fatalf("push %d rejected on non-full ring", i)
+		}
+	}
+	if r.push(event{id: 99}) {
+		t.Fatal("push accepted on full ring")
+	}
+	for i := 0; i < 8; i++ {
+		ev, ok := r.pop()
+		if !ok || ev.id != uint64(i) {
+			t.Fatalf("pop %d: got (%v, %v)", i, ev.id, ok)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+	// The ring is reusable after a full lap.
+	if !r.push(event{id: 42}) {
+		t.Fatal("push rejected after drain")
+	}
+	if ev, ok := r.pop(); !ok || ev.id != 42 {
+		t.Fatal("second-lap pop failed")
+	}
+}
+
+func TestGhostCapacityAndPolicies(t *testing.T) {
+	kt := ktKey{"fn", "feat"}
+	mk := func(id uint64, costNs int64, at int64) *ghostEntry {
+		// hash must be the key's identity (production uses sampleHash):
+		// byHash enumerates the series, so colliding hashes shadow keys.
+		return &ghostEntry{
+			id: id, size: 1, costNs: costNs, accessCount: 1,
+			lastAccess: at, insertedAt: at,
+			keys: []ghostKey{{kt: kt, key: vec.Vector{float64(id)}, hash: sampleHash(vec.Vector{float64(id)})}},
+		}
+	}
+
+	lru := newGhost(1, "lru", 2, 0, 1)
+	lru.put(mk(1, 100, 10))
+	lru.put(mk(2, 100, 20))
+	lru.lookup(kt, vec.Vector{1}, 901, 0.1, 30) // touch 1 → 2 is now LRU
+	lru.put(mk(3, 100, 40))
+	if _, ok := lru.entries[2]; ok {
+		t.Fatal("lru ghost should have evicted entry 2")
+	}
+	if _, ok := lru.entries[1]; !ok {
+		t.Fatal("lru ghost evicted the recently-touched entry")
+	}
+
+	imp := newGhost(1, "importance", 2, 0, 1)
+	imp.put(mk(1, 1000, 10)) // expensive → important
+	imp.put(mk(2, 1, 20))    // cheap → first victim
+	imp.put(mk(3, 500, 30))
+	if _, ok := imp.entries[2]; ok {
+		t.Fatal("importance ghost should have evicted the cheap entry")
+	}
+
+	// Capacity scaling: mult 2 × rate 0.5 leaves the bound unchanged.
+	g := newGhost(2, "lru", 10, 0, 0.5)
+	if g.capEntries != 10 {
+		t.Fatalf("scaled capacity: got %d, want 10", g.capEntries)
+	}
+}
+
+func TestGhostLookupThreshold(t *testing.T) {
+	kt := ktKey{"fn", "feat"}
+	g := newGhost(1, "lru", 10, 0, 1)
+	g.put(&ghostEntry{
+		id: 1, size: 1, accessCount: 1,
+		keys: []ghostKey{{kt: kt, key: vec.Vector{0, 0}, hash: sampleHash(vec.Vector{0, 0})}},
+	})
+	g.lookup(kt, vec.Vector{0.5, 0}, 901, 1.0, 1) // dist 0.5 ≤ 1.0 → hit
+	g.lookup(kt, vec.Vector{3, 0}, 902, 1.0, 2)   // dist 3 > 1.0 → miss
+	g.lookup(ktKey{"fn", "other"}, vec.Vector{0, 0}, 903, 1.0, 3) // wrong series → miss
+	if g.hits != 1 || g.misses != 2 {
+		t.Fatalf("ghost outcomes: hits=%d misses=%d, want 1/2", g.hits, g.misses)
+	}
+}
+
+// TestGhostAdmitOnMissAndMerge: a miss admits a synthetic entry for the
+// probe key (compute-on-miss), and a later put of the same content
+// under a fresh real-cache id merges into one entry — carrying the
+// access history over — instead of duplicating.
+func TestGhostAdmitOnMissAndMerge(t *testing.T) {
+	kt := ktKey{"fn", "feat"}
+	g := newGhost(1, "lru", 10, 0, 1)
+	key := vec.Vector{1, 2}
+	g.lookup(kt, key, 77, 0.1, 1) // miss → synthetic admit under the key hash
+	if len(g.entries) != 1 || g.entries[77] == nil {
+		t.Fatalf("miss did not admit a synthetic entry: %d entries", len(g.entries))
+	}
+	g.lookup(kt, key, 77, 0.1, 2) // same key again → hit
+	if g.hits != 1 || g.misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", g.hits, g.misses)
+	}
+	g.put(&ghostEntry{
+		id: 500, size: 3, costNs: 9, accessCount: 1, lastAccess: 3,
+		keys: []ghostKey{{kt: kt, key: key, hash: 77}},
+	})
+	if len(g.entries) != 1 {
+		t.Fatalf("put duplicated the key: %d entries", len(g.entries))
+	}
+	e := g.entries[500]
+	if e == nil || e.accessCount != 3 || e.costNs != 9 {
+		t.Fatalf("merge lost counters: %+v", e)
+	}
+}
+
+func TestSweepSeries(t *testing.T) {
+	grid := []float64{0.5, 1, 2}
+	s := newSweepSeries(len(grid))
+	s.observe(grid, 0.4, 1.0)  // ≤ all three
+	s.observe(grid, 0.8, 1.0)  // ≤ 1×, 2×
+	s.observe(grid, 1.5, 1.0)  // ≤ 2× only
+	s.observe(grid, -1, 1.0)   // empty index
+	if s.total != 4 || s.noNeighbor != 1 {
+		t.Fatalf("total=%d noNeighbor=%d", s.total, s.noNeighbor)
+	}
+	want := []uint64{1, 2, 3}
+	for i := range grid {
+		if s.hits[i] != want[i] {
+			t.Fatalf("hits[%d]=%d, want %d", i, s.hits[i], want[i])
+		}
+	}
+}
+
+func TestSolveCharTime(t *testing.T) {
+	// Equal rates: M·(1−e^(−λT)) = C ⇒ T = −ln(1−C/M)/λ.
+	rates := make([]float64, 10)
+	for i := range rates {
+		rates[i] = 2.0
+	}
+	got := solveCharTime(rates, 4)
+	want := -math.Log(1-4.0/10.0) / 2.0
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("charTime: got %v, want %v", got, want)
+	}
+	if !math.IsInf(solveCharTime(rates, 10), 1) {
+		t.Fatal("catalog ≤ capacity must give infinite characteristic time")
+	}
+	if solveCharTime(nil, 4) != 0 {
+		t.Fatal("empty catalog must give zero characteristic time")
+	}
+}
+
+// TestPredictorAgainstSimulation drives an exact-match LRU workload
+// (threshold 0 balls degenerate to single contents, the classical Che
+// setting) and checks the estimator against the measured stream.
+func TestPredictorAgainstSimulation(t *testing.T) {
+	p := New(Config{Rate: 1, Capacity: 20, Multiples: []float64{1}})
+	kt := ktKey{"fn", "feat"}
+	rng := rand.New(rand.NewSource(3))
+	const universe = 60
+
+	// The ghost at 1× doubles as the LRU simulator producing the
+	// measured stream: feed lookups and refill misses, like a client.
+	g := p.ghosts[0] // 1× lru
+	var hits, total int
+	for i := 0; i < 30000; i++ {
+		// Zipf-ish skew via squaring.
+		u := rng.Float64()
+		id := int(u * u * universe)
+		key := vec.Vector{float64(id), 0}
+		before := g.hits
+		g.lookup(kt, key, sampleHash(key), 0.001, int64(i)*1e6)
+		hit := g.hits > before
+		if i >= 5000 { // warm measurement window
+			total++
+			if hit {
+				hits++
+			}
+			pr := p.preds[kt]
+			if pr == nil {
+				pr = newPredictSeries()
+				p.preds[kt] = pr
+			}
+			pr.observe(sampleHash(key), key, 0.001, hit, int64(i)*1e6, p.cfg.MaxContents)
+		}
+		if !hit {
+			g.put(&ghostEntry{
+				id: uint64(id), size: 1, accessCount: 1, lastAccess: int64(i) * 1e6,
+				keys: []ghostKey{{kt: kt, key: key, hash: sampleHash(key)}},
+			})
+		}
+	}
+	measured := float64(hits) / float64(total)
+	pr := p.preds[kt]
+	tm := solveCharTime(pr.rates(), 20)
+	predicted := pr.predict(tm, pr.meanThreshold(), pr.elapsedSeconds())
+	if math.Abs(predicted-measured) > 0.08 {
+		t.Fatalf("Che estimate %0.3f vs simulated %0.3f: divergence too large", predicted, measured)
+	}
+}
+
+// TestProfilerEndToEnd attaches the profiler to a real cache at rate 1
+// and checks that the 1× ghost tracks the real hit rate, the sweep's
+// 1× point matches the measured rate, and the report is coherent.
+func TestProfilerEndToEnd(t *testing.T) {
+	tel := telemetry.New()
+	p := New(Config{Rate: 1, Capacity: 50, Tolerance: 0.2, Telemetry: tel})
+	c := core.New(core.Config{
+		MaxEntries:     50,
+		DisableDropout: true,
+		Policy:         core.PolicyLRU,
+		Seed:           1,
+		Tuner:          core.TunerConfig{WarmupZ: 1},
+		Tap:            p,
+	})
+	if err := c.RegisterFunction("fn", core.KeyTypeSpec{Name: "feat"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ForceThreshold("fn", "feat", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var hits, lookups int
+	for i := 0; i < 8000; i++ {
+		if i%500 == 0 {
+			p.Drain() // lazy consumer: keep the ring from overflowing
+		}
+		id := rng.Intn(120)
+		key := vec.Vector{float64(id), float64(id % 5)}
+		res, err := c.Lookup("fn", "feat", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lookups++
+		if res.Hit {
+			hits++
+		} else {
+			if _, err := c.Put("fn", core.PutRequest{
+				Keys:  map[string]vec.Vector{"feat": key},
+				Value: fmt.Sprintf("v%d", id),
+				Size:  64,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	measuredRate := float64(hits) / float64(lookups)
+	r := p.Snapshot()
+	if r.SampledLookups != uint64(lookups) {
+		t.Fatalf("rate-1 profiler sampled %d of %d lookups", r.SampledLookups, lookups)
+	}
+	var oneX *MRCPoint
+	for i := range r.MissRatioCurve {
+		pt := &r.MissRatioCurve[i]
+		if pt.Mult == 1 && pt.Policy == "lru" {
+			oneX = pt
+		}
+	}
+	if oneX == nil {
+		t.Fatal("no 1×/lru ghost in the miss-ratio curve")
+	}
+	if math.Abs(oneX.HitRate-measuredRate) > 0.03 {
+		t.Fatalf("1× ghost hit rate %.3f vs real %.3f: self-check failed", oneX.HitRate, measuredRate)
+	}
+	// MRC monotone in capacity for a fixed policy.
+	byMult := map[float64]float64{}
+	for _, pt := range r.MissRatioCurve {
+		if pt.Policy == "lru" {
+			byMult[pt.Mult] = pt.HitRate
+		}
+	}
+	if !(byMult[0.25] <= byMult[1]+0.02 && byMult[1] <= byMult[4]+0.02) {
+		t.Fatalf("miss-ratio curve not monotone: %v", byMult)
+	}
+	// Sweep: the 1× point must equal the measured rate (same probes,
+	// same thresholds), and hit rate must be monotone in the grid.
+	if len(r.ThresholdSweeps) != 1 {
+		t.Fatalf("sweep series: got %d, want 1", len(r.ThresholdSweeps))
+	}
+	sw := r.ThresholdSweeps[0]
+	var prev float64
+	for _, pt := range sw.Points {
+		if pt.HitRate+1e-9 < prev {
+			t.Fatalf("sweep not monotone at mult %v", pt.Mult)
+		}
+		prev = pt.HitRate
+		if pt.Mult == 1 && math.Abs(pt.HitRate-measuredRate) > 1e-9 {
+			t.Fatalf("sweep 1× point %.4f vs measured %.4f", pt.HitRate, measuredRate)
+		}
+	}
+	if len(r.Predictions) != 1 {
+		t.Fatalf("predictions: got %d, want 1", len(r.Predictions))
+	}
+	pd := r.Predictions[0]
+	if math.Abs(pd.Measured-measuredRate) > 1e-9 {
+		t.Fatalf("prediction measured side %.4f vs real %.4f", pd.Measured, measuredRate)
+	}
+	if pd.Divergence > 0.2 {
+		t.Fatalf("predicted %.3f diverges from measured %.3f beyond tolerance", pd.Predicted, pd.Measured)
+	}
+}
+
+// TestProfilerConcurrent exercises the tap, the drain loop, and
+// Snapshot from many goroutines under -race.
+func TestProfilerConcurrent(t *testing.T) {
+	p := New(Config{Rate: 1, Capacity: 32, RingBits: 8})
+	p.Start()
+	defer p.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := vec.Vector{float64(i % 97), float64(w)}
+				p.TapLookup("fn", "feat", key, 0.5, 1.0, i%3 == 0, int64(i))
+				if i%5 == 0 {
+					p.TapPut("fn", []string{"feat"}, []vec.Vector{key.Clone()},
+						uint64(w*10000+i), 8, 1000, int64(i))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = p.Snapshot()
+		}
+	}()
+	wg.Wait()
+	p.Close()
+	r := p.Snapshot()
+	if r.SampledLookups+r.RingDrops < 8000 {
+		t.Fatalf("accounting: sampled %d + dropped %d < 8000", r.SampledLookups, r.RingDrops)
+	}
+}
